@@ -1,0 +1,79 @@
+"""Ablations of the decomposition-point selectors (Section 3).
+
+* **Band placement** — sweep the height band's position; the paper
+  argues for a "middle band" (too low destroys recombination, too high
+  leaves factors large).
+* **Disjoint sampling budget** — the Disjoint selector is quadratic
+  per candidate, so "only a fraction of the nodes are sampled"; this
+  measures how the candidate cap affects factor balance.
+
+Run:  pytest benchmarks/bench_ablation_decomp.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import shared_size
+from repro.core.decomp import (band_points, decompose_at_points,
+                               disjoint_points)
+from repro.harness import format_table
+
+BANDS = ((0.05, 0.25), (0.25, 0.5), (0.35, 0.65), (0.5, 0.75),
+         (0.75, 0.95))
+
+
+def run_band_sweep(entries):
+    stats = {band: [] for band in BANDS}
+    for entry in entries:
+        f = entry.function
+        for band in BANDS:
+            g, h = decompose_at_points(f, band_points(f, *band))
+            assert (g & h) == f
+            stats[band].append((max(len(g), len(h)),
+                                shared_size([g.node, h.node])))
+    return stats
+
+
+@pytest.mark.benchmark(group="ablation-decomp")
+def test_band_placement_sweep(benchmark, population):
+    entries = population[: min(12, len(population))]
+    stats = benchmark.pedantic(run_band_sweep, args=(entries,),
+                               rounds=1, iterations=1)
+    table = []
+    for band in BANDS:
+        pairs = stats[band]
+        mean_big = sum(p[0] for p in pairs) / len(pairs)
+        mean_shared = sum(p[1] for p in pairs) / len(pairs)
+        table.append([f"{band[0]:.2f}-{band[1]:.2f}",
+                      round(mean_big, 1), round(mean_shared, 1)])
+    print()
+    print(format_table(["band", "max(|G|,|H|)", "shared"], table,
+                       title="Band selector ablation: band placement"))
+
+
+def run_sampling_sweep(entries, caps):
+    stats = {cap: [] for cap in caps}
+    for entry in entries:
+        f = entry.function
+        for cap in caps:
+            points = disjoint_points(f, max_candidates=cap)
+            g, h = decompose_at_points(f, points)
+            assert (g & h) == f
+            stats[cap].append(max(len(g), len(h)))
+    return stats
+
+
+@pytest.mark.benchmark(group="ablation-decomp")
+def test_disjoint_sampling_budget(benchmark, population):
+    entries = population[: min(12, len(population))]
+    caps = (4, 16, 64)
+    stats = benchmark.pedantic(run_sampling_sweep,
+                               args=(entries, caps), rounds=1,
+                               iterations=1)
+    table = [[cap, round(sum(v) / len(v), 1)]
+             for cap, v in stats.items()]
+    print()
+    print(format_table(["candidates", "mean max(|G|,|H|)"], table,
+                       title="Disjoint selector ablation: "
+                             "sampling budget"))

@@ -1,0 +1,82 @@
+"""Partial-image subsetting ablation (Section 4).
+
+The paper reports: "We conducted some experiments using SP for creating
+subsets of new states but RUA for partial image computation, and the
+run-times were faster than using SP for both."  This bench reproduces
+that comparison on the am2910 model: high-density traversal with SP
+frontiers, varying which procedure subsets oversized intermediate image
+products (none / SP / RUA).
+
+Run:  pytest benchmarks/bench_ablation_pimg.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.approx import remap_under_approx, short_paths_subset
+from repro.fsm import encode
+from repro.fsm.am2910 import am2910
+from repro.harness import format_table
+from repro.reach import (PartialImagePolicy, TransitionRelation,
+                         count_states, high_density_reachability)
+
+RESULTS: dict[str, tuple[float, int]] = {}
+
+
+def circuit():
+    if os.environ.get("REPRO_BENCH_SCALE") == "full":
+        return am2910(6, 4)
+    return am2910(5, 3)
+
+
+def pimg_trigger():
+    return (8000, 4000) if os.environ.get("REPRO_BENCH_SCALE") == \
+        "full" else (2000, 1000)
+
+
+def run(pimg_method: str):
+    circ = circuit()
+    encoded = encode(circ)
+    tr = TransitionRelation(encoded)
+    sp = lambda f, t: short_paths_subset(f, t)
+    policy = None
+    trigger, threshold = pimg_trigger()
+    if pimg_method == "sp":
+        policy = PartialImagePolicy(subset=sp, trigger=trigger,
+                                    threshold=threshold)
+    elif pimg_method == "rua":
+        policy = PartialImagePolicy(
+            subset=lambda f, t: remap_under_approx(f, t),
+            trigger=trigger, threshold=threshold)
+    result = high_density_reachability(
+        tr, encoded.initial_states(), sp, threshold=150,
+        partial=policy, deadline=900)
+    states = count_states(result.reached, encoded.state_vars)
+    return result.seconds, states, tr.stats.subset_calls
+
+
+@pytest.mark.benchmark(group="ablation-pimg")
+@pytest.mark.parametrize("pimg_method", ["none", "sp", "rua"])
+def test_partial_image_method(benchmark, pimg_method):
+    seconds, states, calls = benchmark.pedantic(
+        run, args=(pimg_method,), rounds=1, iterations=1)
+    RESULTS[pimg_method] = (seconds, states, calls)
+
+
+@pytest.mark.benchmark(group="ablation-pimg-report")
+def test_pimg_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not RESULTS:
+        pytest.skip("timed benchmarks did not run")
+    states = {s for _, s, _ in RESULTS.values()}
+    assert len(states) == 1, "partial-image runs disagree on states"
+    rows = [[name, f"{seconds:.1f}", calls]
+            for name, (seconds, _, calls) in RESULTS.items()]
+    print()
+    print(format_table(
+        ["PImg method", "time (s)", "subset calls"], rows,
+        title="Partial-image subsetting ablation "
+              "(SP frontiers on the am2910 model)"))

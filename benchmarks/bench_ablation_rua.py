@@ -1,0 +1,129 @@
+"""Ablations of remapUnderApprox design choices (DESIGN.md section 6).
+
+Three studies on the Table 2 population:
+
+* **Replacement types** — RUA restricted to subsets of its three
+  replacement types, quantifying how much *remap* and
+  *replace-by-grandchild* buy over plain replace-by-0 (the paper's
+  claim that versatile replacements are what separates RUA from UA).
+* **Quality factor** — the size/minterm trade-off as quality sweeps
+  through 0.5 .. 2.0 (Section 2.1.2: values below 1 are aggressive,
+  above 1 conservative).
+* **Iterated quality** — the compound "decreasing quality" schedule of
+  Section 2.2 against single-pass RUA.
+
+Run:  pytest benchmarks/bench_ablation_rua.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import iterated_remap, remap_under_approx
+from repro.core.approx.info import (REPLACE_GRANDCHILD, REPLACE_REMAP,
+                                    REPLACE_ZERO)
+from repro.harness import format_table, geometric_mean
+
+VARIANTS = {
+    "zero-only": (REPLACE_ZERO,),
+    "remap-only": (REPLACE_REMAP,),
+    "remap+zero": (REPLACE_REMAP, REPLACE_ZERO),
+    "grandchild+zero": (REPLACE_GRANDCHILD, REPLACE_ZERO),
+    "all (RUA)": (REPLACE_REMAP, REPLACE_GRANDCHILD, REPLACE_ZERO),
+}
+
+
+def run_replacement_ablation(population):
+    rows = {name: [] for name in VARIANTS}
+    for entry in population:
+        f = entry.function
+        nvars = f.manager.num_vars
+        for name, kinds in VARIANTS.items():
+            r = remap_under_approx(f, replacements=kinds)
+            assert r <= f
+            rows[name].append((len(r), r.sat_count(nvars)))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-rua")
+def test_replacement_type_ablation(benchmark, population):
+    rows = benchmark.pedantic(run_replacement_ablation,
+                              args=(population,), rounds=1,
+                              iterations=1)
+    table = []
+    densities = {}
+    for name, results in rows.items():
+        nodes = geometric_mean([max(1, n) for n, _ in results])
+        minterms = geometric_mean([m for _, m in results])
+        dens = geometric_mean([m / max(1, n) for n, m in results])
+        densities[name] = dens
+        table.append([name, round(nodes, 1), minterms, dens])
+    print()
+    print(format_table(["Variant", "nodes", "minterms", "density"],
+                       table,
+                       title="RUA ablation: replacement types"))
+    # The full replacement repertoire must not lose to zero-only.
+    assert densities["all (RUA)"] >= densities["zero-only"] * 0.999
+
+
+def run_quality_sweep(population, qualities):
+    rows = {q: [] for q in qualities}
+    for entry in population:
+        f = entry.function
+        nvars = f.manager.num_vars
+        for q in qualities:
+            r = remap_under_approx(f, quality=q)
+            assert r <= f
+            rows[q].append((len(r), r.sat_count(nvars)))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-rua")
+def test_quality_factor_sweep(benchmark, population):
+    qualities = (0.5, 0.8, 1.0, 1.25, 1.5, 2.0)
+    rows = benchmark.pedantic(run_quality_sweep,
+                              args=(population, qualities), rounds=1,
+                              iterations=1)
+    table = []
+    mean_minterms = {}
+    for q in qualities:
+        results = rows[q]
+        nodes = geometric_mean([max(1, n) for n, _ in results])
+        minterms = geometric_mean([m for _, m in results])
+        mean_minterms[q] = minterms
+        dens = geometric_mean([m / max(1, n) for n, m in results])
+        table.append([q, round(nodes, 1), minterms, dens])
+    print()
+    print(format_table(["quality", "nodes", "minterms", "density"],
+                       table, title="RUA ablation: quality factor"))
+    # Higher quality keeps more minterms (monotone on the mean).
+    ordered = [mean_minterms[q] for q in qualities]
+    assert all(a <= b * 1.001 for a, b in zip(ordered, ordered[1:]))
+
+
+def run_iterated(population):
+    results = []
+    for entry in population:
+        f = entry.function
+        nvars = f.manager.num_vars
+        single = remap_under_approx(f)
+        iterated = iterated_remap(f)
+        results.append(((len(single), single.sat_count(nvars)),
+                        (len(iterated), iterated.sat_count(nvars))))
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-rua")
+def test_iterated_quality_schedule(benchmark, population):
+    results = benchmark.pedantic(run_iterated, args=(population,),
+                                 rounds=1, iterations=1)
+    single_d = geometric_mean([m / max(1, n)
+                               for (n, m), _ in results])
+    iterated_d = geometric_mean([m / max(1, n)
+                                 for _, (n, m) in results])
+    print()
+    print(format_table(
+        ["variant", "density"],
+        [["single-pass RUA", single_d],
+         ["iterated 1.5 -> 1.25 -> 1.0", iterated_d]],
+        title="RUA ablation: iterated quality (Section 2.2)"))

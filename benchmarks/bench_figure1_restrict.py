@@ -1,0 +1,76 @@
+"""Figure 1: the remapping step of restrict.
+
+Figure 1 of the paper illustrates how *restrict* remaps a node to its
+sibling when the care set zeroes one branch, eliminating both the
+branch and the parent node.  This bench reproduces the exact scenario
+of the figure, measures restrict on the function population, and
+reports how often (and how much) remapping shrinks the BDD.
+
+Run:  pytest benchmarks/bench_figure1_restrict.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import Manager, restrict
+from repro.harness import format_table
+from repro.harness.population import random_dnf
+
+
+def figure1_scenario():
+    """The 4-node remapping example of Figure 1."""
+    m = Manager(vars=["x", "y", "z"])
+    x, y, z = (m.var(n) for n in "xyz")
+    f = m.ite(x, y & z, y | ~z)
+    c = x
+    r = restrict(f, c)
+    assert r == (y & z), "remapping must return the then cofactor"
+    assert "x" not in r.support()
+    return len(f), len(r)
+
+
+def restrict_population(population):
+    """restrict(f, c) with random care sets over the population."""
+    rng = random.Random(7)
+    shrank = 0
+    ratios = []
+    for entry in population:
+        f = entry.function
+        manager = f.manager
+        variables = [manager.var(n) for n in sorted(f.support())]
+        if len(variables) < 3:
+            continue
+        care = random_dnf(manager, variables, terms=4,
+                          width=min(4, len(variables)), rng=rng)
+        r = restrict(f, care)
+        assert (care & r) == (care & f)
+        ratios.append(len(r) / max(1, len(f)))
+        if len(r) < len(f):
+            shrank += 1
+    return shrank, ratios
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_remapping_step(benchmark):
+    sizes = benchmark(figure1_scenario)
+    print()
+    print(format_table(
+        ["|f|", "|restrict(f, c)|"], [list(sizes)],
+        title="Figure 1: remapping in restrict "
+              "(the paper's 4-node example)"))
+    assert sizes[1] < sizes[0]
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_restrict_on_population(benchmark, population):
+    shrank, ratios = benchmark.pedantic(restrict_population,
+                                        args=(population,), rounds=1,
+                                        iterations=1)
+    mean_ratio = sum(ratios) / max(1, len(ratios))
+    print()
+    print(f"restrict shrank {shrank}/{len(ratios)} population BDDs; "
+          f"mean size ratio {mean_ratio:.2f}")
+    assert shrank >= len(ratios) // 2

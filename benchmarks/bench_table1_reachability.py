@@ -1,0 +1,205 @@
+"""Table 1: reachability analysis using BDD approximations.
+
+Reproduces the protocol of the paper's Table 1: for each circuit, exact
+breadth-first traversal is timed against high-density traversal with
+RUA and with SP frontier subsetting, each with per-circuit tuned
+parameters (threshold "Th", quality "Qual", and the partial-image
+policy "PImg" — the paper likewise reports best-time parameter settings
+found by trial and error).
+
+The ISCAS-style circuits are replaced by the synthetic analogues of
+DESIGN.md's substitution table:
+
+=============  =================  ====================================
+paper circuit  stand-in           behaviour reproduced
+=============  =================  ====================================
+s3330          checksum_memory    wide shallow comm controller; shells
+                                  tie channels to a checksum
+s1269          serial_multiplier  multiplication-relation frontier
+                                  blow-up
+s5378opt       shift_queue        control/datapath mix where SP beats
+                                  RUA
+am2910         am2910 model       exact BFS infeasible; high-density
+                                  completes
+=============  =================  ====================================
+
+BFS on the am2910 row is bounded by a deadline standing in for the
+paper's ">2 weeks".  Quick scale keeps every run under a couple of
+minutes; ``REPRO_BENCH_SCALE=full`` uses the larger instances recorded
+in EXPERIMENTS.md.
+
+Run:  pytest benchmarks/bench_table1_reachability.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.approx import remap_under_approx, short_paths_subset
+from repro.fsm import encode
+from repro.fsm.am2910 import am2910
+from repro.fsm.benchmarks import (checksum_memory, serial_multiplier,
+                                  shift_queue)
+from repro.harness import format_table
+from repro.reach import (PartialImagePolicy, TransitionRelation,
+                         TraversalLimit, bfs_reachability, count_states,
+                         high_density_reachability)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One circuit and its tuned per-method parameters."""
+
+    paper_name: str
+    make: object
+    #: RUA: (threshold, quality, partial-image (trigger, threshold))
+    rua: tuple
+    #: SP: (threshold, partial-image)
+    sp: tuple
+    bfs_deadline: float
+    hd_deadline: float
+
+
+QUICK_ROWS = (
+    Table1Row("s3330", lambda: checksum_memory(4, 4),
+              rua=(0, 1.0, None), sp=(50, None),
+              bfs_deadline=120.0, hd_deadline=240.0),
+    Table1Row("s1269", lambda: serial_multiplier(8),
+              rua=(0, 1.0, None), sp=(60, None),
+              bfs_deadline=120.0, hd_deadline=240.0),
+    Table1Row("s5378opt", lambda: shift_queue(5, 3),
+              rua=(0, 1.0, None), sp=(60, None),
+              bfs_deadline=120.0, hd_deadline=240.0),
+    Table1Row("am2910", lambda: am2910(5, 3),
+              rua=(0, 1.0, (20000, 8000)), sp=(150, (20000, 8000)),
+              bfs_deadline=45.0, hd_deadline=300.0),
+)
+
+FULL_ROWS = (
+    Table1Row("s3330", lambda: checksum_memory(8, 4),
+              rua=(0, 1.0, (20000, 8000)), sp=(100, (20000, 8000)),
+              bfs_deadline=600.0, hd_deadline=1200.0),
+    Table1Row("s1269", lambda: serial_multiplier(8),
+              rua=(0, 1.0, None), sp=(60, None),
+              bfs_deadline=600.0, hd_deadline=1200.0),
+    Table1Row("s5378opt", lambda: shift_queue(6, 4),
+              rua=(0, 1.0, None), sp=(100, None),
+              bfs_deadline=600.0, hd_deadline=1200.0),
+    Table1Row("am2910", lambda: am2910(6, 4),
+              rua=(0, 0.5, (20000, 8000)), sp=(150, (20000, 8000)),
+              bfs_deadline=150.0, hd_deadline=600.0),
+)
+
+
+def rows_for_scale() -> tuple:
+    if os.environ.get("REPRO_BENCH_SCALE", "quick") == "full":
+        return FULL_ROWS
+    return QUICK_ROWS
+
+
+RESULTS: dict[str, dict] = {}
+
+
+def run_bfs(row: Table1Row):
+    circuit = row.make()
+    encoded = encode(circuit)
+    tr = TransitionRelation(encoded)
+    try:
+        result = bfs_reachability(tr, encoded.initial_states(),
+                                  deadline=row.bfs_deadline)
+        states = count_states(result.reached, encoded.state_vars)
+        return result.seconds, states, circuit.num_latches
+    except TraversalLimit:
+        return None, None, circuit.num_latches
+
+
+def run_hd(row: Table1Row, method: str):
+    circuit = row.make()
+    encoded = encode(circuit)
+    tr = TransitionRelation(encoded)
+    if method == "rua":
+        threshold, quality, pimg = row.rua
+        subset = lambda f, t: remap_under_approx(f, t, quality=quality)
+    else:
+        threshold, pimg = row.sp
+        subset = lambda f, t: short_paths_subset(f, t)
+    policy = None
+    if pimg is not None:
+        policy = PartialImagePolicy(subset=subset, trigger=pimg[0],
+                                    threshold=pimg[1])
+    result = high_density_reachability(
+        tr, encoded.initial_states(), subset, threshold=threshold,
+        partial=policy, deadline=row.hd_deadline)
+    states = count_states(result.reached, encoded.state_vars)
+    return result.seconds, states
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("row", rows_for_scale(),
+                         ids=lambda r: r.paper_name)
+def test_table1_bfs(benchmark, row):
+    seconds, states, latches = benchmark.pedantic(
+        run_bfs, args=(row,), rounds=1, iterations=1)
+    entry = RESULTS.setdefault(row.paper_name, {})
+    entry["ff"] = latches
+    entry["bfs"] = seconds
+    entry["states"] = states
+    if row.paper_name == "am2910" and \
+            os.environ.get("REPRO_BENCH_SCALE") == "full":
+        assert seconds is None, \
+            "full-scale am2910 BFS should exceed its budget"
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("method", ["rua", "sp"])
+@pytest.mark.parametrize("row", rows_for_scale(),
+                         ids=lambda r: r.paper_name)
+def test_table1_high_density(benchmark, row, method):
+    seconds, states = benchmark.pedantic(
+        run_hd, args=(row, method), rounds=1, iterations=1)
+    entry = RESULTS.setdefault(row.paper_name, {})
+    entry[method] = seconds
+    expected = entry.get("states")
+    if expected is not None:
+        assert states == expected, \
+            f"{method} reached a different state count than BFS"
+    else:
+        entry["states"] = states
+
+
+@pytest.mark.benchmark(group="table1-report")
+def test_table1_report(benchmark):
+    """Prints the collected Table 1 (runs after the timed tests).
+
+    Declared as a benchmark so it still runs under --benchmark-only;
+    the measured body is a no-op.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not RESULTS:
+        pytest.skip("timed Table 1 benchmarks did not run")
+    rows = rows_for_scale()
+    table = []
+    for row in rows:
+        entry = RESULTS.get(row.paper_name, {})
+        fmt = lambda v: "timeout" if v is None else f"{v:.1f}"
+        threshold, quality, pimg = row.rua
+        pimg_text = "NA" if pimg is None else f"{pimg[0]}/{pimg[1]}"
+        table.append([
+            row.paper_name, entry.get("ff", "?"),
+            entry.get("states", "?"),
+            fmt(entry.get("bfs", None)),
+            threshold, quality, pimg_text,
+            fmt(entry.get("rua", None)),
+            row.sp[0],
+            fmt(entry.get("sp", None)),
+        ])
+    print()
+    print(format_table(
+        ["Ckt", "FF", "States", "BFS time", "Th", "Qual", "PImg",
+         "RUA time", "SP Th", "SP time"],
+        table,
+        title="Table 1: Reachability analysis results using BDD "
+              "approximations"))

@@ -1,0 +1,87 @@
+"""Table 2: comparison of simple approximation methods.
+
+Reproduces the paper's Table 2: geometric means of nodes, minterms and
+density over the function population for F (the original function), HB,
+SP, UA, and RUA, plus wins/ties on density.  Protocol follows the paper:
+UA/RUA run with threshold 0 and quality 1; the RUA result sizes are used
+as the thresholds for HB and SP.
+
+Run:  pytest benchmarks/bench_table2_simple_approx.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import (bdd_under_approx, heavy_branch_subset,
+                               remap_under_approx, short_paths_subset)
+from repro.harness import (Measurement, format_table, geometric_mean,
+                           wins_and_ties)
+
+METHODS = ("F", "HB", "SP", "UA", "RUA")
+
+
+def run_simple_methods(population):
+    """Apply all simple methods; returns per-function measurements."""
+    rows = []
+    for entry in population:
+        f = entry.function
+        nvars = f.manager.num_vars
+        rua = remap_under_approx(f, threshold=0, quality=1.0)
+        budget = max(1, len(rua))
+        results = {
+            "F": f,
+            "HB": heavy_branch_subset(f, budget),
+            "SP": short_paths_subset(f, budget),
+            "UA": bdd_under_approx(f, threshold=0),
+            "RUA": rua,
+        }
+        for name, g in results.items():
+            assert g <= f, f"{name} broke the subset contract"
+        rows.append({name: Measurement(nodes=len(g),
+                                       minterms=g.sat_count(nvars))
+                     for name, g in results.items()})
+    return rows
+
+
+def summarize(rows) -> str:
+    score = wins_and_ties([{k: v for k, v in row.items() if k != "F"}
+                           for row in rows])
+    table = []
+    for method in METHODS:
+        nodes = geometric_mean([max(1, row[method].nodes)
+                                for row in rows])
+        minterms = geometric_mean([row[method].minterms
+                                   for row in rows])
+        dens = geometric_mean(
+            [row[method].minterms / max(1, row[method].nodes)
+             for row in rows])
+        wins, ties = score.get(method, (0, 0))
+        table.append([method, round(nodes, 1), minterms, dens,
+                      wins, ties])
+    return format_table(
+        ["Method", "nodes", "minterms", "density", "wins", "ties"],
+        table,
+        title="Table 2: Comparison of approximation methods I: "
+              "Simple methods")
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_simple_methods(benchmark, population):
+    rows = benchmark.pedantic(run_simple_methods, args=(population,),
+                              rounds=1, iterations=1)
+    print()
+    print(f"[population: {len(population)} functions]")
+    print(summarize(rows))
+    # Shape assertions from the paper: RUA is the densest simple method
+    # on geometric mean and takes the most wins.
+    score = wins_and_ties([{k: v for k, v in row.items() if k != "F"}
+                           for row in rows])
+    rua_wins = score["RUA"][0]
+    assert rua_wins >= max(w for m, (w, _) in score.items()
+                           if m != "RUA"), score
+    dens = {m: geometric_mean([r[m].minterms / max(1, r[m].nodes)
+                               for r in rows]) for m in METHODS}
+    assert dens["RUA"] >= dens["F"], "RUA must be safe on average"
+    assert dens["RUA"] >= dens["HB"], \
+        "RUA should dominate HB on mean density"

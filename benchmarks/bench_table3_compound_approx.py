@@ -1,0 +1,86 @@
+"""Table 3: compound approximation methods C1 and C2.
+
+C1 = RUA followed by safe minimization; C2 = SP followed by RUA
+followed by safe minimization (SP threshold = the RUA result size, as
+in the paper's protocol).  Checked shape properties: C1 never loses to
+RUA, C2 never loses to SP, C1 retains more minterms than RUA, and C2
+uses roughly half the nodes of C1.
+
+Run:  pytest benchmarks/bench_table3_compound_approx.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import (c1, c2, remap_under_approx,
+                               short_paths_subset)
+from repro.harness import (Measurement, format_table, geometric_mean,
+                           wins_and_ties)
+
+
+def run_compound_methods(population):
+    rows = []
+    for entry in population:
+        f = entry.function
+        nvars = f.manager.num_vars
+        rua = remap_under_approx(f, threshold=0, quality=1.0)
+        sp = short_paths_subset(f, max(1, len(rua)))
+        c1_result = c1(f)
+        c2_result = c2(f, sp_threshold=max(1, len(rua)))
+        for name, g in (("C1", c1_result), ("C2", c2_result)):
+            assert g <= f, f"{name} broke the subset contract"
+        assert c1_result.sat_count(nvars) >= rua.sat_count(nvars)
+        rows.append({
+            "RUA": Measurement(len(rua), rua.sat_count(nvars)),
+            "SP": Measurement(len(sp), sp.sat_count(nvars)),
+            "C1": Measurement(len(c1_result),
+                              c1_result.sat_count(nvars)),
+            "C2": Measurement(len(c2_result),
+                              c2_result.sat_count(nvars)),
+        })
+    return rows
+
+
+def summarize(rows) -> str:
+    table = []
+    for method in ("C1", "C2"):
+        nodes = geometric_mean([max(1, row[method].nodes)
+                                for row in rows])
+        minterms = geometric_mean([row[method].minterms
+                                   for row in rows])
+        dens = geometric_mean(
+            [row[method].minterms / max(1, row[method].nodes)
+             for row in rows])
+        score = wins_and_ties([{m: row[m] for m in ("C1", "C2")}
+                               for row in rows])
+        wins, ties = score[method]
+        table.append([method, round(nodes, 1), minterms, dens, wins,
+                      ties])
+    return format_table(
+        ["Method", "nodes", "minterms", "density", "wins", "ties"],
+        table,
+        title="Table 3: Comparison of approximation methods II: "
+              "Compound methods")
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_compound_methods(benchmark, population):
+    rows = benchmark.pedantic(run_compound_methods, args=(population,),
+                              rounds=1, iterations=1)
+    print()
+    print(f"[population: {len(population)} functions]")
+    print(summarize(rows))
+    # Paper shape: C1 never loses to RUA; C2 never loses to SP.
+    for row in rows:
+        c1_d = row["C1"].minterms * max(1, row["RUA"].nodes)
+        rua_d = row["RUA"].minterms * max(1, row["C1"].nodes)
+        assert c1_d >= rua_d, "C1 lost to RUA"
+        c2_d = row["C2"].minterms * max(1, row["SP"].nodes)
+        sp_d = row["SP"].minterms * max(1, row["C2"].nodes)
+        assert c2_d >= sp_d, "C2 lost to SP"
+    # C2 keeps notably fewer nodes than C1 on average (the paper's
+    # halving effect).
+    c1_nodes = geometric_mean([max(1, r["C1"].nodes) for r in rows])
+    c2_nodes = geometric_mean([max(1, r["C2"].nodes) for r in rows])
+    assert c2_nodes <= c1_nodes

@@ -1,0 +1,98 @@
+"""Table 4: comparison of decomposition methods.
+
+For two population size classes (the paper used >= 5000 and >= 20000
+nodes; the scaled defaults are >= 300 and >= 2000), apply the three
+two-way conjunctive decomposition methods — Cofactor, Disjoint, Band —
+and report mean shared size, mean |G|, mean |H|, and wins/ties on the
+size of the larger factor.
+
+Run:  pytest benchmarks/bench_table4_decomposition.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import shared_size
+from repro.core.decomp import decompose
+from repro.harness import format_table
+
+METHODS = ("cofactor", "disjoint", "band")
+
+
+def run_decompositions(entries):
+    rows = []
+    for entry in entries:
+        f = entry.function
+        row = {}
+        for method in METHODS:
+            g, h = decompose(f, method)
+            assert (g & h) == f, f"{method} broke f = g*h"
+            big = max(len(g), len(h))
+            row[method] = (shared_size([g.node, h.node]), len(g),
+                           len(h), big)
+        rows.append(row)
+    return rows
+
+
+def score_wins(rows):
+    wins = {m: 0 for m in METHODS}
+    ties = {m: 0 for m in METHODS}
+    for row in rows:
+        best = min(values[3] for values in row.values())
+        top = [m for m in METHODS if row[m][3] == best]
+        if len(top) == 1:
+            wins[top[0]] += 1
+        else:
+            for m in top:
+                ties[m] += 1
+    return wins, ties
+
+
+def summarize(rows, title) -> str:
+    wins, ties = score_wins(rows)
+    table = []
+    for method in METHODS:
+        n = len(rows)
+        mean = lambda idx: sum(row[method][idx]
+                               for row in rows) / max(1, n)
+        table.append([method.capitalize(), round(mean(0), 1),
+                      round(mean(1), 1), round(mean(2), 1),
+                      wins[method], ties[method]])
+    return format_table(
+        ["Method", "Shared", "G", "H", "wins", "ties"], table,
+        title=title)
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_small_class(benchmark, population, scale):
+    entries = [e for e in population
+               if len(e.function) >= scale.min_nodes]
+    rows = benchmark.pedantic(run_decompositions, args=(entries,),
+                              rounds=1, iterations=1)
+    print()
+    mean_size = sum(len(e.function) for e in entries) / len(entries)
+    print(summarize(
+        rows,
+        f"Table 4 (class >= {scale.min_nodes} nodes, "
+        f"|f| mean = {mean_size:.1f}, {len(entries)} BDDs)"))
+    wins, _ = score_wins(rows)
+    # Paper shape: Cofactor takes the most wins on the full class.
+    assert wins["cofactor"] >= wins["disjoint"]
+    assert wins["cofactor"] >= wins["band"]
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_large_class(benchmark, population, scale):
+    entries = [e for e in population
+               if len(e.function) >= scale.large_min_nodes]
+    if len(entries) < 3:
+        pytest.skip("population has too few large BDDs at this scale")
+    rows = benchmark.pedantic(run_decompositions, args=(entries,),
+                              rounds=1, iterations=1)
+    print()
+    mean_size = sum(len(e.function) for e in entries) / len(entries)
+    print(summarize(
+        rows,
+        f"Table 4 (class >= {scale.large_min_nodes} nodes, "
+        f"|f| mean = {mean_size:.1f}, {len(entries)} BDDs)"))

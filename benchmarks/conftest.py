@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` for population thresholds
+and circuit sizes closer to the paper's (slower); the default ``quick``
+scale finishes the whole benchmark suite in minutes on a laptop.
+EXPERIMENTS.md records results at both scales.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import pytest
+
+from repro.harness import generate_population
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    name: str
+    #: population node threshold (the paper used 5000)
+    min_nodes: int
+    #: Table 4's second, larger size class (the paper used 20000)
+    large_min_nodes: int
+
+
+SCALES = {
+    "quick": BenchScale(name="quick", min_nodes=300, large_min_nodes=2000),
+    "full": BenchScale(name="full", min_nodes=1000,
+                       large_min_nodes=5000),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> BenchScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of "
+                         f"{sorted(SCALES)}, got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def population(scale):
+    """The Tables 2-4 function population (generated once per run)."""
+    return generate_population(min_nodes=scale.min_nodes)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Reachability analysis: exact BFS vs high-density traversal.
+
+The scenario of Section 4 of the paper: a sequential circuit whose
+breadth-first frontiers blow up, traversed (a) exactly and (b) with the
+high-density strategy using remapUnderApprox to extract dense frontier
+subsets.  Both arrive at the *same exact* reachable set; the
+high-density run keeps its BDDs small.
+
+Run:  python examples/reachability.py
+"""
+
+import time
+
+from repro.core.approx import remap_under_approx, short_paths_subset
+from repro.fsm import encode
+from repro.fsm.benchmarks import checksum_memory
+from repro.reach import (TransitionRelation, bfs_reachability,
+                         count_states, high_density_reachability)
+
+
+def main() -> None:
+    circuit = checksum_memory(4, 3)
+    print(f"circuit: {circuit.name}, {circuit.num_latches} latches, "
+          f"{len(circuit.inputs)} inputs")
+
+    # ------------------------------------------------------------------
+    # Exact breadth-first traversal.
+    # ------------------------------------------------------------------
+    encoded = encode(circuit)
+    tr = TransitionRelation(encoded)
+    start = time.perf_counter()
+    bfs = bfs_reachability(tr, encoded.initial_states())
+    bfs_time = time.perf_counter() - start
+    states = count_states(bfs.reached, encoded.state_vars)
+    print(f"\nBFS:     {bfs_time:6.2f}s  {bfs.iterations} iterations, "
+          f"{states} states")
+    print(f"         peak frontier {max(bfs.frontier_trace)} nodes, "
+          f"final reached set {len(bfs.reached)} nodes")
+
+    # ------------------------------------------------------------------
+    # High-density traversal with RUA frontier subsetting.
+    # ------------------------------------------------------------------
+    for label, subsetter, threshold in [
+            ("HD-RUA", lambda f, t: remap_under_approx(f, t), 0),
+            ("HD-SP ", lambda f, t: short_paths_subset(f, t), 50)]:
+        encoded_hd = encode(circuit)
+        tr_hd = TransitionRelation(encoded_hd)
+        start = time.perf_counter()
+        hd = high_density_reachability(tr_hd,
+                                       encoded_hd.initial_states(),
+                                       subsetter, threshold=threshold)
+        hd_time = time.perf_counter() - start
+        hd_states = count_states(hd.reached, encoded_hd.state_vars)
+        assert hd_states == states, "traversals disagree!"
+        mean_density = (sum(hd.subset_densities)
+                        / max(1, len(hd.subset_densities)))
+        print(f"{label}:  {hd_time:6.2f}s  {hd.iterations} iterations, "
+              f"{hd_states} states (exact, matches BFS)")
+        print(f"         peak frontier {max(hd.frontier_trace)} nodes, "
+              f"{hd.recoveries} recovery sweeps, "
+              f"mean subset density {mean_density:.1f}")
+
+    print("\nBoth traversals compute the exact reachable set; the "
+          "high-density runs bound the frontier BDD size, which is "
+          "what rescues the larger circuits in Table 1 of the paper.")
+
+
+if __name__ == "__main__":
+    main()

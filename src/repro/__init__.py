@@ -1,0 +1,27 @@
+"""Reproduction of Ravi, McMillan, Shiple, Somenzi,
+"Approximation and Decomposition of Binary Decision Diagrams", DAC 1998.
+
+Subpackages
+-----------
+``repro.bdd``
+    Pure-Python ROBDD manager (the CUDD-role substrate).
+``repro.core``
+    The paper's contributions: approximation (Section 2) and
+    decomposition (Section 3) algorithms.
+``repro.fsm``
+    Sequential-circuit substrate: netlists, BLIF, benchmark generators.
+``repro.reach``
+    Symbolic reachability: BFS and high-density traversal (Section 4).
+``repro.harness``
+    Experiment harness regenerating the paper's tables.
+"""
+
+import sys
+
+# BDD recursions descend one level per call; deep orders plus the
+# recursive experiment drivers need more head-room than CPython's
+# default 1000 frames.
+if sys.getrecursionlimit() < 20000:
+    sys.setrecursionlimit(20000)
+
+__version__ = "1.0.0"

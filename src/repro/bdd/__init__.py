@@ -1,0 +1,50 @@
+"""Pure-Python ROBDD package (the CUDD-role substrate of the paper).
+
+Public entry points:
+
+* :class:`Manager` — variable declaration, node store, GC, reordering.
+* :class:`Function` — operator-overloaded handles on BDDs.
+* :func:`constrain`, :func:`restrict` — generalized cofactors.
+* :mod:`repro.bdd.counting` — minterm counts, density, path profiles.
+
+The raw-node layer (``manager.mk``, ``function.node``, the traversal and
+counting helpers) is a documented advanced API used by the approximation
+and decomposition algorithms in :mod:`repro.core`.
+"""
+
+from .counting import bdd_size, density, log2int, sat_count, shared_size
+from .dot import to_dot
+from .expr import ExprError, parse
+from .function import Function
+from .io import dump, dumps_many, load, loads_many, transfer
+from .manager import Manager
+from .node import TERMINAL_LEVEL, Node
+from .ops_extra import (conjoin_all, disjoin_all, essential_variables,
+                        swap_variables)
+from .restrict import constrain, restrict
+
+__all__ = [
+    "Manager",
+    "Function",
+    "Node",
+    "TERMINAL_LEVEL",
+    "constrain",
+    "restrict",
+    "sat_count",
+    "density",
+    "bdd_size",
+    "shared_size",
+    "log2int",
+    "to_dot",
+    "parse",
+    "ExprError",
+    "dump",
+    "load",
+    "dumps_many",
+    "loads_many",
+    "transfer",
+    "conjoin_all",
+    "disjoin_all",
+    "swap_variables",
+    "essential_variables",
+]

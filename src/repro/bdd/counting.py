@@ -1,0 +1,163 @@
+"""Counting and profile analysis: minterms, density, path lengths.
+
+Minterm counts are exact Python integers (the paper's experiments report
+counts around 1e45, far beyond doubles).  ``density`` is the paper's
+ranking measure  delta(g) = ||g|| / |g|  (Section 2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .node import Node
+from .traversal import collect_nodes, nodes_by_level
+
+#: Distance value meaning "no path".
+INFINITY = math.inf
+
+
+def bdd_size(root: Node) -> int:
+    """Number of internal nodes — the paper's ``|f|``."""
+    return len(collect_nodes(root))
+
+
+def shared_size(roots: list[Node]) -> int:
+    """Number of distinct internal nodes among several functions."""
+    seen: set[Node] = set()
+    for root in roots:
+        seen.update(collect_nodes(root))
+    return len(seen)
+
+
+def minterm_count_map(root: Node, nvars: int) -> dict[Node, int]:
+    """Exact minterm count of the function rooted at each node.
+
+    The count at node ``v`` is over the variables at levels
+    ``v.level .. nvars-1`` (i.e., ``v`` viewed as a function of the
+    variables from its own level down), matching the quantity RUA's
+    *analyze* pass records.  Terminals count over zero variables:
+    ONE -> 1, ZERO -> 0.
+    """
+    counts: dict[Node, int] = {}
+
+    def eff_level(node: Node) -> int:
+        return nvars if node.is_terminal else node.level
+
+    for node in reversed(nodes_by_level(root)):
+        hi, lo = node.hi, node.lo
+        hi_count = hi.value if hi.is_terminal else counts[hi]
+        lo_count = lo.value if lo.is_terminal else counts[lo]
+        counts[node] = (hi_count << (eff_level(hi) - node.level - 1)) \
+            + (lo_count << (eff_level(lo) - node.level - 1))
+    return counts
+
+
+def sat_count(function, nvars: int | None = None) -> int:
+    """Exact ``||f||`` over ``nvars`` variables (default: all declared)."""
+    manager = function.manager
+    root = function.node
+    if nvars is None:
+        nvars = manager.num_vars
+    if root.is_terminal:
+        return root.value << nvars
+    support_max = max(n.level for n in collect_nodes(root))
+    if nvars <= support_max:
+        raise ValueError(
+            f"nvars={nvars} smaller than support (level {support_max})")
+    counts = minterm_count_map(root, nvars)
+    return counts[root] << root.level
+
+
+def density(function, nvars: int | None = None) -> float:
+    """The paper's delta(f) = ||f|| / |f| (0.0 for constant FALSE).
+
+    Computed in log space so that astronomically large minterm counts do
+    not overflow the float conversion.
+    """
+    size = len(function)
+    minterms = sat_count(function, nvars)
+    if minterms == 0:
+        return 0.0
+    if size == 0:  # constant TRUE
+        size = 1
+    return math.exp(log2int(minterms) * math.log(2.0) - math.log(size))
+
+
+def log2int(n: int) -> float:
+    """Accurate ``log2`` of an arbitrarily large positive integer."""
+    if n <= 0:
+        raise ValueError("log2 of a non-positive integer")
+    bits = n.bit_length()
+    if bits <= 53:
+        return math.log2(n)
+    shift = bits - 53
+    return math.log2(n >> shift) + shift
+
+
+def distance_from_root(root: Node) -> dict[Node, int]:
+    """Shortest number of arcs from the root to each reachable node.
+
+    Terminals included.  The root has distance 0.
+    """
+    dist: dict[Node, int] = {root: 0}
+    for node in nodes_by_level(root):
+        if node not in dist:
+            continue
+        d = dist[node] + 1
+        for child in (node.hi, node.lo):
+            if dist.get(child, INFINITY) > d:
+                dist[child] = d
+    # nodes_by_level excludes terminals but their distances were set by
+    # their parents; the root might itself be terminal.
+    return dist
+
+
+def distance_to_one(root: Node, one: Node) -> dict[Node, float]:
+    """Shortest number of arcs from each node to the ONE terminal.
+
+    Nodes with no path to ONE map to :data:`INFINITY`.
+    """
+    dist: dict[Node, float] = {}
+
+    def get(node: Node) -> float:
+        if node is one:
+            return 0
+        if node.is_terminal:
+            return INFINITY
+        return dist[node]
+
+    for node in reversed(nodes_by_level(root)):
+        dist[node] = 1 + min(get(node.hi), get(node.lo))
+    dist[root] = get(root)
+    return dist
+
+
+def height_map(root: Node) -> dict[Node, int]:
+    """Longest number of arcs from each node down to a terminal.
+
+    The paper's *Band* decomposition-point selector uses the distance of
+    a node from the constants; we use the longest distance, which tracks
+    how much function remains below the node.
+    """
+    heights: dict[Node, int] = {}
+
+    def get(node: Node) -> int:
+        return 0 if node.is_terminal else heights[node]
+
+    for node in reversed(nodes_by_level(root)):
+        heights[node] = 1 + max(get(node.hi), get(node.lo))
+    return heights
+
+
+def path_count(root: Node) -> int:
+    """Number of root-to-terminal paths (both terminals)."""
+    if root.is_terminal:
+        return 1
+    counts: dict[Node, int] = {}
+
+    def get(node: Node) -> int:
+        return 1 if node.is_terminal else counts[node]
+
+    for node in reversed(nodes_by_level(root)):
+        counts[node] = get(node.hi) + get(node.lo)
+    return counts[root]

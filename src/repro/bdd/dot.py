@@ -1,0 +1,48 @@
+"""DOT (Graphviz) export for debugging and documentation figures."""
+
+from __future__ import annotations
+
+from .traversal import nodes_by_level
+
+
+def to_dot(function, name: str = "f") -> str:
+    """Render a Function as a Graphviz digraph string.
+
+    Solid arcs are *then* arcs and dashed arcs are *else* arcs, matching
+    the conventions of Figure 1 of the paper.
+    """
+    manager = function.manager
+    root = function.node
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    ids: dict = {}
+
+    def node_id(node) -> str:
+        if node not in ids:
+            if node.is_terminal:
+                ids[node] = f"t{node.value}"
+            else:
+                ids[node] = f"n{len(ids)}"
+        return ids[node]
+
+    internal = nodes_by_level(root)
+    by_level: dict[int, list] = {}
+    for node in internal:
+        by_level.setdefault(node.level, []).append(node)
+    for level in sorted(by_level):
+        var = manager.var_at_level(level)
+        members = " ".join(f'"{node_id(n)}"' for n in by_level[level])
+        lines.append(f"  {{ rank=same; {members} }}")
+        for node in by_level[level]:
+            lines.append(f'  "{node_id(node)}" [label="{var}"];')
+    for value in (0, 1):
+        terminal = manager.one_node if value else manager.zero_node
+        if terminal in ids or root is terminal:
+            lines.append(f'  "t{value}" [shape=box,label="{value}"];')
+    for node in internal:
+        lines.append(f'  "{node_id(node)}" -> "{node_id(node.hi)}";')
+        lines.append(
+            f'  "{node_id(node)}" -> "{node_id(node.lo)}" [style=dashed];')
+    if root.is_terminal:
+        lines.append(f'  "t{root.value}" [shape=box,label="{root.value}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,157 @@
+"""A small boolean expression language for building BDDs.
+
+Grammar (precedence low to high)::
+
+    expr   := iff
+    iff    := imp ( '<->' imp )*
+    imp    := or_ ( '->' or_ )*        (right associative)
+    or_    := xor ( '|' xor )*
+    xor    := and_ ( '^' and_ )*
+    and_   := unary ( '&' unary )*
+    unary  := '!' unary | '~' unary | atom
+    atom   := '0' | '1' | identifier | '(' expr ')'
+
+Identifiers are ``[A-Za-z_][A-Za-z0-9_.']*`` — variable names with
+primes (next-state variables) parse naturally.  Unknown variables are
+declared on first use, in order of appearance.
+
+>>> m = Manager()
+>>> f = parse(m, "a & (b | !c)")
+>>> sorted(f.support())
+['a', 'b', 'c']
+"""
+
+from __future__ import annotations
+
+import re
+
+from .function import Function
+from .manager import Manager
+
+_TOKEN = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<imp>->)
+  | (?P<op>[&|^!~()01])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.']*)
+""", re.VERBOSE)
+
+
+class ExprError(ValueError):
+    """Raised on malformed expression text."""
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ExprError(f"bad character {text[pos]!r} at {pos}")
+        pos = match.end()
+        if match.lastgroup != "ws":
+            tokens.append(match.group(match.lastgroup))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, manager: Manager, tokens: list[str],
+                 declare: bool) -> None:
+        self.manager = manager
+        self.tokens = tokens
+        self.pos = 0
+        self.declare = declare
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def take(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExprError("unexpected end of expression")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.take()
+        if got != token:
+            raise ExprError(f"expected {token!r}, got {got!r}")
+
+    # precedence-climbing levels ---------------------------------------
+
+    def parse(self) -> Function:
+        result = self.iff()
+        if self.peek() is not None:
+            raise ExprError(f"trailing input from {self.peek()!r}")
+        return result
+
+    def iff(self) -> Function:
+        left = self.imp()
+        while self.peek() == "<->":
+            self.take()
+            left = left.equiv(self.imp())
+        return left
+
+    def imp(self) -> Function:
+        left = self.or_()
+        if self.peek() == "->":
+            self.take()
+            return left.implies(self.imp())  # right associative
+        return left
+
+    def or_(self) -> Function:
+        left = self.xor()
+        while self.peek() == "|":
+            self.take()
+            left = left | self.xor()
+        return left
+
+    def xor(self) -> Function:
+        left = self.and_()
+        while self.peek() == "^":
+            self.take()
+            left = left ^ self.and_()
+        return left
+
+    def and_(self) -> Function:
+        left = self.unary()
+        while self.peek() == "&":
+            self.take()
+            left = left & self.unary()
+        return left
+
+    def unary(self) -> Function:
+        if self.peek() in ("!", "~"):
+            self.take()
+            return ~self.unary()
+        return self.atom()
+
+    def atom(self) -> Function:
+        token = self.take()
+        if token == "(":
+            inner = self.iff()
+            self.expect(")")
+            return inner
+        if token == "0":
+            return self.manager.false
+        if token == "1":
+            return self.manager.true
+        if re.match(r"[A-Za-z_]", token):
+            if token not in self.manager._var_to_level:
+                if not self.declare:
+                    raise ExprError(f"unknown variable {token!r}")
+                self.manager.add_var(token)
+            return self.manager.var(token)
+        raise ExprError(f"unexpected token {token!r}")
+
+
+def parse(manager: Manager, text: str,
+          declare: bool = True) -> Function:
+    """Parse a boolean expression into a BDD on ``manager``.
+
+    ``declare=False`` makes unknown variables an error instead of
+    declaring them at the bottom of the order.
+    """
+    return _Parser(manager, _tokenize(text), declare).parse()

@@ -1,0 +1,349 @@
+"""Function handles: the user-facing face of a BDD.
+
+A :class:`Function` pairs a manager with a root node and registers itself
+as a garbage-collection root.  It overloads the Python boolean operators,
+so formulas read naturally::
+
+    f = (a & b) | ~c
+    g = f ^ a
+
+Handles referring to the same manager compare equal iff their root nodes
+are identical — which, by canonicity, means the functions are equal.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .manager import Manager
+from .node import Node
+
+
+class Function:
+    """A boolean function represented by a BDD root in a manager."""
+
+    __slots__ = ("manager", "node", "__weakref__")
+
+    def __init__(self, manager: Manager, node: Node) -> None:
+        self.manager = manager
+        self.node = node
+        manager.register(self)
+
+    # ------------------------------------------------------------------
+    # Identity and predicates
+    # ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Function):
+            return NotImplemented
+        return self.manager is other.manager and self.node is other.node
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        return NotImplemented if eq is NotImplemented else not eq
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), id(self.node)))
+
+    @property
+    def is_true(self) -> bool:
+        """True iff this is the constant TRUE."""
+        return self.node is self.manager.one_node
+
+    @property
+    def is_false(self) -> bool:
+        """True iff this is the constant FALSE."""
+        return self.node is self.manager.zero_node
+
+    @property
+    def is_constant(self) -> bool:
+        """True iff this is TRUE or FALSE."""
+        return self.node.is_terminal
+
+    @property
+    def var(self) -> str:
+        """Name of the top variable (raises on constants)."""
+        if self.is_constant:
+            raise ValueError("constant function has no top variable")
+        return self.manager.var_at_level(self.node.level)
+
+    @property
+    def level(self) -> int:
+        """Level of the top variable (terminal level for constants)."""
+        return self.node.level
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+
+    def _wrap(self, node: Node) -> "Function":
+        return Function(self.manager, node)
+
+    def _coerce(self, other: "Function | bool") -> "Function":
+        if isinstance(other, bool):
+            return self.manager.true if other else self.manager.false
+        if not isinstance(other, Function):
+            raise TypeError(f"cannot combine BDD with {type(other)!r}")
+        if other.manager is not self.manager:
+            raise ValueError("operands belong to different managers")
+        return other
+
+    def __invert__(self) -> "Function":
+        from .operations import not_node
+
+        return self._wrap(not_node(self.manager, self.node))
+
+    def __and__(self, other: "Function | bool") -> "Function":
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "and",
+                                     self.node, other.node))
+
+    __rand__ = __and__
+
+    def __or__(self, other: "Function | bool") -> "Function":
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "or",
+                                     self.node, other.node))
+
+    __ror__ = __or__
+
+    def __xor__(self, other: "Function | bool") -> "Function":
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "xor",
+                                     self.node, other.node))
+
+    __rxor__ = __xor__
+
+    def __sub__(self, other: "Function | bool") -> "Function":
+        """Set difference: ``self & ~other``."""
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "diff",
+                                     self.node, other.node))
+
+    def implies(self, other: "Function | bool") -> "Function":
+        """Logical implication ``self -> other``."""
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "imp",
+                                     self.node, other.node))
+
+    def equiv(self, other: "Function | bool") -> "Function":
+        """Logical equivalence ``self <-> other``."""
+        from .operations import apply_node
+
+        other = self._coerce(other)
+        return self._wrap(apply_node(self.manager, "xnor",
+                                     self.node, other.node))
+
+    def ite(self, g: "Function", h: "Function") -> "Function":
+        """``self·g + self'·h``."""
+        from .operations import ite_node
+
+        g = self._coerce(g)
+        h = self._coerce(h)
+        return self._wrap(ite_node(self.manager, self.node, g.node, h.node))
+
+    # ------------------------------------------------------------------
+    # Containment
+    # ------------------------------------------------------------------
+
+    def __le__(self, other: "Function | bool") -> bool:
+        """Implication test: every minterm of self is in other."""
+        from .operations import leq_node
+
+        other = self._coerce(other)
+        return leq_node(self.manager, self.node, other.node)
+
+    def __ge__(self, other: "Function | bool") -> bool:
+        other = self._coerce(other)
+        return other.__le__(self)
+
+    def __lt__(self, other: "Function | bool") -> bool:
+        other = self._coerce(other)
+        return self != other and self.__le__(other)
+
+    def __gt__(self, other: "Function | bool") -> bool:
+        other = self._coerce(other)
+        return other.__lt__(self)
+
+    # ------------------------------------------------------------------
+    # Structure and evaluation
+    # ------------------------------------------------------------------
+
+    @property
+    def hi(self) -> "Function":
+        """Positive cofactor with respect to the top variable."""
+        if self.is_constant:
+            return self
+        return self._wrap(self.node.hi)
+
+    @property
+    def lo(self) -> "Function":
+        """Negative cofactor with respect to the top variable."""
+        if self.is_constant:
+            return self
+        return self._wrap(self.node.lo)
+
+    def cofactor(self, assignment: dict[str, bool]) -> "Function":
+        """Restrict variables to constants."""
+        from .operations import cofactor_node
+
+        levels = {self.manager.level_of_var(n): v
+                  for n, v in assignment.items()}
+        return self._wrap(cofactor_node(self.manager, self.node, levels))
+
+    def compose(self, substitution: "dict[str, Function]") -> "Function":
+        """Simultaneously substitute functions for variables."""
+        from .operations import vector_compose_node
+
+        levels = {self.manager.level_of_var(n): g.node
+                  for n, g in substitution.items()}
+        return self._wrap(vector_compose_node(self.manager, self.node,
+                                              levels))
+
+    def rename(self, mapping: dict[str, str]) -> "Function":
+        """Substitute variables for variables (must not collide)."""
+        substitution = {old: self.manager.var(new)
+                        for old, new in mapping.items()}
+        return self.compose(substitution)
+
+    def __call__(self, **assignment: bool) -> bool:
+        """Evaluate under a (complete-on-support) assignment."""
+        node = self.node
+        levels = {self.manager.level_of_var(n): v
+                  for n, v in assignment.items()}
+        while not node.is_terminal:
+            try:
+                value = levels[node.level]
+            except KeyError:
+                name = self.manager.var_at_level(node.level)
+                raise ValueError(f"assignment misses variable {name!r}")
+            node = node.hi if value else node.lo
+        return bool(node.value)
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+
+    def exists(self, names: Iterable[str]) -> "Function":
+        """Existential quantification over the named variables."""
+        from .quantify import exists_node
+
+        levels = frozenset(self.manager.level_of_var(n) for n in names)
+        return self._wrap(exists_node(self.manager, self.node, levels))
+
+    def forall(self, names: Iterable[str]) -> "Function":
+        """Universal quantification over the named variables."""
+        from .quantify import forall_node
+
+        levels = frozenset(self.manager.level_of_var(n) for n in names)
+        return self._wrap(forall_node(self.manager, self.node, levels))
+
+    def and_exists(self, other: "Function",
+                   names: Iterable[str]) -> "Function":
+        """Relational product: ``exists names . self & other``."""
+        from .quantify import and_exists_node
+
+        other = self._coerce(other)
+        levels = frozenset(self.manager.level_of_var(n) for n in names)
+        return self._wrap(and_exists_node(self.manager, self.node,
+                                          other.node, levels))
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of internal nodes in this BDD (``|f|`` in the paper)."""
+        from .counting import bdd_size
+
+        return bdd_size(self.node)
+
+    def support(self) -> set[str]:
+        """Set of variables the function depends on."""
+        from .traversal import support_levels
+
+        return {self.manager.var_at_level(l)
+                for l in support_levels(self.node)}
+
+    def sat_count(self, nvars: int | None = None) -> int:
+        """Number of minterms (``||f||``) over ``nvars`` variables."""
+        from .counting import sat_count
+
+        return sat_count(self, nvars)
+
+    def density(self, nvars: int | None = None) -> float:
+        """Minterms per node — the paper's delta(f)."""
+        from .counting import density
+
+        return density(self, nvars)
+
+    def pick_one(self) -> dict[str, bool] | None:
+        """Some satisfying assignment over the support, or None."""
+        node = self.node
+        if node is self.manager.zero_node:
+            return None
+        out: dict[str, bool] = {}
+        while not node.is_terminal:
+            name = self.manager.var_at_level(node.level)
+            if node.hi is not self.manager.zero_node:
+                out[name] = True
+                node = node.hi
+            else:
+                out[name] = False
+                node = node.lo
+        return out
+
+    def iter_minterms(self, names: Iterable[str] | None = None
+                      ) -> Iterator[dict[str, bool]]:
+        """Iterate all satisfying assignments over ``names``.
+
+        Defaults to the support of the function.  Exponential: use only
+        on small functions (tests, examples).
+        """
+        manager = self.manager
+        if names is None:
+            names = sorted(self.support(), key=manager.level_of_var)
+        else:
+            names = list(names)
+        levels = [manager.level_of_var(n) for n in names]
+        order = sorted(range(len(names)), key=lambda i: levels[i])
+
+        def rec(node: Node, idx: int, partial: dict[str, bool]
+                ) -> Iterator[dict[str, bool]]:
+            if node is manager.zero_node:
+                return
+            if idx == len(order):
+                if node is not manager.one_node:
+                    raise ValueError(
+                        "function depends on variables outside names")
+                yield dict(partial)
+                return
+            pos = order[idx]
+            name, level = names[pos], levels[pos]
+            for value in (False, True):
+                if node.level == level:
+                    child = node.hi if value else node.lo
+                else:
+                    child = node
+                partial[name] = value
+                yield from rec(child, idx + 1, partial)
+                del partial[name]
+
+        yield from rec(self.node, 0, {})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_true:
+            return "<Function TRUE>"
+        if self.is_false:
+            return "<Function FALSE>"
+        return f"<Function top={self.var!r} nodes={len(self)}>"

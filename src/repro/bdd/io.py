@@ -1,0 +1,123 @@
+"""BDD serialization and cross-manager transfer.
+
+``dump``/``load`` use a compact, order-independent textual format: one
+line per node in a bottom-up order, ``index variable hi lo`` with
+``hi``/``lo`` referring to earlier indices (0 and 1 are the constants).
+Variables are stored by *name*, so a dump can be loaded into a manager
+with a different variable order (the BDD is rebuilt with ITE).
+
+``transfer`` copies a function into another manager directly.
+"""
+
+from __future__ import annotations
+
+import io
+
+from .function import Function
+from .manager import Manager
+from .node import Node
+from .operations import ite_node
+from .traversal import nodes_by_level
+
+FORMAT_HEADER = "repro-bdd 1"
+
+
+def dump(function: Function) -> str:
+    """Serialize one function to the textual node-list format."""
+    manager = function.manager
+    lines = [FORMAT_HEADER]
+    index: dict[Node, int] = {manager.zero_node: 0,
+                              manager.one_node: 1}
+    ordered = list(reversed(nodes_by_level(function.node)))
+    for position, node in enumerate(ordered, start=2):
+        index[node] = position
+        name = manager.var_at_level(node.level)
+        lines.append(f"{position} {name} {index[node.hi]} "
+                     f"{index[node.lo]}")
+    lines.append(f"root {index[function.node]}")
+    return "\n".join(lines) + "\n"
+
+
+def load(manager: Manager, text: str,
+         declare: bool = True) -> Function:
+    """Rebuild a dumped function inside ``manager``.
+
+    Unknown variables are declared (bottom of the order) unless
+    ``declare`` is False.  The reconstruction uses ITE, so it is
+    correct for any variable order of the target manager.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines or lines[0] != FORMAT_HEADER:
+        raise ValueError("not a repro-bdd dump")
+    nodes: dict[int, Node] = {0: manager.zero_node, 1: manager.one_node}
+    root: Node | None = None
+    for line in lines[1:]:
+        parts = line.split()
+        if parts[0] == "root":
+            root = nodes[int(parts[1])]
+            break
+        position, name, hi_index, lo_index = parts
+        if name not in manager._var_to_level:
+            if not declare:
+                raise ValueError(f"unknown variable {name!r}")
+            manager.add_var(name)
+        var = manager.var_node(name)
+        hi = nodes[int(hi_index)]
+        lo = nodes[int(lo_index)]
+        nodes[int(position)] = ite_node(manager, var, hi, lo)
+    if root is None:
+        raise ValueError("dump has no root line")
+    return Function(manager, root)
+
+
+def dumps_many(functions: list[Function]) -> str:
+    """Serialize several functions (shared nodes are not deduplicated
+    across dumps; use a single manager and `transfer` for that)."""
+    out = io.StringIO()
+    out.write(f"count {len(functions)}\n")
+    for function in functions:
+        out.write(dump(function))
+        out.write("---\n")
+    return out.getvalue()
+
+
+def loads_many(manager: Manager, text: str) -> list[Function]:
+    """Inverse of :func:`dumps_many`."""
+    header, _, body = text.partition("\n")
+    if not header.startswith("count "):
+        raise ValueError("missing count header")
+    chunks = [chunk for chunk in body.split("---\n") if chunk.strip()]
+    expected = int(header.split()[1])
+    if len(chunks) != expected:
+        raise ValueError(f"expected {expected} dumps, found "
+                         f"{len(chunks)}")
+    return [load(manager, chunk) for chunk in chunks]
+
+
+def transfer(function: Function, target: Manager,
+             declare: bool = True) -> Function:
+    """Copy a function into another manager (orders may differ)."""
+    source = function.manager
+    if source is target:
+        return function
+    cache: dict[Node, Node] = {}
+
+    def rec(node: Node) -> Node:
+        if node is source.zero_node:
+            return target.zero_node
+        if node is source.one_node:
+            return target.one_node
+        result = cache.get(node)
+        if result is not None:
+            return result
+        name = source.var_at_level(node.level)
+        if name not in target._var_to_level:
+            if not declare:
+                raise ValueError(f"unknown variable {name!r}")
+            target.add_var(name)
+        var = target.var_node(name)
+        result = ite_node(target, var, rec(node.hi), rec(node.lo))
+        cache[node] = result
+        return result
+
+    return Function(target, rec(function.node))

@@ -1,0 +1,322 @@
+"""The BDD manager: unique table, computed cache, variables, GC.
+
+The manager owns every node it ever created.  Canonicity is enforced by
+hash-consing through per-level *subtables* (``dict`` keyed by the child
+pair), exactly like CUDD's unique table; per-level subtables make the
+adjacent-level swap of dynamic reordering straightforward.
+
+Reference counting is *structural*: ``node.ref`` counts parent arcs plus
+external references.  Normal operation only ever increments; decrements
+happen during :meth:`Manager.collect_garbage` (which recomputes counts
+from live :class:`~repro.bdd.function.Function` handles) and during
+variable swaps (which maintain them incrementally).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Iterable, Sequence
+
+from .node import Node, TERMINAL_LEVEL
+
+
+class Manager:
+    """Create and combine BDDs over a growing set of named variables.
+
+    Example
+    -------
+    >>> m = Manager()
+    >>> a, b = m.add_vars("a", "b")
+    >>> f = a & ~b
+    >>> m.sat_count(f)
+    1
+    """
+
+    def __init__(self, vars: Iterable[str] = ()) -> None:
+        self.zero_node = Node(TERMINAL_LEVEL, None, None, value=0)
+        self.one_node = Node(TERMINAL_LEVEL, None, None, value=1)
+        # Terminals must never be collected.
+        self.zero_node.ref = 1
+        self.one_node.ref = 1
+        #: subtables[level] maps (hi, lo) -> Node
+        self._subtables: list[dict[tuple[Node, Node], Node]] = []
+        self._level_to_var: list[str] = []
+        self._var_to_level: dict[str, int] = {}
+        #: computed table for binary/ternary operations
+        self._cache: dict[tuple, Node] = {}
+        #: live Function handles (GC roots), keyed by object identity.
+        #: A WeakSet would deduplicate *equal* handles (Function defines
+        #: value equality), silently dropping roots when the surviving
+        #: duplicate dies — hence the explicit id-keyed weak registry.
+        self._functions: dict[int, weakref.ref] = {}
+        self._num_nodes = 0
+        #: statistics, useful in benchmarks
+        self.gc_count = 0
+        self.reorder_count = 0
+        for name in vars:
+            self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable management
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._level_to_var)
+
+    @property
+    def var_names(self) -> list[str]:
+        """Variable names in the current order, root-most first."""
+        return list(self._level_to_var)
+
+    def add_var(self, name: str, level: int | None = None) -> "Function":
+        """Declare a new variable and return its projection function.
+
+        ``level`` inserts the variable at a specific position in the
+        order (default: at the bottom).  Inserting above existing levels
+        is only allowed while the manager holds no internal nodes, since
+        node levels are physical.
+        """
+        from .function import Function
+
+        if name in self._var_to_level:
+            raise ValueError(f"variable {name!r} already declared")
+        if level is None:
+            level = len(self._level_to_var)
+        if level != len(self._level_to_var) and self._num_nodes:
+            raise ValueError("cannot insert a variable above existing nodes")
+        self._level_to_var.insert(level, name)
+        self._subtables.insert(level, {})
+        self._var_to_level = {
+            v: i for i, v in enumerate(self._level_to_var)
+        }
+        node = self.mk(level, self.one_node, self.zero_node)
+        return Function(self, node)
+
+    def add_vars(self, *names: str) -> "list[Function]":
+        """Declare several variables at once, bottom of the order."""
+        return [self.add_var(n) for n in names]
+
+    def var(self, name: str) -> "Function":
+        """Projection function of an existing variable."""
+        from .function import Function
+
+        level = self._var_to_level[name]
+        return Function(self, self.mk(level, self.one_node, self.zero_node))
+
+    def var_at_level(self, level: int) -> str:
+        """Name of the variable currently at ``level``."""
+        return self._level_to_var[level]
+
+    def level_of_var(self, name: str) -> int:
+        """Current level of variable ``name``."""
+        return self._var_to_level[name]
+
+    def var_node(self, name: str) -> Node:
+        """Raw projection node of ``name`` (advanced API)."""
+        return self.mk(self._var_to_level[name], self.one_node,
+                       self.zero_node)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+
+    def mk(self, level: int, hi: Node, lo: Node) -> Node:
+        """Find-or-create the reduced node ``(level, hi, lo)``.
+
+        Applies the ROBDD reduction rule (``hi is lo`` collapses), so the
+        result canonically represents ``var(level)·hi + var(level)'·lo``.
+        Children must live strictly below ``level``.
+        """
+        if hi is lo:
+            return hi
+        if hi.level <= level or lo.level <= level:
+            raise ValueError("children must be below the node level")
+        subtable = self._subtables[level]
+        key = (hi, lo)
+        node = subtable.get(key)
+        if node is None:
+            node = Node(level, hi, lo)
+            hi.ref += 1
+            lo.ref += 1
+            subtable[key] = node
+            self._num_nodes += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # Constants as handles
+    # ------------------------------------------------------------------
+
+    @property
+    def true(self) -> "Function":
+        """The constant TRUE function."""
+        from .function import Function
+
+        return Function(self, self.one_node)
+
+    @property
+    def false(self) -> "Function":
+        """The constant FALSE function."""
+        from .function import Function
+
+        return Function(self, self.zero_node)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Total number of internal nodes owned by the manager."""
+        return self._num_nodes
+
+    def level_sizes(self) -> list[int]:
+        """Number of nodes per level, root-most first."""
+        return [len(t) for t in self._subtables]
+
+    # ------------------------------------------------------------------
+    # Cache and function registry
+    # ------------------------------------------------------------------
+
+    def cache_lookup(self, key: tuple) -> Node | None:
+        """Look up the computed table (advanced API)."""
+        return self._cache.get(key)
+
+    def cache_insert(self, key: tuple, result: Node) -> None:
+        """Insert into the computed table (advanced API)."""
+        self._cache[key] = result
+
+    def register(self, function: "Function") -> None:
+        """Track a Function handle as a garbage-collection root."""
+        key = id(function)
+
+        def drop(_ref: weakref.ref, _key: int = key,
+                 _table: dict = self._functions) -> None:
+            _table.pop(_key, None)
+
+        self._functions[key] = weakref.ref(function, drop)
+
+    def live_roots(self) -> list[Node]:
+        """Root nodes of all live Function handles."""
+        roots = []
+        for ref in list(self._functions.values()):
+            function = ref()
+            if function is not None:
+                roots.append(function.node)
+        return roots
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Remove nodes unreachable from live Function handles.
+
+        Returns the number of nodes reclaimed.  The computed table is
+        dropped wholesale, so the next operations re-derive results.
+
+        Only call this at a *safe point*: any raw :class:`Node` reference
+        held outside a Function handle is invalidated.
+        """
+        marked: set[int] = set()
+        stack = self.live_roots()
+        while stack:
+            node = stack.pop()
+            if id(node) in marked or node.is_terminal:
+                continue
+            marked.add(id(node))
+            stack.append(node.hi)
+            stack.append(node.lo)
+        reclaimed = 0
+        for subtable in self._subtables:
+            dead = [key for key, node in subtable.items()
+                    if id(node) not in marked]
+            for key in dead:
+                del subtable[key]
+                reclaimed += 1
+        self._num_nodes -= reclaimed
+        self._cache.clear()
+        self._recount_refs()
+        self.gc_count += 1
+        return reclaimed
+
+    def _recount_refs(self) -> None:
+        """Recompute structural reference counts from scratch."""
+        for subtable in self._subtables:
+            for node in subtable.values():
+                node.ref = 0
+        self.zero_node.ref = 0
+        self.one_node.ref = 0
+        for subtable in self._subtables:
+            for node in subtable.values():
+                node.hi.ref += 1
+                node.lo.ref += 1
+        for root in self.live_roots():
+            root.ref += 1
+        self.zero_node.ref += 1
+        self.one_node.ref += 1
+
+    # ------------------------------------------------------------------
+    # Convenience forwarding (implemented in sibling modules)
+    # ------------------------------------------------------------------
+
+    def ite(self, f: "Function", g: "Function", h: "Function") -> "Function":
+        """If-then-else: ``f·g + f'·h``."""
+        from .function import Function
+        from .operations import ite_node
+
+        return Function(self, ite_node(self, f.node, g.node, h.node))
+
+    def apply(self, op: str, f: "Function", g: "Function") -> "Function":
+        """Apply a named binary operator (``and``, ``or``, ``xor``, ...)."""
+        from .function import Function
+        from .operations import apply_node
+
+        return Function(self, apply_node(self, op, f.node, g.node))
+
+    def cube(self, assignment: dict[str, bool]) -> "Function":
+        """Conjunction of literals, e.g. ``{"a": True, "b": False}``."""
+        from .function import Function
+
+        node = self.one_node
+        for name in sorted(assignment,
+                           key=lambda n: self._var_to_level[n],
+                           reverse=True):
+            level = self._var_to_level[name]
+            if assignment[name]:
+                node = self.mk(level, node, self.zero_node)
+            else:
+                node = self.mk(level, self.zero_node, node)
+        return Function(self, node)
+
+    def sat_count(self, f: "Function",
+                  nvars: int | None = None) -> int:
+        """Exact number of satisfying assignments over ``nvars`` variables."""
+        from .counting import sat_count
+
+        return sat_count(f, nvars)
+
+    def reorder(self, order: Sequence[str] | None = None) -> None:
+        """Reorder variables (sifting if ``order`` is None)."""
+        from .reorder import set_order, sift
+
+        if order is None:
+            sift(self)
+        else:
+            set_order(self, order)
+
+    def check_invariants(self) -> None:
+        """Verify structural invariants (used by the test suite)."""
+        seen: set[int] = set()
+        count = 0
+        for level, subtable in enumerate(self._subtables):
+            for (hi, lo), node in subtable.items():
+                assert node.level == level, "level field out of sync"
+                assert node.hi is hi and node.lo is lo, "key out of sync"
+                assert hi is not lo, "redundant node"
+                assert hi.level > level and lo.level > level, \
+                    "order violation"
+                assert id(node) not in seen, "duplicate node"
+                seen.add(id(node))
+                count += 1
+        assert count == self._num_nodes, "node count out of sync"

@@ -1,0 +1,62 @@
+"""BDD node objects.
+
+A :class:`Node` is an internal, identity-hashed record.  User code should
+manipulate :class:`repro.bdd.function.Function` handles instead; the node
+layer is exposed because the approximation and decomposition algorithms of
+the paper are defined directly on the node graph.
+
+Nodes do not use complement arcs.  The paper presents its algorithms
+"ignoring complement arcs for the sake of simplicity" and adds complement
+handling only as an implementation caveat; this package makes the same
+simplification throughout (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import sys
+
+#: Level assigned to the two terminal nodes.  It compares greater than any
+#: variable level, so ``min`` over levels always finds the top variable.
+TERMINAL_LEVEL: int = sys.maxsize
+
+
+class Node:
+    """A node of a reduced ordered BDD.
+
+    Attributes
+    ----------
+    level:
+        Position of the node's variable in the current order (0 is the
+        root-most level).  Terminals carry :data:`TERMINAL_LEVEL`.
+    hi:
+        The *then* child (variable = 1 branch); ``None`` for terminals.
+    lo:
+        The *else* child (variable = 0 branch); ``None`` for terminals.
+    ref:
+        Structural reference count: number of parent arcs plus the number
+        of external references registered by the manager.  Maintained by
+        the manager; only consulted during garbage collection and variable
+        reordering.
+    value:
+        ``0`` or ``1`` for terminals, ``None`` for internal nodes.
+    """
+
+    __slots__ = ("level", "hi", "lo", "ref", "value", "__weakref__")
+
+    def __init__(self, level: int, hi: "Node | None", lo: "Node | None",
+                 value: int | None = None) -> None:
+        self.level = level
+        self.hi = hi
+        self.lo = lo
+        self.ref = 0
+        self.value = value
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for the constant nodes ZERO and ONE."""
+        return self.value is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_terminal:
+            return f"<Terminal {self.value}>"
+        return f"<Node L{self.level} @{id(self):#x}>"

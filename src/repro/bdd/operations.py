@@ -1,0 +1,248 @@
+"""Core BDD operations on raw nodes: ITE, apply, compose, cofactor.
+
+All functions here are memoized through the manager's computed table.
+Results are canonical nodes in the same manager.  The node-level API is
+used by the approximation/decomposition algorithms; user code should go
+through :class:`~repro.bdd.function.Function`.
+"""
+
+from __future__ import annotations
+
+from .manager import Manager
+from .node import Node
+
+#: Truth tables of the supported binary operators, as
+#: (op(0,0), op(0,1), op(1,0), op(1,1)).
+_OP_TABLES: dict[str, tuple[int, int, int, int]] = {
+    "and": (0, 0, 0, 1),
+    "or": (0, 1, 1, 1),
+    "xor": (0, 1, 1, 0),
+    "xnor": (1, 0, 0, 1),
+    "nand": (1, 1, 1, 0),
+    "nor": (1, 0, 0, 0),
+    "imp": (1, 1, 0, 1),
+    "diff": (0, 0, 1, 0),
+}
+
+#: Operators that commute — their cache keys are argument-order
+#: normalized to double the hit rate.
+_COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
+
+
+def top_level(*nodes: Node) -> int:
+    """Root-most level among the arguments."""
+    return min(node.level for node in nodes)
+
+
+def cofactors_at(node: Node, level: int) -> tuple[Node, Node]:
+    """(hi, lo) cofactors of ``node`` with respect to ``level``."""
+    if node.level == level:
+        return node.hi, node.lo
+    return node, node
+
+
+def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
+    """Apply a named binary boolean operator to two BDDs."""
+    try:
+        table = _OP_TABLES[op]
+    except KeyError:
+        raise ValueError(f"unknown operator {op!r}") from None
+    one, zero = manager.one_node, manager.zero_node
+    terminals = (zero, one)
+
+    commutative = op in _COMMUTATIVE
+
+    def rec(f: Node, g: Node) -> Node:
+        if f.is_terminal and g.is_terminal:
+            return terminals[table[2 * f.value + g.value]]
+        # Operator-specific terminal shortcuts.
+        if op == "and":
+            if f is zero or g is zero:
+                return zero
+            if f is one:
+                return g
+            if g is one or f is g:
+                return f
+        elif op == "or":
+            if f is one or g is one:
+                return one
+            if f is zero:
+                return g
+            if g is zero or f is g:
+                return f
+        elif op == "xor":
+            if f is zero:
+                return g
+            if g is zero:
+                return f
+            if f is g:
+                return zero
+        elif op == "diff":
+            if f is zero or g is one or f is g:
+                return zero
+            if g is zero:
+                return f
+        if commutative and id(f) > id(g):
+            f, g = g, f
+        key = (op, f, g)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        level = top_level(f, g)
+        f_hi, f_lo = cofactors_at(f, level)
+        g_hi, g_lo = cofactors_at(g, level)
+        result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f, g)
+
+
+def not_node(manager: Manager, f: Node) -> Node:
+    """Complement a BDD (no complement arcs: O(|f|) new nodes)."""
+    one, zero = manager.one_node, manager.zero_node
+
+    def rec(f: Node) -> Node:
+        if f is zero:
+            return one
+        if f is one:
+            return zero
+        key = ("not", f)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        result = manager.mk(f.level, rec(f.hi), rec(f.lo))
+        manager.cache_insert(key, result)
+        manager.cache_insert(("not", result), f)
+        return result
+
+    return rec(f)
+
+
+def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
+    """If-then-else ``f·g + f'·h`` with standard terminal cases."""
+    one, zero = manager.one_node, manager.zero_node
+
+    def rec(f: Node, g: Node, h: Node) -> Node:
+        if f is one:
+            return g
+        if f is zero:
+            return h
+        if g is h:
+            return g
+        if g is one and h is zero:
+            return f
+        if g is zero and h is one:
+            return not_node(manager, f)
+        if f is g:  # ite(f, f, h) = f + h
+            g = one
+        elif f is h:  # ite(f, g, f) = f & g
+            h = zero
+        key = ("ite", f, g, h)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        level = top_level(f, g, h)
+        f_hi, f_lo = cofactors_at(f, level)
+        g_hi, g_lo = cofactors_at(g, level)
+        h_hi, h_lo = cofactors_at(h, level)
+        result = manager.mk(level, rec(f_hi, g_hi, h_hi),
+                            rec(f_lo, g_lo, h_lo))
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f, g, h)
+
+
+def leq_node(manager: Manager, f: Node, g: Node,
+             cache: dict[tuple[Node, Node], bool] | None = None) -> bool:
+    """Containment test ``f <= g`` (f implies g) without building BDDs.
+
+    ``cache`` may be supplied to share memoization across many queries
+    (RUA's markNodes performs one containment test per node).
+    """
+    one, zero = manager.one_node, manager.zero_node
+    if cache is None:
+        cache = {}
+
+    def rec(f: Node, g: Node) -> bool:
+        if f is zero or g is one or f is g:
+            return True
+        if f is one or g is zero:
+            return False
+        key = (f, g)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        level = top_level(f, g)
+        f_hi, f_lo = cofactors_at(f, level)
+        g_hi, g_lo = cofactors_at(g, level)
+        result = rec(f_hi, g_hi) and rec(f_lo, g_lo)
+        cache[key] = result
+        return result
+
+    return rec(f, g)
+
+
+def cofactor_node(manager: Manager, f: Node,
+                  levels: dict[int, bool]) -> Node:
+    """Restrict the variables at ``levels`` to the given constants."""
+    if not levels:
+        return f
+    frozen = tuple(sorted(levels.items()))
+
+    def rec(f: Node) -> Node:
+        if f.is_terminal or f.level > frozen[-1][0]:
+            return f
+        key = ("cof", f, frozen)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        value = levels.get(f.level)
+        if value is None:
+            result = manager.mk(f.level, rec(f.hi), rec(f.lo))
+        elif value:
+            result = rec(f.hi)
+        else:
+            result = rec(f.lo)
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f)
+
+
+def vector_compose_node(manager: Manager, f: Node,
+                        substitution: dict[int, Node]) -> Node:
+    """Simultaneously substitute ``substitution[level]`` for each variable.
+
+    Implemented by the standard recursive formulation:
+    ``f = ite(sub(x), compose(f_hi), compose(f_lo))`` at substituted
+    levels, rebuilding with ITE below to keep canonicity when the
+    substituted functions overlap the remaining variables.
+    """
+    if not substitution:
+        return f
+    frozen = tuple(sorted(substitution.items()))
+    max_level = frozen[-1][0]
+
+    def rec(f: Node) -> Node:
+        if f.is_terminal or f.level > max_level:
+            return f
+        key = ("vcomp", f, frozen)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        hi = rec(f.hi)
+        lo = rec(f.lo)
+        replacement = substitution.get(f.level)
+        if replacement is None:
+            # The variable itself survives; rebuild with ITE because hi/lo
+            # may now depend on variables at or above f.level.
+            var = manager.mk(f.level, manager.one_node, manager.zero_node)
+            result = ite_node(manager, var, hi, lo)
+        else:
+            result = ite_node(manager, replacement, hi, lo)
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f)

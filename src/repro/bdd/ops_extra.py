@@ -1,0 +1,76 @@
+"""Higher-level operations: n-ary combiners, variable permutation.
+
+The n-ary conjoin/disjoin use balanced (smallest-first) combination —
+the standard trick for keeping intermediate BDDs small when conjoining
+many partitions (transition relations, McMillan factors).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable
+
+from .function import Function
+from .manager import Manager
+
+
+def conjoin_all(manager: Manager,
+                functions: Iterable[Function]) -> Function:
+    """AND of many functions, combining the two smallest first."""
+    return _combine(manager, functions, "and", manager.true)
+
+
+def disjoin_all(manager: Manager,
+                functions: Iterable[Function]) -> Function:
+    """OR of many functions, combining the two smallest first."""
+    return _combine(manager, functions, "or", manager.false)
+
+
+def _combine(manager: Manager, functions: Iterable[Function], op: str,
+             neutral: Function) -> Function:
+    counter = itertools.count()
+    heap: list[tuple[int, int, Function]] = []
+    for function in functions:
+        if function.manager is not manager:
+            raise ValueError("operands belong to different managers")
+        heapq.heappush(heap, (len(function), next(counter), function))
+    if not heap:
+        return neutral
+    while len(heap) > 1:
+        _, _, a = heapq.heappop(heap)
+        _, _, b = heapq.heappop(heap)
+        combined = manager.apply(op, a, b)
+        heapq.heappush(heap, (len(combined), next(counter), combined))
+    return heap[0][2]
+
+
+def swap_variables(function: Function, pairs: dict[str, str]
+                   ) -> Function:
+    """Exchange variable pairs simultaneously (x<->y renaming).
+
+    Unlike :meth:`Function.rename`, which maps old names to new ones
+    one-way (and rejects collisions implicitly), this swaps both
+    directions — the operation used to move a set between present- and
+    next-state variables.
+    """
+    manager = function.manager
+    substitution = {}
+    for a, b in pairs.items():
+        substitution[a] = manager.var(b)
+        substitution[b] = manager.var(a)
+    return function.compose(substitution)
+
+
+def essential_variables(function: Function) -> dict[str, bool]:
+    """Variables with a forced polarity: x is essential-positive when
+    f implies x (and dually).  Useful for preprocessing care sets."""
+    out: dict[str, bool] = {}
+    if function.is_false:
+        return out
+    for name in function.support():
+        if function.cofactor({name: False}).is_false:
+            out[name] = True
+        elif function.cofactor({name: True}).is_false:
+            out[name] = False
+    return out

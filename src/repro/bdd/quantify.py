@@ -1,0 +1,112 @@
+"""Quantification: exists, forall, and the relational product.
+
+``and_exists`` fuses conjunction with existential quantification — the
+core step of symbolic image computation (Section 1 of the paper):
+
+    T(y) = exists_x [ R(x, y) & F(x) ]
+
+Fusing avoids building the full conjunction when quantification collapses
+it early.
+"""
+
+from __future__ import annotations
+
+from .manager import Manager
+from .node import Node
+from .operations import apply_node, cofactors_at, top_level
+
+
+def exists_node(manager: Manager, f: Node,
+                levels: frozenset[int]) -> Node:
+    """Existentially quantify the variables at ``levels`` out of ``f``."""
+    if not levels:
+        return f
+    max_level = max(levels)
+
+    def rec(f: Node) -> Node:
+        if f.is_terminal or f.level > max_level:
+            return f
+        key = ("exists", f, levels)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        hi = rec(f.hi)
+        lo = rec(f.lo)
+        if f.level in levels:
+            result = apply_node(manager, "or", hi, lo)
+        else:
+            result = manager.mk(f.level, hi, lo)
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f)
+
+
+def forall_node(manager: Manager, f: Node,
+                levels: frozenset[int]) -> Node:
+    """Universally quantify the variables at ``levels`` out of ``f``."""
+    if not levels:
+        return f
+    max_level = max(levels)
+
+    def rec(f: Node) -> Node:
+        if f.is_terminal or f.level > max_level:
+            return f
+        key = ("forall", f, levels)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        hi = rec(f.hi)
+        lo = rec(f.lo)
+        if f.level in levels:
+            result = apply_node(manager, "and", hi, lo)
+        else:
+            result = manager.mk(f.level, hi, lo)
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f)
+
+
+def and_exists_node(manager: Manager, f: Node, g: Node,
+                    levels: frozenset[int]) -> Node:
+    """Relational product ``exists levels . f & g`` in one pass."""
+    one, zero = manager.one_node, manager.zero_node
+    if not levels:
+        return apply_node(manager, "and", f, g)
+    max_level = max(levels)
+
+    def rec(f: Node, g: Node) -> Node:
+        if f is zero or g is zero:
+            return zero
+        if f is one and g is one:
+            return one
+        if f.level > max_level and g.level > max_level:
+            return apply_node(manager, "and", f, g)
+        if f is one:
+            return exists_node(manager, g, levels)
+        if g is one:
+            return exists_node(manager, f, levels)
+        if f is g:
+            return exists_node(manager, f, levels)
+        if id(f) > id(g):
+            f, g = g, f
+        key = ("andex", f, g, levels)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        level = top_level(f, g)
+        f_hi, f_lo = cofactors_at(f, level)
+        g_hi, g_lo = cofactors_at(g, level)
+        if level in levels:
+            hi = rec(f_hi, g_hi)
+            if hi is one:
+                result = one
+            else:
+                result = apply_node(manager, "or", hi, rec(f_lo, g_lo))
+        else:
+            result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f, g)

@@ -1,0 +1,120 @@
+"""Generalized cofactors: *constrain* (Coudert–Madre) and *restrict*.
+
+``restrict(f, c)`` returns a function that agrees with ``f`` wherever the
+care set ``c`` holds, choosing values off the care set to shrink the BDD.
+Its basic optimization is the *remapping* step of Figure 1 of the paper:
+when one child of the care set is empty, the corresponding child of ``f``
+is replaced by the sibling, which both removes the child's exclusive
+nodes and makes the parent node redundant.
+
+``constrain(f, c)`` is the original generalized cofactor: it has the
+stronger algebraic property ``constrain(f, c) = f`` on ``c`` *minterm by
+minterm via the closest-assignment map*, which makes it useful for
+decomposition (it satisfies ``c & constrain(f, c) == c & f`` and, unlike
+restrict, ``exists . constrain`` laws), but it may *grow* the BDD because
+it can pull variables not in the support of ``f`` into the result.
+"""
+
+from __future__ import annotations
+
+from .manager import Manager
+from .node import Node
+from .operations import cofactors_at, top_level
+from .quantify import exists_node
+
+
+def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
+    """Coudert–Madre generalized cofactor ``f || c``."""
+    one, zero = manager.one_node, manager.zero_node
+
+    def rec(f: Node, c: Node) -> Node:
+        if c is zero:
+            # The care set is empty: the result is arbitrary; return f to
+            # keep the recursion total (callers never use this branch's
+            # value on the care set, which is empty).
+            return f
+        if f is c:
+            # The function and the care set coincide: on the care set
+            # the value is 1, and off it the value is free.
+            return one
+        if c is one or f.is_terminal:
+            return f
+        key = ("constrain", f, c)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        level = top_level(f, c)
+        f_hi, f_lo = cofactors_at(f, level)
+        c_hi, c_lo = cofactors_at(c, level)
+        if c_hi is zero:
+            result = rec(f_lo, c_lo)
+        elif c_lo is zero:
+            result = rec(f_hi, c_hi)
+        else:
+            result = manager.mk(level, rec(f_hi, c_hi), rec(f_lo, c_lo))
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f, c)
+
+
+def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
+    """Coudert–Madre restrict ``f ⇓ c`` (the "remapping" minimizer).
+
+    Unlike constrain, when the care set splits on a variable that ``f``
+    does not test, the two care branches are merged (``c_hi | c_lo``)
+    instead of splitting ``f`` — so the result's support is contained in
+    the support of ``f`` and the result is usually no larger.
+    """
+    one, zero = manager.one_node, manager.zero_node
+
+    def rec(f: Node, c: Node) -> Node:
+        if c is zero:
+            return f
+        if f is c:
+            return one
+        if c is one or f.is_terminal:
+            return f
+        key = ("restrict", f, c)
+        cached = manager.cache_lookup(key)
+        if cached is not None:
+            return cached
+        if c.level < f.level:
+            # f does not depend on the top variable of c: merge branches.
+            merged = exists_node(manager, c, frozenset({c.level}))
+            result = rec(f, merged)
+        else:
+            level = f.level
+            f_hi, f_lo = f.hi, f.lo
+            c_hi, c_lo = cofactors_at(c, level)
+            if c_hi is zero:
+                # Remapping step (Figure 1): the then-branch is don't
+                # care, replace the whole node by the else cofactor.
+                result = rec(f_lo, c_lo)
+            elif c_lo is zero:
+                result = rec(f_hi, c_hi)
+            else:
+                result = manager.mk(level, rec(f_hi, c_hi),
+                                    rec(f_lo, c_lo))
+        manager.cache_insert(key, result)
+        return result
+
+    return rec(f, c)
+
+
+def constrain(f, c):
+    """Function-level constrain; see :func:`constrain_node`."""
+    from .function import Function
+
+    if f.manager is not c.manager:
+        raise ValueError("operands belong to different managers")
+    return Function(f.manager, constrain_node(f.manager, f.node, c.node))
+
+
+def restrict(f, c):
+    """Function-level restrict; see :func:`restrict_node`."""
+    from .function import Function
+
+    if f.manager is not c.manager:
+        raise ValueError("operands belong to different managers")
+    return Function(f.manager, restrict_node(f.manager, f.node, c.node))

@@ -1,0 +1,80 @@
+"""Graph traversal helpers over raw BDD nodes.
+
+These are the building blocks of the paper's algorithms: collecting the
+node set of a function, counting internal references (the paper's
+*functionRef*), and iterating nodes in level order.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .node import Node
+
+
+def collect_nodes(root: Node) -> list[Node]:
+    """All internal nodes reachable from ``root`` (excludes terminals)."""
+    seen: set[Node] = set()
+    out: list[Node] = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_terminal or node in seen:
+            continue
+        seen.add(node)
+        out.append(node)
+        stack.append(node.hi)
+        stack.append(node.lo)
+    return out
+
+
+def collect_node_set(root: Node) -> set[Node]:
+    """Set of internal nodes reachable from ``root``."""
+    return set(collect_nodes(root))
+
+
+def support_levels(root: Node) -> set[int]:
+    """Levels of the variables the function depends on."""
+    return {node.level for node in collect_nodes(root)}
+
+
+def function_refs(root: Node) -> dict[Node, int]:
+    """Number of arcs into each node from *within* the function.
+
+    This is the paper's *functionRef*: for every node reachable from
+    ``root`` (terminals included), the count of parent arcs among the
+    reachable internal nodes.  The root itself gets 0 internal arcs.
+    """
+    refs: dict[Node, int] = {root: 0}
+    for node in collect_nodes(root):
+        for child in (node.hi, node.lo):
+            refs[child] = refs.get(child, 0) + 1
+    return refs
+
+
+def nodes_by_level(root: Node) -> list[Node]:
+    """Reachable internal nodes sorted by level (a topological order).
+
+    Arcs always point from a smaller to a strictly larger level, so level
+    order is topological for the rooted DAG.
+    """
+    return sorted(collect_nodes(root), key=lambda n: n.level)
+
+
+def iter_paths(root: Node, manager) -> Iterator[tuple[dict[int, bool], int]]:
+    """Iterate (partial level assignment, terminal value) per BDD path.
+
+    Exponential in general; used in tests and on small examples only.
+    """
+    path: dict[int, bool] = {}
+
+    def rec(node: Node) -> Iterator[tuple[dict[int, bool], int]]:
+        if node.is_terminal:
+            yield dict(path), node.value
+            return
+        for value, child in ((True, node.hi), (False, node.lo)):
+            path[node.level] = value
+            yield from rec(child)
+            del path[node.level]
+
+    yield from rec(root)

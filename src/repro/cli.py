@@ -1,0 +1,163 @@
+"""Command-line tools: ``python -m repro <command>``.
+
+Commands
+--------
+``info <circuit.blif>``
+    Netlist statistics and BDD sizes of the next-state functions.
+``reach <circuit.blif>``
+    Reachability analysis (exact BFS or high-density with a chosen
+    subsetting method); prints iterations, state count, BDD sizes.
+``approx <circuit.blif>``
+    Apply the approximation methods to every output/next-state function
+    and print a Table-2-style comparison.
+``decomp <circuit.blif>``
+    Two-way decomposition of each output function by the three Table-4
+    methods.
+
+All commands read BLIF; the benchmark generators can export BLIF via
+``repro.fsm.blif.write_blif`` for experimentation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bdd.counting import density
+from .core.approx import UNDER_APPROXIMATORS
+from .core.decomp import DECOMPOSERS, decompose
+from .fsm.blif import read_blif
+from .fsm.encode import encode
+from .harness.tables import format_table
+from .reach.bfs import bfs_reachability, count_states
+from .reach.highdensity import high_density_reachability
+from .reach.transition import TransitionRelation
+
+
+def _load(path: str):
+    circuit = read_blif(path)
+    return circuit, encode(circuit)
+
+
+def cmd_info(args) -> int:
+    circuit, encoded = _load(args.circuit)
+    print(f"model:   {circuit.name}")
+    print(f"inputs:  {len(circuit.inputs)}")
+    print(f"latches: {circuit.num_latches}")
+    print(f"outputs: {len(circuit.outputs)}")
+    rows = [[name, len(delta), f"{density(delta):.2f}"]
+            for name, delta in zip(encoded.state_vars,
+                                   encoded.next_functions)]
+    print(format_table(["latch", "|delta|", "density"], rows,
+                       title="next-state functions"))
+    return 0
+
+
+def cmd_reach(args) -> int:
+    circuit, encoded = _load(args.circuit)
+    tr = TransitionRelation(encoded, cluster_limit=args.cluster_limit)
+    init = encoded.initial_states()
+    if args.method == "bfs":
+        result = bfs_reachability(tr, init,
+                                  max_iterations=args.max_iterations)
+    else:
+        subset = UNDER_APPROXIMATORS[args.method]
+        result = high_density_reachability(
+            tr, init, subset, threshold=args.threshold,
+            max_iterations=args.max_iterations)
+    states = count_states(result.reached, encoded.state_vars)
+    print(f"method:     {args.method}")
+    print(f"iterations: {result.iterations}")
+    print(f"complete:   {result.complete}")
+    print(f"states:     {states}")
+    print(f"|reached|:  {len(result.reached)} nodes")
+    print(f"time:       {result.seconds:.2f}s")
+    return 0
+
+
+def cmd_approx(args) -> int:
+    circuit, encoded = _load(args.circuit)
+    functions = list(zip(encoded.state_vars, encoded.next_functions))
+    functions += list(encoded.output_functions.items())
+    rows = []
+    for name, f in functions:
+        if len(f) < args.min_nodes:
+            continue
+        row = [name, len(f)]
+        for method in ("hb", "sp", "ua", "rua"):
+            result = UNDER_APPROXIMATORS[method](f, args.threshold)
+            row.append(f"{len(result)}/{density(result):.1f}")
+        rows.append(row)
+    if not rows:
+        print(f"no function has >= {args.min_nodes} nodes")
+        return 1
+    print(format_table(
+        ["function", "|f|", "HB |.|/dens", "SP", "UA", "RUA"], rows,
+        title="approximation comparison (nodes/density)"))
+    return 0
+
+
+def cmd_decomp(args) -> int:
+    circuit, encoded = _load(args.circuit)
+    rows = []
+    for name, f in encoded.output_functions.items():
+        if f.is_constant:
+            continue
+        row = [name, len(f)]
+        for method in DECOMPOSERS:
+            g, h = decompose(f, method)
+            if not (g & h) == f:
+                raise AssertionError(f"{method} broke f = g*h")
+            row.append(f"{len(g)}/{len(h)}")
+        rows.append(row)
+    if not rows:
+        print("no non-constant outputs to decompose")
+        return 1
+    print(format_table(
+        ["output", "|f|"] + [m.capitalize() for m in DECOMPOSERS],
+        rows, title="two-way conjunctive decompositions (|G|/|H|)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BDD approximation/decomposition toolkit "
+                    "(DAC 1998 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="netlist and BDD statistics")
+    p_info.add_argument("circuit", help="BLIF file")
+    p_info.set_defaults(func=cmd_info)
+
+    p_reach = sub.add_parser("reach", help="reachability analysis")
+    p_reach.add_argument("circuit", help="BLIF file")
+    p_reach.add_argument("--method", default="bfs",
+                         choices=["bfs"] + sorted(UNDER_APPROXIMATORS))
+    p_reach.add_argument("--threshold", type=int, default=0,
+                         help="subsetting threshold (high-density)")
+    p_reach.add_argument("--max-iterations", type=int, default=None)
+    p_reach.add_argument("--cluster-limit", type=int, default=2500)
+    p_reach.set_defaults(func=cmd_reach)
+
+    p_approx = sub.add_parser("approx",
+                              help="compare approximation methods")
+    p_approx.add_argument("circuit", help="BLIF file")
+    p_approx.add_argument("--threshold", type=int, default=0)
+    p_approx.add_argument("--min-nodes", type=int, default=10)
+    p_approx.set_defaults(func=cmd_approx)
+
+    p_decomp = sub.add_parser("decomp",
+                              help="compare decomposition methods")
+    p_decomp.add_argument("circuit", help="BLIF file")
+    p_decomp.set_defaults(func=cmd_decomp)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

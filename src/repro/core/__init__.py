@@ -1,0 +1,9 @@
+"""The paper's primary contributions.
+
+* :mod:`repro.core.approx` — BDD approximation (Section 2): heavy-branch
+  and short-path subsetting, ``bddUnderApprox``, the new
+  ``remapUnderApprox`` (RUA), safe minimization, and compound methods.
+* :mod:`repro.core.decomp` — BDD decomposition (Section 3): cofactor-
+  based two-way decomposition and the generalized decomposition-point
+  algorithm with *Band* and *Disjoint* selectors.
+"""

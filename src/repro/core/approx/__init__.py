@@ -1,0 +1,65 @@
+"""BDD approximation algorithms (Section 2 of the paper).
+
+Every under-approximator ``alpha`` guarantees ``alpha(f) <= f``; the
+corresponding over-approximators are obtained by duality
+(``~alpha(~f)``).  *Safe* algorithms additionally guarantee
+``density(alpha(f)) >= density(f)`` (Definition 1).
+
+========================  ===========================================
+name                      algorithm
+========================  ===========================================
+``heavy_branch_subset``   HB — heavy-branch subsetting (ICCAD 95)
+``short_paths_subset``    SP — short-path subsetting (ICCAD 95)
+``bdd_under_approx``      UA — Shiple's bddUnderApprox (non-safe)
+``remap_under_approx``    RUA — the paper's safe remapping algorithm
+``safe_minimize``         mu(l, u) — safe interval minimization
+``c1`` / ``c2``           the paper's compound methods
+========================  ===========================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ...bdd.function import Function
+from .compound import c1, c2, chained, iterated_remap, minimized
+from .heavy_branch import heavy_branch_subset
+from .minimize import minimize_with_dont_cares, safe_minimize
+from .remap import remap_over_approx, remap_under_approx
+from .short_paths import short_paths_subset, shortest_path_lengths
+from .under_approx import bdd_under_approx
+
+__all__ = [
+    "heavy_branch_subset",
+    "short_paths_subset",
+    "shortest_path_lengths",
+    "bdd_under_approx",
+    "remap_under_approx",
+    "remap_over_approx",
+    "safe_minimize",
+    "minimize_with_dont_cares",
+    "c1",
+    "c2",
+    "chained",
+    "minimized",
+    "iterated_remap",
+    "over_approx",
+    "UNDER_APPROXIMATORS",
+]
+
+#: Registry used by the experiment harness and the reachability engine.
+#: Each entry maps a short method name to ``fn(f, threshold) -> Function``.
+UNDER_APPROXIMATORS: dict[str, Callable[[Function, int], Function]] = {
+    "hb": lambda f, threshold: heavy_branch_subset(f, threshold),
+    "sp": lambda f, threshold: short_paths_subset(f, threshold),
+    "ua": lambda f, threshold: bdd_under_approx(f, threshold),
+    "rua": lambda f, threshold: remap_under_approx(f, threshold),
+    "c1": lambda f, threshold: c1(f, threshold),
+    "c2": lambda f, threshold: c2(f, threshold=threshold),
+}
+
+
+def over_approx(alpha: Callable[..., Function], f: Function,
+                *args, **kwargs) -> Function:
+    """Over-approximation by duality: ``~alpha(~f)`` (Section 2)."""
+    return ~alpha(~f, *args, **kwargs)

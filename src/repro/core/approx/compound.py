@@ -1,0 +1,88 @@
+"""Compound approximation algorithms (Section 2.2).
+
+Two composition rules:
+
+* ``mu(alpha(f), f)`` — approximate, then minimize back toward ``f``
+  inside the interval ``[alpha(f), f]``; safe if both parts are safe.
+* ``alpha1(alpha2(f))`` — chain approximators; safe if both are safe.
+
+The paper's evaluated instances:
+
+* **C1** = RUA followed by minimization,
+* **C2** = SP followed by RUA followed by minimization.
+
+Also provided is the iterated-quality RUA the paper suggests "to
+mitigate the greediness of RUA": repeated application with a quality
+factor decreasing toward 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from ...bdd.function import Function
+from .minimize import safe_minimize
+from .remap import remap_under_approx
+from .short_paths import short_paths_subset
+
+Approximator = Callable[[Function], Function]
+
+
+def minimized(alpha: Approximator) -> Approximator:
+    """Compose an approximator with safe minimization: mu(alpha(f), f)."""
+
+    def compound(f: Function) -> Function:
+        return safe_minimize(alpha(f), f)
+
+    return compound
+
+
+def chained(*alphas: Approximator) -> Approximator:
+    """Compose approximators right to left: alphas[0](...alphas[-1](f))."""
+
+    def compound(f: Function) -> Function:
+        for alpha in reversed(alphas):
+            f = alpha(f)
+        return f
+
+    return compound
+
+
+def c1(f: Function, threshold: int = 0, quality: float = 1.0) -> Function:
+    """The paper's C1: RUA followed by safe minimization."""
+    return safe_minimize(
+        remap_under_approx(f, threshold=threshold, quality=quality), f)
+
+
+def c2(f: Function, sp_threshold: int | None = None, threshold: int = 0,
+       quality: float = 1.0) -> Function:
+    """The paper's C2: SP, then RUA, then safe minimization.
+
+    ``sp_threshold`` bounds the intermediate SP result; the paper's
+    harness uses the RUA result size of the same function, which is what
+    the default (None) computes.
+    """
+    if sp_threshold is None:
+        sp_threshold = len(remap_under_approx(f, threshold=threshold,
+                                              quality=quality))
+    subset = short_paths_subset(f, sp_threshold)
+    refined = remap_under_approx(subset, threshold=threshold,
+                                 quality=quality)
+    return safe_minimize(refined, f)
+
+
+def iterated_remap(f: Function, qualities: Sequence[float] = (1.5, 1.25,
+                                                              1.0),
+                   threshold: int = 0) -> Function:
+    """Repeated RUA with decreasing quality factors ending at 1.
+
+    Starting conservatively and relaxing toward quality 1 mitigates the
+    greediness of single-pass RUA (Section 2.2).
+    """
+    if not qualities:
+        raise ValueError("need at least one quality factor")
+    result = f
+    for quality in qualities:
+        result = remap_under_approx(result, threshold=threshold,
+                                    quality=quality)
+    return result

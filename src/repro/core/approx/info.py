@@ -1,0 +1,140 @@
+"""Shared analysis machinery for the approximation algorithms.
+
+This module implements the *analyze* pass of Figure 2 and the
+*nodesSaved* dominator sweep of Figure 4 of the paper, plus the
+path-flow bookkeeping of Section 2.1.2 used to count minterms lost
+exactly.
+
+Quantities
+----------
+For a BDD ``f`` over ``n`` variables and a node ``v``:
+
+``counts[v]``
+    minterms of the function rooted at ``v`` over the variables at
+    levels ``v.level .. n-1`` (from *analyze*).
+``refs[v]``
+    the paper's *functionRef*: arcs into ``v`` from nodes of ``f``
+    (the root carries one extra external reference).
+``flow[v]``
+    the number of assignments to the variables *above* ``v.level`` whose
+    evaluation path reaches ``v`` — an exact integer encoding of the
+    paper's "fraction of paths from the root that go through the node".
+    Minterms of ``f`` passing through ``v`` equal ``flow[v]*counts[v]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ...bdd.counting import minterm_count_map
+from ...bdd.node import Node
+from ...bdd.traversal import collect_nodes, function_refs
+
+
+@dataclass
+class ApproxInfo:
+    """The paper's *info* record threaded through the three passes."""
+
+    nvars: int
+    #: minterm counts per node (over the variables below the node level)
+    counts: dict[Node, int]
+    #: current functionRef per node, updated as replacements are accepted
+    refs: dict[Node, int]
+    #: current estimate of the result size (|f| minus accepted savings)
+    size: int
+    #: current exact minterm count of the (virtual) result
+    minterms: int
+    #: path flow into each node, updated as markNodes descends
+    flow: dict[Node, int] = field(default_factory=dict)
+    #: replacement per node: see REPLACE_* constants
+    status: dict[Node, tuple] = field(default_factory=dict)
+    #: nodes structurally removed by accepted replacements
+    dead: set[Node] = field(default_factory=set)
+
+
+#: Replacement markers stored in ``ApproxInfo.status``.
+REPLACE_ZERO = "zero"
+REPLACE_REMAP = "remap"
+REPLACE_GRANDCHILD = "grandchild"
+
+
+def analyze(root: Node, nvars: int) -> ApproxInfo:
+    """First pass of Figure 2: minterm counts and reference counts."""
+    counts = minterm_count_map(root, nvars)
+    refs = function_refs(root)
+    refs[root] = refs.get(root, 0) + 1  # external reference to the root
+    size = len(collect_nodes(root))
+    minterms = (counts[root] << root.level) if not root.is_terminal \
+        else (root.value << nvars)
+    return ApproxInfo(nvars=nvars, counts=counts, refs=refs,
+                      size=size, minterms=minterms)
+
+
+def full_count(info: ApproxInfo, node: Node) -> int:
+    """Minterm count of ``node`` as a function of *all* variables."""
+    if node.is_terminal:
+        return node.value << info.nvars
+    return info.counts[node] << node.level
+
+
+def nodes_saved(start: Node, info: ApproxInfo,
+                protected: frozenset[Node] = frozenset()) -> set[Node]:
+    """Figure 4: nodes dominated by ``start`` under the current refs.
+
+    Returns the *set* of nodes that die when every arc into ``start`` is
+    removed: ``start`` itself plus every descendant all of whose
+    remaining references come from dying nodes.  ``protected`` nodes are
+    kept alive regardless (they acquire a reference from the
+    replacement) and block propagation through themselves.
+
+    The caller turns the set into the paper's *savings* count and, on
+    acceptance, into reference-count updates.
+    """
+    # local_ref[v] counts arcs into v from nodes already known dead.
+    local_ref: dict[Node, int] = {start: info.refs[start]}
+    dead: set[Node] = set()
+    counter = itertools.count()
+    queue: list[tuple[int, int, Node]] = [(start.level, next(counter),
+                                           start)]
+    enqueued = {start}
+    while queue:
+        _, _, node = heapq.heappop(queue)
+        if node.is_terminal or node in protected:
+            continue
+        if local_ref[node] == info.refs[node]:
+            dead.add(node)
+            for child in (node.hi, node.lo):
+                local_ref[child] = local_ref.get(child, 0) + 1
+                if child not in enqueued and not child.is_terminal:
+                    enqueued.add(child)
+                    heapq.heappush(queue,
+                                   (child.level, next(counter), child))
+    return dead
+
+
+def apply_death(info: ApproxInfo, dead: set[Node]) -> None:
+    """Update functionRef counts for the removal of ``dead`` nodes."""
+    for node in dead:
+        info.refs[node.hi] = info.refs.get(node.hi, 0) - 1
+        info.refs[node.lo] = info.refs.get(node.lo, 0) - 1
+    info.dead.update(dead)
+
+
+def add_flow(info: ApproxInfo, node: Node, amount: int) -> None:
+    """Accumulate path flow into ``node``."""
+    if amount and not node.is_terminal:
+        info.flow[node] = info.flow.get(node, 0) + amount
+
+
+def child_flow(parent_flow: int, parent_level: int, child: Node,
+               nvars: int) -> int:
+    """Flow contribution along one arc from a node to one child.
+
+    Variables strictly between the two levels are unconstrained, hence
+    the power-of-two factor; the parent's own variable is fixed by the
+    branch taken.
+    """
+    child_level = nvars if child.is_terminal else child.level
+    return parent_flow << (child_level - parent_level - 1)

@@ -1,0 +1,42 @@
+"""Safe interval minimization mu(l, u) (Hong et al., DAC 97 notion).
+
+Given ``l <= u``, return some ``g`` with ``l <= g <= u``; *safe* means
+``|g| <= |l|`` and ``|g| <= |u|``.  Used by the compound approximation
+algorithms of Section 2.2 with ``u = f`` and ``l = alpha(f)`` — the
+minimizer can *recover minterms* thrown away by the approximation while
+never growing the BDD.
+
+The minimizer here is restrict-based: ``restrict(l, care)`` with care
+set ``l | ~u`` agrees with ``l`` wherever the interval is determined
+(where ``u`` holds but ``l`` does not, any value stays inside the
+interval), and safety is enforced by falling back to the smaller bound
+when restrict fails to shrink.
+"""
+
+from __future__ import annotations
+
+from ...bdd.function import Function
+from ...bdd.restrict import restrict
+
+
+def safe_minimize(lower: Function, upper: Function) -> Function:
+    """Safe mu(l, u): a function in ``[l, u]`` no larger than either."""
+    if lower.manager is not upper.manager:
+        raise ValueError("operands belong to different managers")
+    if not lower <= upper:
+        raise ValueError("safe_minimize requires l <= u")
+    care = lower | ~upper
+    candidate = restrict(lower, care)
+    bound = min(len(lower), len(upper))
+    if len(candidate) <= bound and lower <= candidate <= upper:
+        return candidate
+    return lower if len(lower) <= len(upper) else upper
+
+
+def minimize_with_dont_cares(f: Function, care: Function) -> Function:
+    """Heuristic minimization of ``f`` against a care set.
+
+    Returns a function that agrees with ``f`` on ``care``; unlike
+    :func:`safe_minimize` the result is not interval-bounded by ``f``.
+    """
+    return restrict(f, care)

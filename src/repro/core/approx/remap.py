@@ -1,0 +1,289 @@
+"""remapUnderApprox (RUA) — the paper's new safe under-approximation.
+
+Three passes (Figure 2):
+
+1. *analyze* — minterm counts and reference counts per node.
+2. *markNodes* (Figure 3) — a top-down, level-ordered traversal that
+   tries, for each node, the three replacement types in order — *remap*,
+   *replace-by-grandchild*, *replace-by-0* — and accepts the first
+   applicable one iff it improves the estimated density by more than the
+   *quality* factor.  Minterms lost are counted exactly via path flows;
+   node savings are a lower bound from the Figure-4 dominator sweep.
+3. *buildResult* — a memoized bottom-up rebuild applying the accepted
+   replacements.
+
+With ``quality >= 1`` the algorithm is *safe* (Definition 1):
+``density(rua(f)) >= density(f)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ...bdd.function import Function
+from ...bdd.manager import Manager
+from ...bdd.node import Node
+from ...bdd.operations import leq_node
+from .info import (REPLACE_GRANDCHILD, REPLACE_REMAP, REPLACE_ZERO,
+                   ApproxInfo, add_flow, analyze, apply_death, child_flow,
+                   nodes_saved)
+
+
+@dataclass
+class Replacement:
+    """A candidate replacement for one node (result of findReplacement)."""
+
+    kind: str
+    #: exact number of minterms of f lost if accepted
+    lost: int
+    #: lower bound on the number of nodes saved (may be <= 0)
+    saved: int
+    #: nodes that die if accepted
+    dead: set[Node]
+    #: surviving function root the node is remapped to (remap only)
+    kept: Node | None = None
+    #: (child level, use_then_branch, shared grandchild) for grandchild
+    grandchild: tuple[int, bool, Node] | None = None
+
+
+#: All replacement types, in the order findReplacement tries them.
+ALL_REPLACEMENTS = (REPLACE_REMAP, REPLACE_GRANDCHILD, REPLACE_ZERO)
+
+
+def remap_under_approx(f: Function, threshold: int = 0,
+                       quality: float = 1.0,
+                       replacements: tuple = ALL_REPLACEMENTS
+                       ) -> Function:
+    """Safe under-approximation of ``f`` (the paper's RUA).
+
+    Parameters
+    ----------
+    threshold:
+        Stop replacing once the estimated result size drops to this many
+        nodes.  ``0`` lets the algorithm shrink the BDD as long as each
+        step improves density (the setting used for most of the paper's
+        experiments).
+    quality:
+        Minimum density ratio for accepting a replacement.  ``1.0``
+        accepts only density-improving replacements (safe); values above
+        1 are more conservative, below 1 more aggressive.
+    replacements:
+        The replacement types findReplacement may use, for ablation
+        studies (default: all three of the paper's types).
+    """
+    manager, root = f.manager, f.node
+    if root.is_terminal:
+        return f
+    info = analyze(root, manager.num_vars)
+    mark_nodes(manager, root, info, threshold, quality,
+               replacements=replacements)
+    return Function(manager, build_result(manager, root, info))
+
+
+def remap_over_approx(f: Function, threshold: int = 0,
+                      quality: float = 1.0) -> Function:
+    """Safe over-approximation by duality: ``~RUA(~f)`` (Section 2)."""
+    return ~remap_under_approx(~f, threshold=threshold, quality=quality)
+
+
+# ----------------------------------------------------------------------
+# Pass 2: markNodes (Figure 3)
+# ----------------------------------------------------------------------
+
+def mark_nodes(manager: Manager, root: Node, info: ApproxInfo,
+               threshold: int, quality: float,
+               replacements: tuple = (REPLACE_REMAP,
+                                      REPLACE_GRANDCHILD,
+                                      REPLACE_ZERO)) -> None:
+    """Decide a replacement status for every node, top-down by level."""
+    q = Fraction(quality)
+    leq_cache: dict[tuple[Node, Node], bool] = {}
+    counter = itertools.count()
+    queue: list[tuple[int, int, Node]] = []
+    entered: set[Node] = set()
+
+    def enqueue(node: Node) -> None:
+        if node.is_terminal or node in entered:
+            return
+        entered.add(node)
+        heapq.heappush(queue, (node.level, next(counter), node))
+
+    info.flow[root] = 1 << root.level
+    enqueue(root)
+    done = False
+    while queue:
+        _, _, node = heapq.heappop(queue)
+        if node in info.dead:
+            continue
+        if not done and info.size <= threshold:
+            done = True
+        flow = info.flow.get(node, 0)
+        replacement = None
+        if not done:
+            replacement = find_replacement(manager, node, flow, info,
+                                           leq_cache, replacements)
+            if replacement is not None and \
+                    not _accept(replacement, info, q):
+                replacement = None
+        if replacement is None:
+            # Keep the node: flow passes to both children.
+            add_flow(info, node.hi,
+                     child_flow(flow, node.level, node.hi, info.nvars))
+            add_flow(info, node.lo,
+                     child_flow(flow, node.level, node.lo, info.nvars))
+            enqueue(node.hi)
+            enqueue(node.lo)
+            continue
+        _commit(manager, node, flow, replacement, info)
+        if replacement.kind == REPLACE_REMAP:
+            enqueue(replacement.kept)
+        elif replacement.kind == REPLACE_GRANDCHILD:
+            enqueue(replacement.grandchild[2])
+
+
+def _accept(rep: Replacement, info: ApproxInfo, q: Fraction) -> bool:
+    """densityRatio(replacement) > quality, in exact arithmetic."""
+    new_minterms = info.minterms - rep.lost
+    new_size = info.size - rep.saved
+    if new_size <= 0:
+        # The estimate claims everything is saved; only sensible when no
+        # minterms survive either, which can never improve density.
+        return False
+    return (new_minterms * info.size * q.denominator
+            > info.minterms * new_size * q.numerator)
+
+
+def _commit(manager: Manager, node: Node, flow: int, rep: Replacement,
+            info: ApproxInfo) -> None:
+    """updateInfo: record the replacement and update all bookkeeping."""
+    apply_death(info, rep.dead)
+    info.size -= rep.saved
+    info.minterms -= rep.lost
+    if rep.kind == REPLACE_ZERO:
+        info.status[node] = (REPLACE_ZERO,)
+        return
+    if rep.kind == REPLACE_REMAP:
+        kept = rep.kept
+        info.status[node] = (REPLACE_REMAP, kept)
+        # Arcs into `node` now point at `kept`.
+        if not kept.is_terminal:
+            info.refs[kept] = info.refs.get(kept, 0) + info.refs[node]
+            add_flow(info, kept, flow << (kept.level - node.level))
+        return
+    level, use_then, shared = rep.grandchild
+    info.status[node] = (REPLACE_GRANDCHILD, level, use_then, shared)
+    if not shared.is_terminal:
+        # The new node at `level` references the shared grandchild.
+        info.refs[shared] = info.refs.get(shared, 0) + 1
+        add_flow(info, shared,
+                 flow << (shared.level - node.level - 1))
+
+
+# ----------------------------------------------------------------------
+# findReplacement (Section 2.1.1)
+# ----------------------------------------------------------------------
+
+def _count_from(info: ApproxInfo, node: Node, level: int) -> int:
+    """Minterm count of ``node`` over the variables at ``level`` down."""
+    if node.is_terminal:
+        return node.value << (info.nvars - level)
+    return info.counts[node] << (node.level - level)
+
+
+def find_replacement(manager: Manager, node: Node, flow: int,
+                     info: ApproxInfo, leq_cache: dict,
+                     replacements: tuple = (REPLACE_REMAP,
+                                            REPLACE_GRANDCHILD,
+                                            REPLACE_ZERO)
+                     ) -> Replacement | None:
+    """Try remap, then replace-by-grandchild, then replace-by-0.
+
+    Returns the first enabled type that *applies* (the acceptance
+    decision is the caller's); None when no enabled type applies.
+    """
+    hi, lo = node.hi, node.lo
+    count_here = info.counts[node]
+
+    # --- remap: requires one child's function contained in the other's.
+    kept = None
+    if REPLACE_REMAP in replacements:
+        if leq_node(manager, lo, hi, leq_cache):
+            kept, dropped = lo, hi
+        elif leq_node(manager, hi, lo, leq_cache):
+            kept, dropped = hi, lo
+    if kept is not None:
+        protected = frozenset() if kept.is_terminal else frozenset({kept})
+        dead = nodes_saved(node, info, protected)
+        lost = flow * (count_here
+                       - _count_from(info, kept, node.level))
+        return Replacement(kind=REPLACE_REMAP, lost=lost,
+                           saved=len(dead), dead=dead, kept=kept)
+
+    # --- replace-by-grandchild: children at the same level sharing a
+    # grandchild on the same side.
+    if REPLACE_GRANDCHILD in replacements and not hi.is_terminal \
+            and not lo.is_terminal and hi.level == lo.level:
+        shared = None
+        if hi.hi is lo.hi:
+            shared, use_then = hi.hi, True
+        elif hi.lo is lo.lo:
+            shared, use_then = hi.lo, False
+        if shared is not None:
+            protected = frozenset() if shared.is_terminal \
+                else frozenset({shared})
+            dead = nodes_saved(node, info, protected)
+            # Replacement function y·shared (or y'·shared) over the
+            # variables from node.level down: the node's own variable is
+            # free, y is fixed, everything between is free.
+            new_count = _count_from(info, shared, node.level) >> 1
+            lost = flow * (count_here - new_count)
+            return Replacement(
+                kind=REPLACE_GRANDCHILD, lost=lost,
+                saved=len(dead) - 1,  # the replacement node may be new
+                dead=dead,
+                grandchild=(hi.level, use_then, shared))
+
+    # --- replace-by-0: always applies (when enabled).
+    if REPLACE_ZERO not in replacements:
+        return None
+    dead = nodes_saved(node, info, frozenset())
+    return Replacement(kind=REPLACE_ZERO, lost=flow * count_here,
+                       saved=len(dead), dead=dead)
+
+
+# ----------------------------------------------------------------------
+# Pass 3: buildResult
+# ----------------------------------------------------------------------
+
+def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
+    """Rebuild the BDD bottom-up applying the recorded replacements."""
+    memo: dict[Node, Node] = {}
+
+    def build(node: Node) -> Node:
+        if node.is_terminal:
+            return node
+        result = memo.get(node)
+        if result is not None:
+            return result
+        status = info.status.get(node)
+        if status is None:
+            result = manager.mk(node.level, build(node.hi),
+                                build(node.lo))
+        elif status[0] == REPLACE_ZERO:
+            result = manager.zero_node
+        elif status[0] == REPLACE_REMAP:
+            result = build(status[1])
+        else:
+            _, level, use_then, shared = status
+            branch = build(shared)
+            if use_then:
+                result = manager.mk(level, branch, manager.zero_node)
+            else:
+                result = manager.mk(level, manager.zero_node, branch)
+        memo[node] = result
+        return result
+
+    return build(root)

@@ -1,0 +1,68 @@
+"""Short-path subsetting (SP) — Ravi & Somenzi, ICCAD 95.
+
+Short root-to-ONE paths are large implicants represented by few nodes.
+The first pass computes, for every node, the length of the shortest
+path from the root through the node to the ONE terminal; the second
+pass discards all nodes with no sufficiently short path through them,
+choosing the largest length cutoff whose kept-node count fits the
+threshold.
+"""
+
+from __future__ import annotations
+
+from ...bdd.counting import (INFINITY, bdd_size, distance_from_root,
+                             distance_to_one)
+from ...bdd.function import Function
+from ...bdd.traversal import collect_nodes
+
+
+def shortest_path_lengths(f: Function) -> dict:
+    """Shortest root-to-ONE path length through each internal node."""
+    root = f.node
+    d_root = distance_from_root(root)
+    d_one = distance_to_one(root, f.manager.one_node)
+    return {node: d_root[node] + d_one[node]
+            for node in collect_nodes(root)}
+
+
+def short_paths_subset(f: Function, threshold: int,
+                       hard: bool = False) -> Function:
+    """Under-approximate ``f`` keeping only nodes on short ONE-paths.
+
+    The length cutoff is the largest one that keeps at most
+    ``threshold`` nodes; at least the globally shortest paths are always
+    kept so the result is nonzero whenever ``f`` is (their node count
+    may then exceed the threshold unless ``hard`` is set, in which case
+    FALSE is returned).
+    """
+    manager, root = f.manager, f.node
+    if root.is_terminal or bdd_size(root) <= threshold:
+        return f
+    lengths = shortest_path_lengths(f)
+    by_length = sorted(set(lengths.values()))
+    cutoff = by_length[0]
+    kept_count = sum(1 for v in lengths.values() if v <= cutoff)
+    if kept_count > threshold and hard:
+        return manager.false
+    for candidate in by_length[1:]:
+        count = sum(1 for v in lengths.values() if v <= candidate)
+        if count > threshold:
+            break
+        cutoff = candidate
+    keep = {node for node, length in lengths.items() if length <= cutoff}
+
+    memo: dict = {}
+
+    def build(node):
+        if node.is_terminal:
+            return node
+        if node not in keep:
+            return manager.zero_node
+        result = memo.get(node)
+        if result is None:
+            result = manager.mk(node.level, build(node.hi),
+                                build(node.lo))
+            memo[node] = result
+        return result
+
+    return Function(manager, build(root))

@@ -1,0 +1,95 @@
+"""bddUnderApprox (UA) — Shiple's original under-approximation.
+
+The predecessor of RUA (Shiple et al., UCB/ERL M97/73; Shiple's PhD
+thesis).  Differences from RUA, as Section 2.1.3 lists them:
+
+* the cost function is a *convex combination* of the fraction of nodes
+  saved and the fraction of minterms lost, instead of their ratio;
+* only *replace-by-0* is used.
+
+The paper evaluates the *non-safe* variant; without complement arcs the
+parity subtlety disappears, and what remains non-safe is the acceptance
+rule itself: a replacement that trades many minterms for few nodes can
+decrease density.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from fractions import Fraction
+
+from ...bdd.function import Function
+from ...bdd.manager import Manager
+from ...bdd.node import Node
+from .info import (REPLACE_ZERO, ApproxInfo, add_flow, analyze,
+                   apply_death, child_flow, nodes_saved)
+from .remap import build_result
+
+
+def bdd_under_approx(f: Function, threshold: int = 0,
+                     weight: float = 0.5) -> Function:
+    """Under-approximate ``f`` with replace-by-0 and a convex cost.
+
+    A node is replaced when
+
+        weight * (nodes saved / |f|)
+            > (1 - weight) * (minterms lost / ||f||)
+
+    so ``weight`` close to 1 is aggressive (cares about size only) and
+    close to 0 conservative.  ``threshold`` stops the pass early once
+    the estimated size is small enough (0 = shrink freely).
+    """
+    if not 0.0 <= weight <= 1.0:
+        raise ValueError("weight must lie in [0, 1]")
+    manager, root = f.manager, f.node
+    if root.is_terminal:
+        return f
+    info = analyze(root, manager.num_vars)
+    _mark(manager, root, info, threshold, Fraction(weight))
+    return Function(manager, build_result(manager, root, info))
+
+
+def _mark(manager: Manager, root: Node, info: ApproxInfo,
+          threshold: int, weight: Fraction) -> None:
+    original_size = info.size
+    original_minterms = info.minterms
+    counter = itertools.count()
+    queue: list[tuple[int, int, Node]] = []
+    entered: set[Node] = set()
+
+    def enqueue(node: Node) -> None:
+        if node.is_terminal or node in entered:
+            return
+        entered.add(node)
+        heapq.heappush(queue, (node.level, next(counter), node))
+
+    info.flow[root] = 1 << root.level
+    enqueue(root)
+    done = False
+    while queue:
+        _, _, node = heapq.heappop(queue)
+        if node in info.dead:
+            continue
+        if not done and info.size <= threshold:
+            done = True
+        flow = info.flow.get(node, 0)
+        if not done:
+            dead = nodes_saved(node, info, frozenset())
+            lost = flow * info.counts[node]
+            # weight*saved/|f| > (1-weight)*lost/||f||, cross-multiplied.
+            accept = (weight.numerator * len(dead) * original_minterms
+                      > (weight.denominator - weight.numerator)
+                      * lost * original_size)
+            if accept:
+                apply_death(info, dead)
+                info.size -= len(dead)
+                info.minterms -= lost
+                info.status[node] = (REPLACE_ZERO,)
+                continue
+        add_flow(info, node.hi,
+                 child_flow(flow, node.level, node.hi, info.nvars))
+        add_flow(info, node.lo,
+                 child_flow(flow, node.level, node.lo, info.nvars))
+        enqueue(node.hi)
+        enqueue(node.lo)

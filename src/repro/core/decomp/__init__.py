@@ -1,0 +1,55 @@
+"""BDD decomposition algorithms (Section 3 of the paper).
+
+Two-way decomposition methods compared in Table 4:
+
+* ``cofactor_decompose`` — Equation 1 on the best splitting variable
+  (the paper's reimplementation of Cabodi et al. / Narayan et al.).
+* ``decompose_at_points`` + ``band_points`` — the paper's *Band*.
+* ``decompose_at_points`` + ``disjoint_points`` — the paper's
+  *Disjoint*.
+
+Plus McMillan's canonical conjunctive decomposition as described in the
+prior-work discussion.
+"""
+
+from __future__ import annotations
+
+from ...bdd.function import Function
+from .cofactor import (best_split_variable, cofactor_decompose,
+                       cofactor_decompose_k, cofactor_sizes)
+from .general import decompose_at_points
+from .mcmillan import conjoin, mcmillan_decompose
+from .points import band_points, disjoint_points, score_disjointness
+
+__all__ = [
+    "cofactor_decompose",
+    "cofactor_decompose_k",
+    "cofactor_sizes",
+    "best_split_variable",
+    "decompose_at_points",
+    "band_points",
+    "disjoint_points",
+    "score_disjointness",
+    "mcmillan_decompose",
+    "conjoin",
+    "decompose",
+    "DECOMPOSERS",
+]
+
+
+def decompose(f: Function, method: str = "cofactor",
+              conjunctive: bool = True) -> tuple[Function, Function]:
+    """Two-way decomposition by method name: cofactor, band, disjoint."""
+    if method == "cofactor":
+        return cofactor_decompose(f, conjunctive=conjunctive)
+    if method == "band":
+        return decompose_at_points(f, band_points(f),
+                                   conjunctive=conjunctive)
+    if method == "disjoint":
+        return decompose_at_points(f, disjoint_points(f),
+                                   conjunctive=conjunctive)
+    raise ValueError(f"unknown decomposition method {method!r}")
+
+
+#: Registry used by the experiment harness (Table 4).
+DECOMPOSERS = ("cofactor", "disjoint", "band")

@@ -1,0 +1,15 @@
+"""Sequential-circuit substrate: netlists, BLIF I/O, benchmark suite."""
+
+from .circuit import Circuit, CircuitBuilder, Latch, Net, eval_net
+from .encode import EncodedCircuit, encode, next_var_name
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "Latch",
+    "Net",
+    "eval_net",
+    "encode",
+    "EncodedCircuit",
+    "next_var_name",
+]

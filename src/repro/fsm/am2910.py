@@ -1,0 +1,227 @@
+"""A from-scratch model of the AMD Am2910 microprogram sequencer.
+
+The paper's hardest reachability benchmark ("am2910", 99 flip-flops,
+1.16e26 reachable states; exact BFS did not finish in two weeks).  The
+real device has a 12-bit address path and a 5-word LIFO stack; the
+ISCAS-addendum benchmark version carries 99 latches, which matches a
+12-bit path with a 6-deep stack plus a 3-bit stack pointer:
+
+    uPC (12) + register/counter (12) + stack (6 x 12) + SP (3) = 99.
+
+This model implements the full 16-instruction set on parameterized
+address ``width`` and stack ``depth`` so the reproduction can scale the
+state space to what pure-Python BDDs traverse in minutes rather than
+weeks (``width=12, depth=6`` reproduces the original latch count).
+
+State
+-----
+``pc``      current microprogram address (``width`` bits)
+``r``       register/counter (``width`` bits)
+``sp``      stack pointer, 0 = empty (``ceil(log2(depth+1))`` bits)
+``stk<i>_`` stack words (``depth * width`` bits)
+
+Inputs: ``i0..i3`` instruction, ``cc`` condition pass, ``d0..`` the
+pipeline/map data input.  Output ``y*`` is the selected next address
+(also the next ``pc``; the real device's incrementer feeds uPC = Y+1,
+so this model's ``pc`` plays the role of the Y register, and the
+"continue" address is ``pc + 1``).
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit, CircuitBuilder, Net
+
+#: The sixteen Am2910 instructions, in opcode order.
+INSTRUCTIONS = ("JZ", "CJS", "JMAP", "CJP", "PUSH", "JSRP", "CJV", "JRP",
+                "RFCT", "RPCT", "CRTN", "CJPP", "LDCT", "LOOP", "CONT",
+                "TWB")
+
+
+def am2910(width: int = 12, depth: int = 6) -> Circuit:
+    """Build the Am2910 model; defaults match the 99-FF benchmark."""
+    if width < 1 or depth < 1:
+        raise ValueError("width and depth must be positive")
+    sp_bits = max(1, (depth + 1 - 1).bit_length())
+    b = CircuitBuilder(f"am2910_w{width}d{depth}")
+    instr = b.inputs("i", 4)
+    cc = b.input("cc")
+    d_in = b.inputs("d", width)
+
+    pc = b.latches("pc", width)
+    r = b.latches("r", width)
+    sp = b.latches("sp", sp_bits)
+    stack = [b.latches(f"stk{k}_", width) for k in range(depth)]
+
+    # Decoded one-hot instruction lines.
+    def op(code: int) -> Net:
+        return b.equals_constant(instr, code)
+
+    ops = {name: op(code) for code, name in enumerate(INSTRUCTIONS)}
+    fail = ~cc
+
+    ret = b.increment(pc)          # "continue" address
+    r_zero = b.is_zero(r)
+    r_minus = b.decrement(r)
+    sp_plus = b.increment(sp)
+    sp_minus = b.decrement(sp)
+    sp_empty = b.is_zero(sp)
+    sp_full = b.equals_constant(sp, depth)
+
+    # Top of stack: stack[sp-1]; on an empty stack reads return word 0
+    # (undefined in the real device).
+    tos = b.constant_vector(0, width)
+    for k in range(depth):
+        at_k = b.equals_constant(sp, k + 1)
+        tos = b.mux_vector(at_k, stack[k], tos)
+
+    # ------------------------------------------------------------------
+    # Per-instruction controls: next address Y, push/pop, R update.
+    # ------------------------------------------------------------------
+    zero_vec = b.constant_vector(0, width)
+
+    def select(choices: list[tuple[Net, list[Net]]],
+               default: list[Net]) -> list[Net]:
+        out = default
+        for cond, value in choices:
+            out = b.mux_vector(cond, value, out)
+        return out
+
+    y = select([
+        (ops["JZ"], zero_vec),
+        (ops["CJS"], b.mux_vector(cc, d_in, ret)),
+        (ops["JMAP"], d_in),
+        (ops["CJP"], b.mux_vector(cc, d_in, ret)),
+        (ops["PUSH"], ret),
+        (ops["JSRP"], b.mux_vector(cc, d_in, r)),
+        (ops["CJV"], b.mux_vector(cc, d_in, ret)),
+        (ops["JRP"], b.mux_vector(cc, d_in, r)),
+        (ops["RFCT"], b.mux_vector(r_zero, ret, tos)),
+        (ops["RPCT"], b.mux_vector(r_zero, ret, d_in)),
+        (ops["CRTN"], b.mux_vector(cc, tos, ret)),
+        (ops["CJPP"], b.mux_vector(cc, d_in, ret)),
+        (ops["LDCT"], ret),
+        (ops["LOOP"], b.mux_vector(cc, ret, tos)),
+        (ops["CONT"], ret),
+        (ops["TWB"], b.mux_vector(
+            cc, ret, b.mux_vector(r_zero, d_in, tos))),
+    ], ret)
+
+    push = (ops["CJS"] & cc) | ops["PUSH"] | ops["JSRP"]
+    pop = (ops["RFCT"] & r_zero) \
+        | (ops["CRTN"] & cc) \
+        | (ops["CJPP"] & cc) \
+        | (ops["LOOP"] & cc) \
+        | (ops["TWB"] & (cc | r_zero))
+    clear = ops["JZ"]
+
+    load_r = ops["LDCT"] | (ops["PUSH"] & cc)
+    dec_r = ((ops["RFCT"] | ops["RPCT"]) & ~r_zero) \
+        | (ops["TWB"] & fail & ~r_zero)
+
+    # ------------------------------------------------------------------
+    # State updates.
+    # ------------------------------------------------------------------
+    b.set_next_vector(pc, y)
+    r_next = select([(load_r, d_in), (dec_r, r_minus)], r)
+    b.set_next_vector(r, r_next)
+
+    # Stack pointer: clear beats push/pop; push saturates when full,
+    # pop on empty is a no-op.
+    do_push = push & ~sp_full
+    do_pop = pop & ~sp_empty
+    sp_next = select([
+        (clear, b.constant_vector(0, sp_bits)),
+        (do_push, sp_plus),
+        (do_pop, sp_minus),
+    ], sp)
+    b.set_next_vector(sp, sp_next)
+
+    # Stack words: a push writes the return address at slot sp.
+    for k in range(depth):
+        write_k = do_push & b.equals_constant(sp, k)
+        b.set_next_vector(stack[k],
+                          b.mux_vector(write_k, ret, stack[k]))
+
+    for j in range(width):
+        b.output(f"y{j}", y[j])
+    b.output("stack_full", sp_full)
+    return b.build()
+
+
+def reference_step(width: int, depth: int, state: dict,
+                   inputs: dict) -> dict:
+    """Pure-Python reference semantics for differential testing.
+
+    ``state``: {"pc", "r", "sp", "stack": tuple} with integers;
+    ``inputs``: {"i", "cc", "d"}.  Returns the next state dict.
+    """
+    mask = (1 << width) - 1
+    pc, r, sp = state["pc"], state["r"], state["sp"]
+    stack = list(state["stack"])
+    code, cc, d = inputs["i"], inputs["cc"], inputs["d"]
+    name = INSTRUCTIONS[code]
+    ret = (pc + 1) & mask
+    tos = stack[sp - 1] if sp > 0 else 0
+    r_zero = r == 0
+
+    y = ret
+    push = pop = clear = False
+    load_r = dec_r = False
+    if name == "JZ":
+        y, clear = 0, True
+    elif name == "CJS":
+        y = d if cc else ret
+        push = cc
+    elif name == "JMAP":
+        y = d
+    elif name in ("CJP", "CJV"):
+        y = d if cc else ret
+    elif name == "PUSH":
+        push = True
+        load_r = cc
+    elif name == "JSRP":
+        y = d if cc else r
+        push = True
+    elif name == "JRP":
+        y = d if cc else r
+    elif name == "RFCT":
+        if r_zero:
+            y, pop = ret, True
+        else:
+            y, dec_r = tos, True
+    elif name == "RPCT":
+        if r_zero:
+            y = ret
+        else:
+            y, dec_r = d, True
+    elif name == "CRTN":
+        if cc:
+            y, pop = tos, True
+    elif name == "CJPP":
+        if cc:
+            y, pop = d, True
+    elif name == "LDCT":
+        load_r = True
+    elif name == "LOOP":
+        if cc:
+            pop = True
+        else:
+            y = tos
+    elif name == "TWB":
+        if cc:
+            pop = True
+        elif not r_zero:
+            y, dec_r = tos, True
+        else:
+            y, pop = d, True
+
+    new_r = d if load_r else ((r - 1) & mask if dec_r else r)
+    new_sp = sp
+    if clear:
+        new_sp = 0
+    elif push and sp < depth:
+        stack[sp] = ret
+        new_sp = sp + 1
+    elif pop and sp > 0:
+        new_sp = sp - 1
+    return {"pc": y, "r": new_r, "sp": new_sp, "stack": tuple(stack)}

@@ -1,0 +1,349 @@
+"""Synthetic benchmark circuits.
+
+The paper's reachability experiments use ISCAS-89-family netlists
+(s3330, s1269, s5378opt) and the am2910 microprogram sequencer; the
+netlists are not redistributable, so this module provides parameterized
+circuits engineered to exhibit the same traversal behaviour (see
+DESIGN.md's substitution table):
+
+* :func:`comm_controller` — many loosely coupled channel registers
+  behind a small control FSM (s3330-style: wide, shallow).
+* :func:`lfsr_accumulator` — an LFSR driving an accumulator datapath
+  (s1269-style: arithmetic feedback makes BFS frontier BDDs blow up
+  while the final reached set stays moderate).
+* :func:`pipeline_controller` — a stall/flush pipeline control with
+  counters (s5378-style mixture of control and counting).
+* :func:`shift_queue`, :func:`counters`, :func:`token_ring` — further
+  population circuits.
+
+The am2910 model lives in :mod:`repro.fsm.am2910`.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit, CircuitBuilder, Net
+
+
+def counter(width: int, with_enable: bool = True) -> Circuit:
+    """A ``width``-bit binary up-counter (the smoke-test circuit)."""
+    b = CircuitBuilder(f"counter{width}")
+    enable = b.input("en") if with_enable else b.const1
+    bits = b.latches("q", width)
+    incremented = b.increment(bits)
+    b.set_next_vector(bits, b.mux_vector(enable, incremented, bits))
+    b.output("msb", bits[-1])
+    return b.build()
+
+
+def lfsr(width: int, taps: tuple[int, ...] | None = None,
+         nonzero_init: bool = True) -> Circuit:
+    """A Fibonacci LFSR; taps default to a reasonable pattern."""
+    if taps is None:
+        taps = (width - 1, width // 2, 0) if width > 2 else (width - 1, 0)
+    b = CircuitBuilder(f"lfsr{width}")
+    bits = b.latches("l", width, init=1 if nonzero_init else 0)
+    feedback = b.const0
+    for tap in sorted(set(taps)):
+        feedback = feedback ^ bits[tap]
+    b.set_next_vector(bits, [feedback] + bits[:-1])
+    b.output("stream", bits[-1])
+    return b.build()
+
+
+def lfsr_accumulator(width: int, taps: tuple[int, ...] | None = None
+                     ) -> Circuit:
+    """LFSR + accumulator: ``A' = A + L`` each cycle, gated by an input.
+
+    The arithmetic coupling between the rotating L and the summing A
+    makes breadth-first frontiers carry sum constraints (large BDDs)
+    while the fixpoint covers nearly the whole space (small BDD) — the
+    s1269-style blow-up discussed in Section 4.
+    """
+    if taps is None:
+        taps = (width - 1, width // 2, 0) if width > 2 else (width - 1, 0)
+    b = CircuitBuilder(f"lfsr_acc{width}")
+    advance = b.input("adv")
+    bits = b.latches("l", width, init=1)
+    acc = b.latches("a", width)
+    feedback = b.const0
+    for tap in sorted(set(taps)):
+        feedback = feedback ^ bits[tap]
+    shifted = [feedback] + bits[:-1]
+    b.set_next_vector(bits, b.mux_vector(advance, shifted, bits))
+    total = b.add(acc, bits)
+    b.set_next_vector(acc, b.mux_vector(advance, total, acc))
+    b.output("acc_msb", acc[-1])
+    return b.build()
+
+
+def shift_queue(depth: int, width: int) -> Circuit:
+    """A FIFO as a shift register with per-slot valid bits.
+
+    Push inserts input data at slot 0, pop drops the deepest valid
+    slot; simultaneous push+pop shifts.  Data/valid correlations during
+    filling create irregular frontier BDDs.
+    """
+    b = CircuitBuilder(f"queue{depth}x{width}")
+    push = b.input("push")
+    pop = b.input("pop")
+    data = b.inputs("d", width)
+    valid = b.latches("v", depth)
+    slots = [b.latches(f"s{i}_", width) for i in range(depth)]
+    # Shift toward higher indices when pushing; a pop frees the deepest
+    # valid slot (approximated as clearing the last valid bit).
+    for i in reversed(range(depth)):
+        prev_valid = valid[i - 1] if i else push
+        prev_data = slots[i - 1] if i else data
+        take = push & ~valid[i] & (prev_valid if i else b.const1)
+        keep = valid[i] & ~(pop & _is_deepest(b, valid, i))
+        b.set_next(valid[i], take | keep)
+        for j in range(width):
+            b.set_next(slots[i][j], take.ite(prev_data[j], slots[i][j]))
+    b.output("full", _all(b, valid))
+    return b.build()
+
+
+def _is_deepest(b: CircuitBuilder, valid: list[Net], index: int) -> Net:
+    """True when ``index`` is the deepest currently valid slot."""
+    expr = valid[index]
+    for deeper in valid[index + 1:]:
+        expr = expr & ~deeper
+    return expr
+
+
+def _all(b: CircuitBuilder, nets: list[Net]) -> Net:
+    acc = b.const1
+    for net in nets:
+        acc = acc & net
+    return acc
+
+
+def counters(count: int, width: int) -> Circuit:
+    """``count`` independent wrapping counters with one-hot enables."""
+    b = CircuitBuilder(f"counters{count}x{width}")
+    selects = b.inputs("sel", count)
+    b.output("any", b.const0)
+    for k in range(count):
+        bits = b.latches(f"c{k}_", width)
+        incremented = b.increment(bits)
+        b.set_next_vector(bits,
+                          b.mux_vector(selects[k], incremented, bits))
+    return b.build()
+
+
+def token_ring(stations: int) -> Circuit:
+    """A token ring: one-hot token plus per-station pending/served bits."""
+    b = CircuitBuilder(f"ring{stations}")
+    requests = b.inputs("req", stations)
+    token = b.latches("t", stations, init=1)
+    pending = b.latches("p", stations)
+    served = b.latches("s", stations)
+    advance = b.input("adv")
+    for i in range(stations):
+        predecessor = token[(i - 1) % stations]
+        b.set_next(token[i], advance.ite(predecessor, token[i]))
+        b.set_next(pending[i], (requests[i] | pending[i])
+                   & ~(token[i] & advance))
+        b.set_next(served[i], served[i] | (pending[i] & token[i]))
+    b.output("all_served", _all(b, served))
+    return b.build()
+
+
+def comm_controller(channels: int, width: int = 2) -> Circuit:
+    """Communications-controller analog (the s3330 stand-in).
+
+    A small mode FSM broadcast-controls many channel registers; each
+    channel also keeps a CRC-ish XOR state folded from its neighbour,
+    so the latch count is high (the paper's s3330 has 132 flip-flops)
+    while individual transitions stay shallow.
+    """
+    b = CircuitBuilder(f"comm{channels}x{width}")
+    mode = b.latches("m", 2)
+    start = b.input("start")
+    stop = b.input("stop")
+    data = b.inputs("din", channels)
+    # mode FSM: 00 idle -> 01 sync -> 10 xfer -> 00
+    idle = ~mode[0] & ~mode[1]
+    sync = mode[0] & ~mode[1]
+    xfer = ~mode[0] & mode[1]
+    b.set_next(mode[0], idle & start)
+    b.set_next(mode[1], sync | (xfer & ~stop))
+    regs = [b.latches(f"ch{i}_", width) for i in range(channels)]
+    crc = b.latches("crc", channels)
+    for i in range(channels):
+        shifted = [data[i]] + regs[i][:-1]
+        b.set_next_vector(regs[i],
+                          b.mux_vector(xfer, shifted, regs[i]))
+        neighbour = crc[(i + 1) % channels]
+        b.set_next(crc[i],
+                   xfer.ite(crc[i] ^ (neighbour & regs[i][0]), crc[i]))
+    b.output("busy", ~idle)
+    return b.build()
+
+
+def pipeline_controller(stages: int, width: int) -> Circuit:
+    """Pipeline control with stall logic and a cycle counter
+    (the s5378 stand-in: mixed control and counting behaviour)."""
+    b = CircuitBuilder(f"pipe{stages}x{width}")
+    stall = b.input("stall")
+    flush = b.input("flush")
+    issue = b.input("issue")
+    valid = b.latches("pv", stages)
+    tags = [b.latches(f"pt{i}_", width) for i in range(stages)]
+    count = b.latches("cnt", width)
+    advance = ~stall
+    for i in reversed(range(stages)):
+        upstream_valid = valid[i - 1] if i else issue
+        upstream_tag = tags[i - 1] if i else count
+        nxt_valid = flush.ite(b.const0,
+                              advance.ite(upstream_valid, valid[i]))
+        b.set_next(valid[i], nxt_valid)
+        for j in range(width):
+            b.set_next(tags[i][j],
+                       (advance & ~flush).ite(upstream_tag[j],
+                                              tags[i][j]))
+    issued = issue & advance
+    b.set_next_vector(count,
+                      b.mux_vector(issued, b.increment(count), count))
+    b.output("retire", valid[-1] & advance)
+    return b.build()
+
+
+def rotator_sum(width: int) -> Circuit:
+    """Rotating register + conditional adder (multiplier-flavoured).
+
+    ``B`` rotates every cycle; ``A`` accumulates ``B`` when the input
+    bit is set — the shift-and-add structure of a serial multiplier.
+    """
+    b = CircuitBuilder(f"rotsum{width}")
+    take = b.input("take")
+    rot = b.latches("b", width, init=1)
+    acc = b.latches("a", width)
+    rotated = [rot[-1]] + rot[:-1]
+    b.set_next_vector(rot, rotated)
+    total = b.add(acc, rot)
+    b.set_next_vector(acc, b.mux_vector(take, total, acc))
+    b.output("msb", acc[-1])
+    return b.build()
+
+
+def triangle_datapath(width: int) -> Circuit:
+    """Two counters with quadratic coupling: ``A' = A + B``, ``B' = B+1``.
+
+    Independently enabled, so the reachable set eventually covers all
+    ``(A, B)`` pairs (a tiny BDD), while intermediate breadth-first
+    frontiers carry triangular-number correlations between A and B —
+    notoriously bad BDD shapes.  This is the frontier-blow-up behaviour
+    the paper attributes to s1269.
+    """
+    b = CircuitBuilder(f"triangle{width}")
+    en_a = b.input("ena")
+    en_b = b.input("enb")
+    acc = b.latches("a", width)
+    cnt = b.latches("b", width)
+    b.set_next_vector(acc, b.mux_vector(en_a, b.add(acc, cnt), acc))
+    b.set_next_vector(cnt, b.mux_vector(en_b, b.increment(cnt), cnt))
+    b.output("a_msb", acc[-1])
+    return b.build()
+
+
+def mult_accumulator(width: int) -> Circuit:
+    """Shift-and-add multiplier core: ``A' = A + (take ? B : 0)``,
+    with B doubling (shifting) each step and reloadable from the input.
+
+    Multiplication is the canonical BDD-hostile function; partial-sum
+    frontiers blow up while the fixpoint stays small.
+    """
+    b = CircuitBuilder(f"multacc{width}")
+    take = b.input("take")
+    load = b.input("load")
+    d_in = b.inputs("d", width)
+    acc = b.latches("a", width)
+    mult = b.latches("b", width, init=1)
+    doubled = [b.const0] + mult[:-1]
+    b.set_next_vector(mult, b.mux_vector(load, d_in, doubled))
+    total = b.add(acc, mult)
+    b.set_next_vector(acc, b.mux_vector(take, total, acc))
+    b.output("msb", acc[-1])
+    return b.build()
+
+
+def subset_sum_datapath(width: int, step: int = 3) -> Circuit:
+    """Subset-sum accumulator: ``B' = B + step`` (free-running),
+    ``S' = S + B`` when enabled.
+
+    Breadth-first shells carry subset-sum constraints between S and the
+    step index — exponentially bad BDD shapes — while the fixpoint
+    covers the whole (B, S) space (a constant-TRUE BDD).  The designated
+    s1269-style frontier-blow-up circuit.
+    """
+    if step % 2 == 0:
+        raise ValueError("step must be odd so B cycles through all values")
+    b = CircuitBuilder(f"subsum{width}")
+    enable = b.input("en")
+    stride = b.latches("b", width, init=1)
+    total = b.latches("s", width)
+    b.set_next_vector(stride,
+                      b.add(stride, b.constant_vector(step, width)))
+    summed = b.add(total, stride)
+    b.set_next_vector(total, b.mux_vector(enable, summed, total))
+    b.output("msb", total[-1])
+    return b.build()
+
+
+def serial_multiplier(width: int) -> Circuit:
+    """Serial multiply-accumulate datapath (the s1269 stand-in).
+
+    The multiplicand ``X`` is loaded from the data inputs on the first
+    cycle (while the ``armed`` flag is still 0) and frozen; afterwards
+    each enabled cycle accumulates ``A' = A + X``.  The reachable set
+    settles into the small "A is a multiple of the odd part of X"
+    shape, but breadth-first shells are slices of the *multiplication
+    relation* ``A = m·X`` — exponentially bad BDDs, exactly the blow-up
+    the paper reports for the s1269 multiplier circuit.
+    """
+    b = CircuitBuilder(f"sermul{width}")
+    enable = b.input("en")
+    d_in = b.inputs("d", width)
+    armed = b.latch("armed")
+    x = b.latches("x", width)
+    acc = b.latches("a", width)
+    b.set_next(armed, b.const1)
+    load = ~armed
+    b.set_next_vector(x, b.mux_vector(load, d_in, x))
+    total = b.add(acc, x)
+    take = enable & armed
+    b.set_next_vector(acc, b.mux_vector(take, total, acc))
+    b.output("msb", acc[-1])
+    return b.build()
+
+
+def checksum_memory(words: int, width: int) -> Circuit:
+    """A write-port memory with a running checksum (s3330 stand-in).
+
+    Each write stores ``data`` at ``addr`` and accumulates
+    ``C' = C + data``.  Because overwritten words still contributed to
+    C, the fixpoint decouples memory from checksum (a near-product,
+    small BDD), but breadth-first shells tie the memory contents to the
+    checksum through subset-sum correlations — large, irregular BDDs.
+    This mirrors the channel-plus-CRC structure of communication
+    controllers.
+    """
+    if words & (words - 1):
+        raise ValueError("words must be a power of two")
+    addr_bits = max(1, words.bit_length() - 1)
+    b = CircuitBuilder(f"cksum{words}x{width}")
+    write = b.input("wr")
+    addr = b.inputs("adr", addr_bits)
+    data = b.inputs("dat", width)
+    checksum = b.latches("c", width)
+    memory = [b.latches(f"w{k}_", width) for k in range(words)]
+    for k in range(words):
+        hit = write & b.equals_constant(addr, k)
+        b.set_next_vector(memory[k],
+                          b.mux_vector(hit, data, memory[k]))
+    total = b.add(checksum, data)
+    b.set_next_vector(checksum,
+                      b.mux_vector(write, total, checksum))
+    b.output("c_msb", checksum[-1])
+    return b.build()

@@ -1,0 +1,317 @@
+"""Gate-level sequential circuits (the netlist substrate).
+
+A :class:`Circuit` is a network of two-input gates over primary inputs
+and latch outputs, with named primary outputs and a next-state function
+plus initial value per latch — the same information VIS extracts from a
+network before building transition relations.
+
+Expressions are hash-consed :class:`Net` records with operator
+overloading, so circuit generators read like RTL::
+
+    b = CircuitBuilder("counter")
+    en = b.input("en")
+    q0 = b.latch("q0")
+    b.set_next(q0, q0 ^ en)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Net:
+    """One signal in a circuit: a constant, a variable, or a gate."""
+
+    __slots__ = ("builder", "op", "args", "name")
+
+    #: valid operators; ``var`` args = (), gate args = child Nets
+    OPS = ("const0", "const1", "var", "not", "and", "or", "xor")
+
+    def __init__(self, builder: "CircuitBuilder", op: str,
+                 args: tuple, name: str | None = None) -> None:
+        self.builder = builder
+        self.op = op
+        self.args = args
+        self.name = name
+
+    # Hash-consing makes equal structures identical, so identity
+    # comparisons and dict keys work throughout.
+    def _mk(self, op: str, *args: "Net") -> "Net":
+        return self.builder.gate(op, *args)
+
+    def __invert__(self) -> "Net":
+        return self._mk("not", self)
+
+    def __and__(self, other: "Net") -> "Net":
+        return self._mk("and", self, other)
+
+    def __or__(self, other: "Net") -> "Net":
+        return self._mk("or", self, other)
+
+    def __xor__(self, other: "Net") -> "Net":
+        return self._mk("xor", self, other)
+
+    def ite(self, then_net: "Net", else_net: "Net") -> "Net":
+        """Multiplexer: ``self ? then : else``."""
+        return (self & then_net) | (~self & else_net)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.op == "var":
+            return f"Net({self.name})"
+        return f"Net({self.op}/{len(self.args)})"
+
+
+@dataclass
+class Latch:
+    """A state element: output signal, next-state function, reset value."""
+
+    name: str
+    output: Net
+    next_state: Net | None = None
+    init: bool = False
+
+
+@dataclass
+class Circuit:
+    """A finished sequential circuit."""
+
+    name: str
+    inputs: list[str]
+    latches: list[Latch]
+    outputs: dict[str, Net]
+    #: variable nets by name (inputs and latch outputs)
+    variables: dict[str, Net] = field(default_factory=dict)
+
+    @property
+    def num_latches(self) -> int:
+        return len(self.latches)
+
+    def simulate(self, input_values: dict[str, bool],
+                 state: dict[str, bool]) -> tuple[dict[str, bool],
+                                                  dict[str, bool]]:
+        """One clock cycle: returns (outputs, next state)."""
+        env = dict(state)
+        env.update(input_values)
+        cache: dict[Net, bool] = {}
+        outs = {name: eval_net(net, env, cache)
+                for name, net in self.outputs.items()}
+        nxt = {latch.name: eval_net(latch.next_state, env, cache)
+               for latch in self.latches}
+        return outs, nxt
+
+    def initial_state(self) -> dict[str, bool]:
+        """Reset values of all latches."""
+        return {latch.name: latch.init for latch in self.latches}
+
+
+def eval_net(net: Net, env: dict[str, bool],
+             cache: dict[Net, bool] | None = None) -> bool:
+    """Evaluate a signal under an assignment of variables to booleans."""
+    if cache is None:
+        cache = {}
+
+    def rec(net: Net) -> bool:
+        if net.op == "const0":
+            return False
+        if net.op == "const1":
+            return True
+        if net.op == "var":
+            return env[net.name]
+        value = cache.get(net)
+        if value is not None:
+            return value
+        if net.op == "not":
+            value = not rec(net.args[0])
+        elif net.op == "and":
+            value = rec(net.args[0]) and rec(net.args[1])
+        elif net.op == "or":
+            value = rec(net.args[0]) or rec(net.args[1])
+        else:  # xor
+            value = rec(net.args[0]) != rec(net.args[1])
+        cache[net] = value
+        return value
+
+    return rec(net)
+
+
+class CircuitBuilder:
+    """Incrementally construct a :class:`Circuit`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inputs: list[str] = []
+        self._latches: list[Latch] = []
+        self._outputs: dict[str, Net] = {}
+        self._variables: dict[str, Net] = {}
+        self._gates: dict[tuple, Net] = {}
+        self.const0 = Net(self, "const0", ())
+        self.const1 = Net(self, "const1", ())
+
+    # -- signals -------------------------------------------------------
+
+    def input(self, name: str) -> Net:
+        """Declare a primary input."""
+        if name in self._variables:
+            raise ValueError(f"signal {name!r} already exists")
+        net = Net(self, "var", (), name)
+        self._variables[name] = net
+        self._inputs.append(name)
+        return net
+
+    def inputs(self, prefix: str, count: int) -> list[Net]:
+        """Declare an input vector ``prefix0 .. prefix{count-1}``."""
+        return [self.input(f"{prefix}{i}") for i in range(count)]
+
+    def latch(self, name: str, init: bool = False) -> Net:
+        """Declare a latch; its next-state is set later."""
+        if name in self._variables:
+            raise ValueError(f"signal {name!r} already exists")
+        net = Net(self, "var", (), name)
+        self._variables[name] = net
+        self._latches.append(Latch(name=name, output=net, init=init))
+        return net
+
+    def latches(self, prefix: str, count: int,
+                init: int = 0) -> list[Net]:
+        """Declare a latch vector with ``init`` as little-endian reset."""
+        return [self.latch(f"{prefix}{i}", init=bool(init >> i & 1))
+                for i in range(count)]
+
+    def set_next(self, latch_net: Net, next_state: Net) -> None:
+        """Define the next-state function of a declared latch."""
+        for latch in self._latches:
+            if latch.output is latch_net:
+                latch.next_state = next_state
+                return
+        raise ValueError("not a latch of this builder")
+
+    def set_next_vector(self, latch_nets: list[Net],
+                        next_states: list[Net]) -> None:
+        """Vector form of :meth:`set_next`."""
+        if len(latch_nets) != len(next_states):
+            raise ValueError("vector length mismatch")
+        for latch_net, next_net in zip(latch_nets, next_states):
+            self.set_next(latch_net, next_net)
+
+    def output(self, name: str, net: Net) -> None:
+        """Name a primary output."""
+        self._outputs[name] = net
+
+    # -- gates ---------------------------------------------------------
+
+    def gate(self, op: str, *args: Net) -> Net:
+        """Hash-consed gate constructor with local simplifications."""
+        if op == "not":
+            (a,) = args
+            if a.op == "const0":
+                return self.const1
+            if a.op == "const1":
+                return self.const0
+            if a.op == "not":
+                return a.args[0]
+        else:
+            a, b = args
+            if op == "and":
+                if a.op == "const0" or b.op == "const0":
+                    return self.const0
+                if a.op == "const1":
+                    return b
+                if b.op == "const1":
+                    return a
+                if a is b:
+                    return a
+            elif op == "or":
+                if a.op == "const1" or b.op == "const1":
+                    return self.const1
+                if a.op == "const0":
+                    return b
+                if b.op == "const0":
+                    return a
+                if a is b:
+                    return a
+            elif op == "xor":
+                if a.op == "const0":
+                    return b
+                if b.op == "const0":
+                    return a
+                if a.op == "const1":
+                    return self.gate("not", b)
+                if b.op == "const1":
+                    return self.gate("not", a)
+                if a is b:
+                    return self.const0
+            if id(a) > id(b):  # commutative normal form
+                a, b = b, a
+            args = (a, b)
+        key = (op,) + tuple(id(x) for x in args)
+        net = self._gates.get(key)
+        if net is None:
+            net = Net(self, op, args)
+            self._gates[key] = net
+        return net
+
+    # -- vector helpers (little-endian) ---------------------------------
+
+    def constant_vector(self, value: int, width: int) -> list[Net]:
+        """Width-bit constant as a little-endian net list."""
+        return [self.const1 if value >> i & 1 else self.const0
+                for i in range(width)]
+
+    def mux_vector(self, sel: Net, then_nets: list[Net],
+                   else_nets: list[Net]) -> list[Net]:
+        """Bitwise multiplexer over two equal-width vectors."""
+        if len(then_nets) != len(else_nets):
+            raise ValueError("vector width mismatch")
+        return [sel.ite(t, e) for t, e in zip(then_nets, else_nets)]
+
+    def increment(self, bits: list[Net]) -> list[Net]:
+        """Ripple incrementer (wraps around)."""
+        out = []
+        carry = self.const1
+        for bit in bits:
+            out.append(bit ^ carry)
+            carry = bit & carry
+        return out
+
+    def decrement(self, bits: list[Net]) -> list[Net]:
+        """Ripple decrementer (wraps around)."""
+        out = []
+        borrow = self.const1
+        for bit in bits:
+            out.append(bit ^ borrow)
+            borrow = ~bit & borrow
+        return out
+
+    def add(self, a: list[Net], b: list[Net]) -> list[Net]:
+        """Ripple-carry adder (modulo 2^width)."""
+        if len(a) != len(b):
+            raise ValueError("vector width mismatch")
+        out = []
+        carry = self.const0
+        for x, y in zip(a, b):
+            out.append(x ^ y ^ carry)
+            carry = (x & y) | (carry & (x ^ y))
+        return out
+
+    def equals_constant(self, bits: list[Net], value: int) -> Net:
+        """Comparator against a constant."""
+        acc = self.const1
+        for i, bit in enumerate(bits):
+            acc = acc & (bit if value >> i & 1 else ~bit)
+        return acc
+
+    def is_zero(self, bits: list[Net]) -> Net:
+        """NOR-reduction: true when the vector is all zeros."""
+        return self.equals_constant(bits, 0)
+
+    # -- finish ---------------------------------------------------------
+
+    def build(self) -> Circuit:
+        """Validate and freeze the circuit."""
+        for latch in self._latches:
+            if latch.next_state is None:
+                raise ValueError(f"latch {latch.name!r} has no next-state")
+        return Circuit(name=self.name, inputs=list(self._inputs),
+                       latches=list(self._latches),
+                       outputs=dict(self._outputs),
+                       variables=dict(self._variables))

@@ -1,0 +1,18 @@
+"""Experiment harness regenerating the paper's tables."""
+
+from .population import (PopulationEntry, combinational_population,
+                         generate_population, traversal_population)
+from .stats import Measurement, denser, geometric_mean, wins_and_ties
+from .tables import format_table
+
+__all__ = [
+    "PopulationEntry",
+    "generate_population",
+    "combinational_population",
+    "traversal_population",
+    "Measurement",
+    "geometric_mean",
+    "denser",
+    "wins_and_ties",
+    "format_table",
+]

@@ -1,0 +1,202 @@
+"""Function populations for the approximation/decomposition tables.
+
+The paper applies its methods "to the outputs and next state functions
+of a collection of circuits", keeping the 336 functions (out of 7157)
+with at least 5000 BDD nodes.  The circuit collection (ISCAS et al.) is
+not redistributable, so the population here is generated from:
+
+* output and next-state functions of the synthetic circuit suite,
+* reached-set and frontier snapshots from symbolic traversals of those
+  circuits (the BDDs the approximations actually face in Section 4),
+* classic hard combinational families — middle multiplier bits, hidden
+  weighted bit, non-interleaved adder carries, random DNF — which are
+  the standard stand-ins for large industrial cones.
+
+Node thresholds scale down relative to the paper (default 300 against
+the paper's 5000) because the substrate is pure Python; the population
+statistics in Tables 2–4 are population-relative, so the comparison
+shape is preserved (EXPERIMENTS.md discusses the scaling).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..bdd.function import Function
+from ..bdd.manager import Manager
+from ..fsm import encode
+from ..fsm.am2910 import am2910
+from ..fsm.benchmarks import (comm_controller, pipeline_controller,
+                              serial_multiplier, shift_queue)
+from ..reach import TransitionRelation
+
+
+@dataclass
+class PopulationEntry:
+    """One function of the experiment population."""
+
+    name: str
+    function: Function
+
+
+def multiplier_bit(manager: Manager, n: int, bit: int) -> Function:
+    """Output ``bit`` of an n x n combinational multiplier.
+
+    Middle product bits are the canonical exponentially-hard BDD
+    functions for any variable order.
+    """
+    a = [manager.add_var(f"ma{i}") for i in range(n)]
+    b = [manager.add_var(f"mb{i}") for i in range(n)]
+    width = 2 * n
+    columns: list[list[Function]] = [[] for _ in range(width)]
+    for i in range(n):
+        for j in range(n):
+            columns[i + j].append(a[i] & b[j])
+    carry_in: list[Function] = []
+    result = manager.false
+    for k in range(bit + 1):
+        bits = columns[k] + carry_in
+        carry_out: list[Function] = []
+        while len(bits) > 1:
+            if len(bits) >= 3:
+                x, y, z = bits[:3]
+                bits = bits[3:]
+                bits.append(x ^ y ^ z)
+                carry_out.append((x & y) | (z & (x ^ y)))
+            else:
+                x, y = bits[:2]
+                bits = bits[2:]
+                bits.append(x ^ y)
+                carry_out.append(x & y)
+        result = bits[0] if bits else manager.false
+        carry_in = carry_out
+    return result
+
+
+def hidden_weighted_bit(manager: Manager, n: int) -> Function:
+    """HWB(x) = x_{weight(x)} (0 if the weight is 0); hard everywhere."""
+    xs = [manager.add_var(f"h{i}") for i in range(n)]
+    # weight_is[k] = characteristic function of weight == k, built by
+    # dynamic programming over the inputs.
+    weight_is = [manager.true] + [manager.false] * n
+    for x in xs:
+        new = [weight_is[0] & ~x]
+        for k in range(1, n + 1):
+            new.append((weight_is[k] & ~x) | (weight_is[k - 1] & x))
+        weight_is = new
+    result = manager.false
+    for k in range(1, n + 1):
+        result = result | (weight_is[k] & xs[k - 1])
+    return result
+
+
+def adder_carry(manager: Manager, n: int) -> Function:
+    """Carry-out of an n-bit adder with the two operands *not*
+    interleaved — exponential in n for this order."""
+    a = [manager.add_var(f"aa{i}") for i in range(n)]
+    b = [manager.add_var(f"ab{i}") for i in range(n)]
+    carry = manager.false
+    for x, y in zip(a, b):
+        carry = (x & y) | (carry & (x ^ y))
+    return carry
+
+
+def random_dnf(manager: Manager, variables: list[Function], terms: int,
+               width: int, rng: random.Random) -> Function:
+    """Disjunction of ``terms`` random ``width``-literal cubes."""
+    acc = manager.false
+    for _ in range(terms):
+        cube = manager.true
+        for variable in rng.sample(variables, width):
+            cube = cube & (variable if rng.random() < 0.5 else ~variable)
+        acc = acc | cube
+    return acc
+
+
+def combinational_population(min_nodes: int = 300,
+                             seed: int = 2024) -> list[PopulationEntry]:
+    """The combinational families, filtered by ``min_nodes``."""
+    rng = random.Random(seed)
+    entries: list[PopulationEntry] = []
+
+    def add(name: str, function: Function) -> None:
+        if len(function) >= min_nodes:
+            entries.append(PopulationEntry(name, function))
+
+    for n, bit in ((6, 6), (6, 7), (7, 7), (7, 8)):
+        manager = Manager()
+        add(f"mult{n}_bit{bit}", multiplier_bit(manager, n, bit))
+    for n in (11, 12, 13):
+        manager = Manager()
+        add(f"hwb{n}", hidden_weighted_bit(manager, n))
+    for n in (12, 14, 16):
+        manager = Manager()
+        add(f"adder_carry{n}", adder_carry(manager, n))
+    for idx in range(8):
+        manager = Manager()
+        variables = manager.add_vars(*[f"r{i}" for i in range(18)])
+        add(f"dnf{idx}",
+            random_dnf(manager, variables, terms=14 + 2 * idx,
+                       width=6, rng=rng))
+    return entries
+
+
+#: Circuits whose traversal snapshots join the population, with the
+#: iteration indices to sample.
+_TRAVERSAL_CIRCUITS = (
+    (lambda: pipeline_controller(3, 4), (4, 8, 16)),
+    (lambda: shift_queue(4, 3), (3, 6, 10)),
+    (lambda: shift_queue(5, 3), (4, 8)),
+    (lambda: serial_multiplier(7), (16, 32, 48)),
+    (lambda: comm_controller(10, 2), (2, 3, 4)),
+    (lambda: am2910(4, 3), (2, 3, 4)),
+)
+
+
+def traversal_population(min_nodes: int = 300) -> list[PopulationEntry]:
+    """Reached/frontier snapshots from symbolic traversals.
+
+    These are the BDDs approximation meets in reachability analysis:
+    partially explored state sets with mixed regular/irregular
+    structure.
+    """
+    entries: list[PopulationEntry] = []
+    for make, samples in _TRAVERSAL_CIRCUITS:
+        circuit = make()
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        reached = encoded.initial_states()
+        frontier = reached
+        iteration = 0
+        while not frontier.is_false and iteration < max(samples):
+            image = tr.image(frontier)
+            frontier = image - reached
+            reached = reached | frontier
+            iteration += 1
+            if iteration in samples:
+                for kind, function in (("reached", reached),
+                                       ("frontier", frontier)):
+                    if len(function) >= min_nodes:
+                        entries.append(PopulationEntry(
+                            f"{circuit.name}_{kind}@{iteration}",
+                            function))
+        # next-state and output functions of the same circuit
+        for name, delta in zip(encoded.state_vars,
+                               encoded.next_functions):
+            if len(delta) >= min_nodes:
+                entries.append(PopulationEntry(
+                    f"{circuit.name}_delta_{name}", delta))
+        for name, out in encoded.output_functions.items():
+            if len(out) >= min_nodes:
+                entries.append(PopulationEntry(
+                    f"{circuit.name}_out_{name}", out))
+    return entries
+
+
+def generate_population(min_nodes: int = 300,
+                        seed: int = 2024) -> list[PopulationEntry]:
+    """The full experiment population for Tables 2–4."""
+    population = combinational_population(min_nodes=min_nodes, seed=seed)
+    population.extend(traversal_population(min_nodes=min_nodes))
+    return population

@@ -1,0 +1,88 @@
+"""Statistics used by the paper's tables: geometric means, wins/ties.
+
+Minterm counts are astronomically large integers, so geometric means
+are computed in log space with :func:`repro.bdd.counting.log2int`, and
+density comparisons use exact cross-multiplied integer arithmetic
+(``m_a/n_a >= m_b/n_b  iff  m_a*n_b >= m_b*n_a``) — no floating-point
+ties.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..bdd.counting import log2int
+
+
+def geometric_mean(values: Iterable[float | int]) -> float:
+    """Geometric mean robust to huge integers; zero values count as 0."""
+    total = 0.0
+    count = 0
+    for value in values:
+        count += 1
+        if value == 0:
+            return 0.0
+        if isinstance(value, int):
+            total += log2int(value)
+        else:
+            total += math.log2(value)
+    if count == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    return 2.0 ** (total / count)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Size and minterm count of one method's result on one function."""
+
+    nodes: int
+    minterms: int
+
+    def density_key(self) -> tuple[int, int]:
+        return self.minterms, max(1, self.nodes)
+
+
+def denser(a: Measurement, b: Measurement) -> int:
+    """Exact three-way density comparison: 1 if a > b, 0 tie, -1 else."""
+    ma, na = a.density_key()
+    mb, nb = b.density_key()
+    left, right = ma * nb, mb * na
+    if left > right:
+        return 1
+    if left < right:
+        return -1
+    return 0
+
+
+def wins_and_ties(per_function: Sequence[dict[str, Measurement]]
+                  ) -> dict[str, tuple[int, int]]:
+    """The paper's wins/ties scoring over a population.
+
+    For each function, the densest method(s) are found with exact
+    arithmetic; a sole densest method gets a *win*, methods sharing the
+    top density get *ties* (this matches the tables, where a "tie"
+    means producing the densest result together with other methods).
+    """
+    methods = set()
+    for row in per_function:
+        methods.update(row)
+    score = {method: [0, 0] for method in methods}
+    for row in per_function:
+        best: list[str] = []
+        for method, measurement in row.items():
+            if not best:
+                best = [method]
+                continue
+            relation = denser(measurement, row[best[0]])
+            if relation > 0:
+                best = [method]
+            elif relation == 0:
+                best.append(method)
+        if len(best) == 1:
+            score[best[0]][0] += 1
+        else:
+            for method in best:
+                score[method][1] += 1
+    return {method: (w, t) for method, (w, t) in score.items()}

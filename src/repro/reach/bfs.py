@@ -1,0 +1,81 @@
+"""Exact breadth-first symbolic reachability (the paper's baseline)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..bdd.function import Function
+from .transition import TransitionRelation
+
+
+class TraversalLimit(Exception):
+    """Raised when a traversal exceeds its node or time budget."""
+
+
+@dataclass
+class ReachResult:
+    """Outcome of a reachability run."""
+
+    reached: Function
+    iterations: int
+    #: |reached| per iteration
+    size_trace: list[int] = field(default_factory=list)
+    #: |frontier| per iteration
+    frontier_trace: list[int] = field(default_factory=list)
+    seconds: float = 0.0
+    complete: bool = True
+
+
+def count_states(reached: Function, state_vars: list[str]) -> int:
+    """Number of states in a reached set over the given state bits."""
+    manager = reached.manager
+    # sat_count over all manager variables, then divide by the free ones.
+    total = reached.sat_count()
+    free = manager.num_vars - len(state_vars)
+    return total >> free
+
+
+def bfs_reachability(tr: TransitionRelation, init: Function,
+                     max_iterations: int | None = None,
+                     node_limit: int | None = None,
+                     deadline: float | None = None) -> ReachResult:
+    """Classic breadth-first fixpoint: reached = lfp(init | image).
+
+    Raises :class:`TraversalLimit` if a frontier or the reached set
+    exceeds ``node_limit`` nodes or the wall-clock ``deadline`` (in
+    seconds) passes — the stand-in for the paper's memory-exhausted and
+    ">2 weeks" entries.
+    """
+    start = time.perf_counter()
+    reached = init
+    frontier = init
+    iterations = 0
+    size_trace: list[int] = [len(reached)]
+    frontier_trace: list[int] = [len(frontier)]
+    while not frontier.is_false:
+        if max_iterations is not None and iterations >= max_iterations:
+            return ReachResult(reached=reached, iterations=iterations,
+                               size_trace=size_trace,
+                               frontier_trace=frontier_trace,
+                               seconds=time.perf_counter() - start,
+                               complete=False)
+        image = tr.image(frontier)
+        frontier = image - reached
+        reached = reached | frontier
+        iterations += 1
+        size_trace.append(len(reached))
+        frontier_trace.append(len(frontier))
+        if node_limit is not None and \
+                max(len(reached), len(frontier)) > node_limit:
+            raise TraversalLimit(
+                f"node limit {node_limit} exceeded at iteration "
+                f"{iterations}")
+        if deadline is not None and \
+                time.perf_counter() - start > deadline:
+            raise TraversalLimit(
+                f"deadline {deadline}s exceeded at iteration {iterations}")
+    return ReachResult(reached=reached, iterations=iterations,
+                       size_trace=size_trace,
+                       frontier_trace=frontier_trace,
+                       seconds=time.perf_counter() - start)

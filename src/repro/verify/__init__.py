@@ -1,0 +1,17 @@
+"""Formal verification on top of the reachability engines."""
+
+from .equivalence import (EquivalenceResult, check_equivalence,
+                          product_machine)
+from .invariants import (CheckResult, check_invariant,
+                         hunt_invariant_violation,
+                         prove_by_over_approximation)
+
+__all__ = [
+    "CheckResult",
+    "check_invariant",
+    "hunt_invariant_violation",
+    "prove_by_over_approximation",
+    "EquivalenceResult",
+    "check_equivalence",
+    "product_machine",
+]

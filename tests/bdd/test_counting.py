@@ -1,0 +1,152 @@
+"""Minterm counting, density, path profiles."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bdd import Manager, density, log2int, sat_count, shared_size
+from repro.bdd.counting import (distance_from_root, distance_to_one,
+                                height_map, minterm_count_map, path_count)
+
+from ..helpers import fresh_manager, random_function, truth_table
+
+
+class TestSatCount:
+    def test_constants(self):
+        m = Manager(vars=["a", "b"])
+        assert m.true.sat_count() == 4
+        assert m.false.sat_count() == 0
+
+    def test_single_variable(self):
+        m, vs = fresh_manager(5)
+        assert vs[0].sat_count() == 16
+
+    def test_matches_truth_table(self, random_functions):
+        m, funcs = random_functions
+        names = [f"x{i}" for i in range(12)]
+        for f in funcs[:4]:
+            expected = sum(truth_table(f, names))
+            assert f.sat_count() == expected
+
+    def test_complement_counts(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f.sat_count() + (~f).sat_count() == 2 ** 12
+
+    def test_custom_nvars(self):
+        m, vs = fresh_manager(3)
+        f = vs[0]
+        assert f.sat_count(5) == 16
+        with pytest.raises(ValueError):
+            f.sat_count(0)
+
+    def test_huge_counts_are_exact(self):
+        m, vs = fresh_manager(200)
+        f = vs[0] | vs[199]
+        expected = 2 ** 200 - 2 ** 198
+        assert f.sat_count() == expected
+
+
+class TestMintermCountMap:
+    def test_internal_counts(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        counts = minterm_count_map(f.node, 3)
+        # Bottom node (x2, over 1 var): 1 minterm; middle: 1; top: 1.
+        assert counts[f.node] == 1
+
+    def test_root_count_scales(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            counts = minterm_count_map(f.node, 12)
+            assert counts[f.node] << f.node.level == f.sat_count()
+
+
+class TestDensity:
+    def test_definition(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            expected = f.sat_count() / len(f)
+            assert math.isclose(density(f), expected, rel_tol=1e-9)
+
+    def test_false_density_zero(self):
+        m = Manager(vars=["a"])
+        assert density(m.false) == 0.0
+
+    def test_true_density(self):
+        m = Manager(vars=["a", "b"])
+        assert density(m.true) == 4.0
+
+    def test_no_overflow_on_many_vars(self):
+        m, vs = fresh_manager(400)
+        f = vs[0]
+        d = density(f)
+        assert d == pytest.approx(2.0 ** 399)
+
+
+class TestLog2Int:
+    def test_small(self):
+        assert log2int(8) == 3.0
+
+    def test_large(self):
+        n = 3 ** 500
+        assert log2int(n) == pytest.approx(500 * math.log2(3), rel=1e-12)
+
+    def test_non_positive(self):
+        with pytest.raises(ValueError):
+            log2int(0)
+
+
+class TestSharedSize:
+    def test_disjoint_functions_add(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & vs[1]
+        g = vs[2] & vs[3]
+        assert shared_size([f.node, g.node]) == len(f) + len(g)
+
+    def test_identical_functions_counted_once(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] | vs[2]
+        assert shared_size([f.node, f.node]) == len(f)
+
+
+class TestPathProfiles:
+    def test_distance_from_root(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        dist = distance_from_root(f.node)
+        assert dist[f.node] == 0
+        assert dist[m.one_node] == 3
+        assert dist[m.zero_node] == 1  # first else-arc
+
+    def test_distance_to_one(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        dist = distance_to_one(f.node, m.one_node)
+        assert dist[f.node] == 3
+
+    def test_every_internal_node_reaches_one(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            dist = distance_to_one(f.node, m.one_node)
+            internal = {n: d for n, d in dist.items()
+                        if not n.is_terminal}
+            assert all(d != math.inf for d in internal.values())
+
+    def test_height_map(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & vs[1] & vs[2] & vs[3]
+        heights = height_map(f.node)
+        assert heights[f.node] == 4
+
+    def test_path_count_cube(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        # One path to ONE, three paths to ZERO.
+        assert path_count(f.node) == 4
+
+    def test_path_count_terminal(self):
+        m = Manager()
+        assert path_count(m.true.node) == 1

@@ -1,0 +1,42 @@
+"""DOT export."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager, to_dot
+
+from ..helpers import fresh_manager
+
+
+class TestToDot:
+    def test_structure(self):
+        m, vs = fresh_manager(2)
+        f = vs[0] & vs[1]
+        dot = to_dot(f)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 2 * len(f)
+        assert 'label="x0"' in dot and 'label="x1"' in dot
+
+    def test_then_solid_else_dashed(self):
+        m, vs = fresh_manager(1)
+        dot = to_dot(vs[0])
+        dashed = [line for line in dot.splitlines()
+                  if "style=dashed" in line]
+        solid = [line for line in dot.splitlines()
+                 if "->" in line and "dashed" not in line]
+        assert len(dashed) == 1
+        assert len(solid) == 1
+
+    def test_terminal_only(self):
+        m = Manager()
+        dot = to_dot(m.true)
+        assert '"t1"' in dot
+
+    def test_ranks_group_levels(self, random_functions):
+        m, funcs = random_functions
+        dot = to_dot(funcs[0])
+        assert dot.count("rank=same") == \
+            len({n.level for n in
+                 __import__("repro.bdd.traversal",
+                            fromlist=["collect_nodes"])
+                 .collect_nodes(funcs[0].node)})

@@ -1,0 +1,76 @@
+"""Boolean expression parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import ExprError, Manager, parse
+
+from ..helpers import fresh_manager
+
+
+class TestParse:
+    def test_precedence(self):
+        m, vs = fresh_manager(3)
+        f = parse(m, "x0 | x1 & x2")
+        assert f == (vs[0] | (vs[1] & vs[2]))
+
+    def test_xor_between_or_and_and(self):
+        m, vs = fresh_manager(3)
+        f = parse(m, "x0 ^ x1 & x2 | x0")
+        assert f == ((vs[0] ^ (vs[1] & vs[2])) | vs[0])
+
+    def test_negation_forms(self):
+        m, vs = fresh_manager(2)
+        assert parse(m, "!x0") == ~vs[0]
+        assert parse(m, "~x0") == ~vs[0]
+        assert parse(m, "!!x0") == vs[0]
+
+    def test_parentheses(self):
+        m, vs = fresh_manager(3)
+        f = parse(m, "(x0 | x1) & x2")
+        assert f == ((vs[0] | vs[1]) & vs[2])
+
+    def test_implication_right_associative(self):
+        m, vs = fresh_manager(3)
+        f = parse(m, "x0 -> x1 -> x2")
+        assert f == vs[0].implies(vs[1].implies(vs[2]))
+
+    def test_iff(self):
+        m, vs = fresh_manager(2)
+        assert parse(m, "x0 <-> x1") == vs[0].equiv(vs[1])
+
+    def test_constants(self):
+        m = Manager()
+        assert parse(m, "0 | 1").is_true
+        assert parse(m, "1 & 0").is_false
+
+    def test_declares_variables_in_order(self):
+        m = Manager()
+        parse(m, "b & a | c")
+        assert m.var_names == ["b", "a", "c"]
+
+    def test_declare_false_rejects_unknown(self):
+        m = Manager(vars=["a"])
+        with pytest.raises(ExprError):
+            parse(m, "a & b", declare=False)
+
+    def test_primed_names(self):
+        m = Manager()
+        f = parse(m, "q' & !q")
+        assert f.support() == {"q'", "q"}
+
+    def test_errors(self):
+        m = Manager()
+        for bad in ["", "a &", "(a", "a b", "a @ b", "& a", "a )"]:
+            with pytest.raises(ExprError):
+                parse(m, bad)
+
+    def test_roundtrip_semantics(self):
+        m, vs = fresh_manager(4)
+        f = parse(m, "(x0 -> x1) & (x2 <-> !x3)")
+        for k in range(16):
+            env = {f"x{i}": bool(k >> i & 1) for i in range(4)}
+            expected = ((not env["x0"]) or env["x1"]) and \
+                (env["x2"] == (not env["x3"]))
+            assert f(**env) == expected

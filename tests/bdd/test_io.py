@@ -1,0 +1,96 @@
+"""Serialization and cross-manager transfer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import (Manager, dump, dumps_many, load, loads_many,
+                       transfer)
+
+from ..helpers import fresh_manager, random_function
+
+
+class TestDumpLoad:
+    def test_roundtrip_same_manager(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert load(m, dump(f)) == f
+
+    def test_roundtrip_fresh_manager(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            target = Manager()
+            g = load(target, dump(f))
+            assert g.sat_count(m.num_vars) == f.sat_count()
+            assert g.support() == f.support()
+
+    def test_roundtrip_different_order(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        target = Manager(vars=[f"x{i}" for i in range(12)][::-1])
+        g = load(target, dump(f))
+        assert g.sat_count() == f.sat_count()
+
+    def test_constants(self):
+        m = Manager(vars=["a"])
+        assert load(m, dump(m.true)).is_true
+        assert load(m, dump(m.false)).is_false
+
+    def test_rejects_garbage(self):
+        m = Manager()
+        with pytest.raises(ValueError):
+            load(m, "not a dump")
+        with pytest.raises(ValueError):
+            load(m, "repro-bdd 1\n")  # missing root
+
+    def test_declare_false(self):
+        m, vs = fresh_manager(3)
+        text = dump(vs[0] & vs[2])
+        target = Manager()
+        with pytest.raises(ValueError):
+            load(target, text, declare=False)
+
+
+class TestMany:
+    def test_roundtrip_many(self, random_functions):
+        m, funcs = random_functions
+        text = dumps_many(funcs[:5])
+        target = Manager()
+        loaded = loads_many(target, text)
+        assert len(loaded) == 5
+        for original, copy in zip(funcs, loaded):
+            assert copy.sat_count(m.num_vars) == original.sat_count()
+
+    def test_count_mismatch(self):
+        m = Manager()
+        with pytest.raises(ValueError):
+            loads_many(m, "count 2\n" + dump(m.true) + "---\n")
+
+
+class TestTransfer:
+    def test_transfer_preserves_semantics(self, random_functions):
+        m, funcs = random_functions
+        target = Manager()
+        for f in funcs[:4]:
+            g = transfer(f, target)
+            assert g.manager is target
+            assert g.sat_count(m.num_vars) == f.sat_count()
+
+    def test_transfer_same_manager_is_identity(self, random_functions):
+        m, funcs = random_functions
+        assert transfer(funcs[0], m) == funcs[0]
+
+    def test_transfer_into_reversed_order(self, random_functions):
+        m, funcs = random_functions
+        target = Manager(vars=[f"x{i}" for i in range(12)][::-1])
+        for f in funcs[:4]:
+            g = transfer(f, target)
+            assert g.sat_count() == f.sat_count()
+            assert g.support() == f.support()
+
+    def test_transfer_shares_subgraphs(self, random_functions):
+        m, funcs = random_functions
+        target = Manager()
+        a = transfer(funcs[0], target)
+        b = transfer(funcs[0], target)
+        assert a == b

@@ -1,0 +1,43 @@
+"""Node primitives."""
+
+from __future__ import annotations
+
+from repro.bdd import TERMINAL_LEVEL, Manager, Node
+
+
+class TestNode:
+    def test_terminal_flags(self):
+        m = Manager()
+        assert m.one_node.is_terminal
+        assert m.zero_node.is_terminal
+        assert m.one_node.value == 1
+        assert m.zero_node.value == 0
+        assert m.one_node.level == TERMINAL_LEVEL
+
+    def test_internal_node_fields(self):
+        m = Manager(vars=["a"])
+        node = m.var("a").node
+        assert not node.is_terminal
+        assert node.value is None
+        assert node.level == 0
+        assert node.hi is m.one_node
+        assert node.lo is m.zero_node
+
+    def test_identity_hashing(self):
+        m = Manager(vars=["a", "b"])
+        n1 = m.var("a").node
+        n2 = m.var("a").node
+        assert n1 is n2
+        assert len({n1, n2}) == 1
+
+    def test_terminal_level_above_all_variables(self):
+        m = Manager(vars=[f"v{i}" for i in range(100)])
+        assert all(m.var(f"v{i}").node.level < TERMINAL_LEVEL
+                   for i in range(100))
+
+    def test_ref_counts_start_consistent(self):
+        m = Manager(vars=["a", "b"])
+        f = m.var("a") & m.var("b")
+        m.collect_garbage()
+        # After GC, the root carries its external reference.
+        assert f.node.ref >= 1

@@ -1,0 +1,77 @@
+"""N-ary combiners, variable swapping, essential variables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import (Manager, conjoin_all, disjoin_all,
+                       essential_variables, swap_variables)
+
+from ..helpers import fresh_manager, random_function
+
+
+class TestNary:
+    def test_conjoin_matches_fold(self, random_functions):
+        m, funcs = random_functions
+        expected = m.true
+        for f in funcs:
+            expected = expected & f
+        assert conjoin_all(m, funcs) == expected
+
+    def test_disjoin_matches_fold(self, random_functions):
+        m, funcs = random_functions
+        expected = m.false
+        for f in funcs:
+            expected = expected | f
+        assert disjoin_all(m, funcs) == expected
+
+    def test_empty(self):
+        m = Manager()
+        assert conjoin_all(m, []).is_true
+        assert disjoin_all(m, []).is_false
+
+    def test_cross_manager_rejected(self):
+        m1, vs1 = fresh_manager(2)
+        m2, vs2 = fresh_manager(2)
+        with pytest.raises(ValueError):
+            conjoin_all(m1, [vs1[0], vs2[0]])
+
+
+class TestSwapVariables:
+    def test_swap_is_involution(self, random_functions):
+        m, funcs = random_functions
+        pairs = {"x0": "x5", "x2": "x7"}
+        for f in funcs[:4]:
+            assert swap_variables(swap_variables(f, pairs), pairs) == f
+
+    def test_swap_semantics(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & ~vs[1]
+        g = swap_variables(f, {"x0": "x1"})
+        assert g == (vs[1] & ~vs[0])
+
+    def test_present_next_swap(self):
+        m = Manager(vars=["q", "q'"])
+        q, qn = m.var("q"), m.var("q'")
+        f = q & ~qn
+        assert swap_variables(f, {"q": "q'"}) == (qn & ~q)
+
+
+class TestEssentialVariables:
+    def test_cube(self):
+        m, vs = fresh_manager(4)
+        cube = vs[0] & ~vs[2]
+        assert essential_variables(cube) == {"x0": True, "x2": False}
+
+    def test_disjunction_has_none(self):
+        m, vs = fresh_manager(2)
+        assert essential_variables(vs[0] | vs[1]) == {}
+
+    def test_mixed(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & (vs[1] | vs[2])
+        assert essential_variables(f) == {"x0": True}
+
+    def test_false(self):
+        m = Manager(vars=["a"])
+        assert essential_variables(m.false) == {}

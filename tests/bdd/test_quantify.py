@@ -1,0 +1,93 @@
+"""Quantification laws and the fused relational product."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+
+from ..helpers import fresh_manager, random_function
+
+
+class TestExists:
+    def test_exists_is_disjunction_of_cofactors(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            e = f.exists(["x0"])
+            assert e == (f.cofactor({"x0": True})
+                         | f.cofactor({"x0": False}))
+
+    def test_exists_removes_support(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            e = f.exists(["x1", "x5"])
+            assert not ({"x1", "x5"} & e.support())
+
+    def test_exists_monotone(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f <= f.exists(["x2", "x3"])
+
+    def test_exists_empty_set(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f.exists([]) == f
+
+    def test_exists_commutes(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f.exists(["x0"]).exists(["x4"]) \
+                == f.exists(["x4", "x0"])
+
+    def test_exists_all_support(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & ~vs[1]
+        assert f.exists(["x0", "x1"]).is_true
+        assert m.false.exists(["x0"]).is_false
+
+
+class TestForall:
+    def test_forall_is_conjunction_of_cofactors(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            a = f.forall(["x0"])
+            assert a == (f.cofactor({"x0": True})
+                         & f.cofactor({"x0": False}))
+
+    def test_forall_antimonotone(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f.forall(["x2", "x3"]) <= f
+
+    def test_duality(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f.forall(["x1", "x6"]) == ~((~f).exists(["x1", "x6"]))
+
+
+class TestAndExists:
+    def test_matches_two_step(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs:
+            g = random_function(m, vs, rng, terms=5)
+            fused = f.and_exists(g, ["x0", "x3", "x7"])
+            two_step = (f & g).exists(["x0", "x3", "x7"])
+            assert fused == two_step
+
+    def test_with_empty_quantifier(self, random_functions):
+        m, funcs = random_functions
+        f, g = funcs[0], funcs[1]
+        assert f.and_exists(g, []) == (f & g)
+
+    def test_terminal_arguments(self):
+        m, vs = fresh_manager(2)
+        f = vs[0] & vs[1]
+        assert m.true.and_exists(f, ["x0"]) == f.exists(["x0"])
+        assert m.false.and_exists(f, ["x0"]).is_false
+
+    def test_image_style_product(self):
+        # A 1-bit toggle: relation (y <-> ~x); image of {x=0} is {y=1}.
+        m = Manager(vars=["x", "y"])
+        x, y = m.var("x"), m.var("y")
+        relation = y.equiv(~x)
+        image = relation.and_exists(~x, ["x"])
+        assert image == y

@@ -1,0 +1,124 @@
+"""constrain and restrict: contracts and the Figure 1 remapping."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager, constrain, restrict
+
+from ..helpers import fresh_manager, random_function
+
+
+class TestContracts:
+    def test_agree_on_care_set(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs:
+            c = random_function(m, vs, rng, terms=4)
+            for op in (restrict, constrain):
+                r = op(f, c)
+                assert (c & r) == (c & f), op.__name__
+
+    def test_true_care_set_is_identity(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert restrict(f, m.true) == f
+            assert constrain(f, m.true) == f
+
+    def test_restrict_support_contained(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs:
+            c = random_function(m, vs, rng, terms=4)
+            assert restrict(f, c).support() <= f.support()
+
+    def test_constrain_identity_on_itself(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            # constrain(f, f) = 1 wherever f holds
+            assert constrain(f, f).is_true or f.is_false
+
+    def test_restrict_usually_shrinks(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        shrunk = 0
+        for f in funcs:
+            c = random_function(m, vs, rng, terms=3)
+            if len(restrict(f, c)) <= len(f):
+                shrunk += 1
+        # Not guaranteed, but should hold for most random instances.
+        assert shrunk >= len(funcs) // 2
+
+
+class TestFigure1:
+    """The exact remapping scenario of Figure 1 of the paper.
+
+    f tests x with children f_t and f_e; the care set c has its
+    else-branch at 0, so restrict replaces f's else child with the then
+    child, the x node becomes redundant, and the recursion continues on
+    f_t.
+    """
+
+    def test_remapping_eliminates_node(self):
+        m = Manager(vars=["x", "y", "z"])
+        x, y, z = (m.var(n) for n in "xyz")
+        f_t = y & z
+        f_e = y | ~z
+        f = m.ite(x, f_t, f_e)
+        c = x  # c's else branch is the constant 0
+        r = restrict(f, c)
+        # The whole else branch is a don't-care: restrict returns the
+        # then cofactor, eliminating the x node.
+        assert r == f_t
+        assert "x" not in r.support()
+        assert len(r) < len(f)
+
+    def test_remapping_agrees_on_care(self):
+        m = Manager(vars=["x", "y", "z"])
+        x, y, z = (m.var(n) for n in "xyz")
+        f = m.ite(x, y & z, y | ~z)
+        r = restrict(f, x)
+        assert (x & r) == (x & f)
+
+    def test_deep_care_zero_branch(self):
+        # The care set kills a branch below the root.
+        m = Manager(vars=["x", "y", "z"])
+        x, y, z = (m.var(n) for n in "xyz")
+        f = m.ite(x, m.ite(y, z, ~z), z)
+        c = x.implies(y)
+        r = restrict(f, c)
+        assert (c & r) == (c & f)
+        assert len(r) <= len(f)
+
+
+class TestConstrainVsRestrict:
+    def test_constrain_can_grow_support(self):
+        # The classic example: constrain pulls care-set variables into
+        # the result, restrict does not.
+        m = Manager(vars=["a", "b", "c"])
+        a, b, c = (m.var(n) for n in "abc")
+        f = c
+        care = a.equiv(b)
+        constrained = constrain(f, care)
+        restricted = restrict(f, care)
+        assert restricted.support() <= f.support()
+        # Both agree on the care set regardless.
+        assert (care & constrained) == (care & f)
+        assert (care & restricted) == (care & f)
+
+    def test_constrain_decomposition_identity(self, random_functions,
+                                              rng):
+        # f = ite(c, constrain(f, c), constrain(f, ~c)) — the property
+        # that makes constrain a *decomposition* operator.
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs[:4]:
+            c = random_function(m, vs, rng, terms=3)
+            assert m.ite(c, constrain(f, c), constrain(f, ~c)) == f
+
+    def test_cross_manager_rejected(self):
+        m1, vs1 = fresh_manager(2)
+        m2, vs2 = fresh_manager(2)
+        import pytest
+        with pytest.raises(ValueError):
+            restrict(vs1[0], vs2[0])
+        with pytest.raises(ValueError):
+            constrain(vs1[0], vs2[0])

@@ -1,0 +1,93 @@
+"""Traversal helpers: node collection, reference counting, paths."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+from repro.bdd.traversal import (collect_node_set, collect_nodes,
+                                 function_refs, iter_paths,
+                                 nodes_by_level, support_levels)
+
+from ..helpers import fresh_manager
+
+
+class TestCollect:
+    def test_excludes_terminals(self):
+        m, vs = fresh_manager(2)
+        f = vs[0] & vs[1]
+        nodes = collect_nodes(f.node)
+        assert len(nodes) == 2
+        assert all(not n.is_terminal for n in nodes)
+
+    def test_terminal_root(self):
+        m = Manager()
+        assert collect_nodes(m.true.node) == []
+
+    def test_shared_subgraph_counted_once(self):
+        m, vs = fresh_manager(3)
+        shared = vs[2]
+        f = m.ite(vs[0], vs[1] & shared, shared)
+        nodes = collect_node_set(f.node)
+        assert len(nodes) == len(f)
+
+
+class TestFunctionRefs:
+    def test_root_has_zero_internal_refs(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        refs = function_refs(f.node)
+        assert refs[f.node] == 0
+
+    def test_chain_refs(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        refs = function_refs(f.node)
+        internal = [n for n in collect_nodes(f.node) if n is not f.node]
+        assert all(refs[n] == 1 for n in internal)
+
+    def test_shared_node_refs(self):
+        m, vs = fresh_manager(3)
+        # Both branches of x0 point at the x2 node.
+        f = m.ite(vs[0], vs[1] & vs[2], vs[2])
+        refs = function_refs(f.node)
+        x2_nodes = [n for n in collect_nodes(f.node) if n.level == 2]
+        assert len(x2_nodes) == 1
+        assert refs[x2_nodes[0]] == 2
+
+    def test_terminal_refs_counted(self):
+        m, vs = fresh_manager(2)
+        f = vs[0] & vs[1]
+        refs = function_refs(f.node)
+        assert refs[m.one_node] == 1
+        assert refs[m.zero_node] == 2
+
+
+class TestLevels:
+    def test_sorted_topologically(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            ordered = nodes_by_level(f.node)
+            position = {n: i for i, n in enumerate(ordered)}
+            for node in ordered:
+                for child in (node.hi, node.lo):
+                    if not child.is_terminal:
+                        assert position[child] > position[node]
+
+    def test_support_levels(self):
+        m, vs = fresh_manager(5)
+        f = vs[1] ^ vs[4]
+        assert support_levels(f.node) == {1, 4}
+
+
+class TestIterPaths:
+    def test_paths_partition_space(self):
+        m, vs = fresh_manager(3)
+        f = (vs[0] & vs[1]) | vs[2]
+        total = 0
+        ones = 0
+        for assignment, value in iter_paths(f.node, m):
+            weight = 2 ** (3 - len(assignment))
+            total += weight
+            if value:
+                ones += weight
+        assert total == 8
+        assert ones == f.sat_count()

@@ -1,0 +1,37 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import Manager
+
+from .helpers import fresh_manager, random_function
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(20240615)
+
+
+@pytest.fixture
+def m8():
+    """Manager with 8 variables and the variable handles."""
+    return fresh_manager(8)
+
+
+@pytest.fixture
+def m12():
+    """Manager with 12 variables and the variable handles."""
+    return fresh_manager(12)
+
+
+@pytest.fixture
+def random_functions(m12, rng):
+    """A batch of random functions on a 12-variable manager."""
+    manager, variables = m12
+    return manager, [random_function(manager, variables, rng,
+                                     terms=6 + i, width=4)
+                     for i in range(8)]

@@ -1,0 +1,98 @@
+"""Compound approximation algorithms (Section 2.2)."""
+
+from __future__ import annotations
+
+from repro.core.approx import (c1, c2, chained, iterated_remap, minimized,
+                               remap_under_approx, short_paths_subset)
+
+
+class TestC1:
+    def test_subset_and_safe(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            r = c1(f)
+            assert r <= f
+            assert r.density() >= f.density() - 1e-9
+
+    def test_never_loses_to_rua(self, random_functions):
+        # The paper: "C1 never loses to RUA".
+        m, funcs = random_functions
+        for f in funcs:
+            rua = remap_under_approx(f)
+            assert c1(f).density() >= rua.density() - 1e-9
+
+    def test_keeps_at_least_rua_minterms(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            rua = remap_under_approx(f)
+            assert c1(f).sat_count() >= rua.sat_count()
+
+
+class TestC2:
+    def test_subset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert c2(f) <= f
+
+    def test_never_loses_to_sp(self, random_functions):
+        # The paper: "C2 never loses to SP" (with SP at the same
+        # threshold the compound uses internally).
+        m, funcs = random_functions
+        for f in funcs:
+            rua_size = len(remap_under_approx(f))
+            sp = short_paths_subset(f, rua_size)
+            assert c2(f, sp_threshold=rua_size).density() \
+                >= sp.density() - 1e-9
+
+    def test_explicit_threshold(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        r = c2(f, sp_threshold=max(1, len(f) // 2))
+        assert r <= f
+
+
+class TestCombinators:
+    def test_minimized_wrapper(self, random_functions):
+        m, funcs = random_functions
+        alpha = minimized(lambda f: remap_under_approx(f))
+        for f in funcs[:4]:
+            r = alpha(f)
+            assert r <= f
+            assert r.density() >= f.density() - 1e-9
+
+    def test_chained_is_composition(self, random_functions):
+        m, funcs = random_functions
+        sp = lambda f: short_paths_subset(f, max(1, len(f) // 2))
+        rua = lambda f: remap_under_approx(f)
+        combo = chained(rua, sp)
+        for f in funcs[:4]:
+            assert combo(f) == rua(sp(f))
+
+    def test_chained_preserves_subset(self, random_functions):
+        m, funcs = random_functions
+        combo = chained(lambda f: remap_under_approx(f),
+                        lambda f: short_paths_subset(f, 20))
+        for f in funcs[:4]:
+            assert combo(f) <= f
+
+
+class TestIteratedRemap:
+    def test_subset_and_safe(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            r = iterated_remap(f)
+            assert r <= f
+            assert r.density() >= f.density() - 1e-9
+
+    def test_empty_qualities_rejected(self, random_functions):
+        import pytest
+
+        m, funcs = random_functions
+        with pytest.raises(ValueError):
+            iterated_remap(funcs[0], qualities=())
+
+    def test_single_quality_equals_rua(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            assert iterated_remap(f, qualities=(1.0,)) \
+                == remap_under_approx(f, quality=1.0)

@@ -1,0 +1,69 @@
+"""Heavy-branch subsetting."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+from repro.core.approx import heavy_branch_subset
+
+from ...helpers import fresh_manager
+
+
+class TestHeavyBranch:
+    def test_subset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            r = heavy_branch_subset(f, max(1, len(f) // 3))
+            assert r <= f
+
+    def test_respects_threshold_roughly(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            threshold = max(4, len(f) // 2)
+            r = heavy_branch_subset(f, threshold)
+            # The heavy subgraph estimate allows slight overshoot from
+            # top-string sharing, never more than the string length.
+            assert len(r) <= threshold + 2
+
+    def test_no_op_when_within_threshold(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert heavy_branch_subset(f, len(f)) == f
+
+    def test_keeps_heavy_child(self):
+        # then-branch has 3 minterms over (y,z), else-branch 1: the
+        # string must keep the then side.
+        m = Manager(vars=["x", "y", "z"])
+        x, y, z = (m.var(n) for n in "xyz")
+        f = m.ite(x, y | z, y & z)
+        r = heavy_branch_subset(f, 2)
+        # The string must descend into the heavy (then) branch of the
+        # root, discarding the light (else) side entirely.
+        assert r <= (x & (y | z))
+        assert r.sat_count() >= 2
+
+    def test_string_shape(self):
+        # The paper: "a BDD with a string of nodes at the top, each
+        # with one child as the constant 0".
+        m, vs = fresh_manager(6)
+        f = m.true
+        for v in vs:
+            f = f & (v | vs[0])
+        wide = (vs[0] & vs[1]) | (vs[2] & vs[3]) | (vs[4] & vs[5])
+        r = heavy_branch_subset(wide, 3)
+        assert r <= wide
+        node = r.node
+        zero = m.zero_node
+        # walk the top string: nodes with one constant-0 child
+        while not node.is_terminal and (node.hi is zero
+                                        or node.lo is zero):
+            node = node.lo if node.hi is zero else node.hi
+
+    def test_nonzero_result(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert not heavy_branch_subset(f, 1).is_false
+
+    def test_constants(self):
+        m = Manager(vars=["a"])
+        assert heavy_branch_subset(m.true, 0).is_true
+        assert heavy_branch_subset(m.false, 0).is_false

@@ -1,0 +1,92 @@
+"""The shared analysis machinery: analyze, flows, nodesSaved."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+from repro.core.approx.info import (analyze, child_flow, full_count,
+                                    nodes_saved)
+
+from ...helpers import fresh_manager
+
+
+class TestAnalyze:
+    def test_counts_and_refs(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        info = analyze(f.node, 3)
+        assert info.size == 3
+        assert info.minterms == 1
+        assert info.refs[f.node] == 1  # external reference only
+
+    def test_minterms_match_sat_count(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            info = analyze(f.node, m.num_vars)
+            assert info.minterms == f.sat_count()
+
+    def test_full_count_terminals(self):
+        m, vs = fresh_manager(4)
+        info = analyze(vs[0].node, 4)
+        assert full_count(info, m.one_node) == 16
+        assert full_count(info, m.zero_node) == 0
+
+
+class TestChildFlow:
+    def test_adjacent_levels(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1]
+        child = f.node.hi
+        assert child_flow(4, 0, child, 3) == 4
+
+    def test_level_gap_doubles(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & vs[3]
+        child = f.node.hi  # tests x3, two levels below
+        assert child.level == 3
+        assert child_flow(1, 0, child, 4) == 4
+
+    def test_terminal_child(self):
+        m, vs = fresh_manager(3)
+        f = vs[2]
+        assert child_flow(1, 2, m.one_node, 3) == 1
+        assert child_flow(2, 0, m.one_node, 3) == 8
+
+
+class TestNodesSaved:
+    def test_chain_fully_dominated(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & vs[1] & vs[2] & vs[3]
+        info = analyze(f.node, 4)
+        dead = nodes_saved(f.node, info)
+        assert len(dead) == 4  # the whole chain dies with the root
+
+    def test_shared_node_survives(self):
+        m, vs = fresh_manager(3)
+        # x2 node shared between the root's two branches; killing only
+        # the then-child leaves it alive through the else path.
+        shared = vs[2]
+        f = m.ite(vs[0], vs[1] & shared, shared)
+        info = analyze(f.node, 3)
+        then_child = f.node.hi
+        dead = nodes_saved(then_child, info)
+        assert then_child in dead
+        assert shared.node not in dead
+
+    def test_protection_blocks_counting(self):
+        m, vs = fresh_manager(3)
+        f = vs[0] & vs[1] & vs[2]
+        info = analyze(f.node, 3)
+        protected = frozenset({f.node.hi})
+        dead = nodes_saved(f.node, info, protected)
+        assert f.node in dead
+        assert f.node.hi not in dead
+        # Protection also blocks propagation below.
+        assert len(dead) == 1
+
+    def test_root_always_dies(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            info = analyze(f.node, m.num_vars)
+            dead = nodes_saved(f.node, info)
+            assert f.node in dead
+            assert len(dead) == len(f)  # root dominates everything

@@ -1,0 +1,67 @@
+"""Safe interval minimization mu(l, u)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.core.approx import safe_minimize
+from repro.core.approx.minimize import minimize_with_dont_cares
+
+from ...helpers import fresh_manager, random_function
+
+
+class TestSafeMinimize:
+    def test_interval_and_safety(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs:
+            extra = random_function(m, vs, rng, terms=3)
+            lower, upper = f, f | extra
+            g = safe_minimize(lower, upper)
+            assert lower <= g <= upper
+            assert len(g) <= min(len(lower), len(upper))
+
+    def test_degenerate_equal_bounds(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert safe_minimize(f, f) == f
+
+    def test_full_interval(self):
+        m, vs = fresh_manager(4)
+        g = safe_minimize(m.false, m.true)
+        assert len(g) == 0  # a constant
+
+    def test_rejects_non_interval(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        narrower = f & m.var("x0")
+        if narrower != f:
+            with pytest.raises(ValueError):
+                safe_minimize(f, narrower)
+
+    def test_cross_manager_rejected(self):
+        m1, vs1 = fresh_manager(2)
+        m2, vs2 = fresh_manager(2)
+        with pytest.raises(ValueError):
+            safe_minimize(vs1[0], vs2[0])
+
+    def test_recovers_minterms_in_interval(self):
+        # The minimizer may return more minterms than the lower bound —
+        # that is the point of C1/C2 compounds.
+        m, vs = fresh_manager(8)
+        lower = vs[0] & vs[1] & vs[2]
+        upper = vs[0]
+        g = safe_minimize(lower, upper)
+        assert lower <= g <= upper
+        assert len(g) <= len(lower)
+
+
+class TestMinimizeWithDontCares:
+    def test_agrees_on_care_set(self, random_functions, rng):
+        m, funcs = random_functions
+        vs = [m.var(f"x{i}") for i in range(12)]
+        for f in funcs[:4]:
+            care = random_function(m, vs, rng, terms=4)
+            g = minimize_with_dont_cares(f, care)
+            assert (care & g) == (care & f)

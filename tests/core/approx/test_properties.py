@@ -1,0 +1,124 @@
+"""Property-based tests of the approximation algorithms (hypothesis).
+
+Every under-approximator must return a subset; every safe algorithm
+must not decrease density; over-approximation duals must return
+supersets.  Exercised on random DNF-shaped functions where each cube's
+width varies, so the approximators see both dense and sparse regions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Manager
+from repro.core.approx import (bdd_under_approx, c1, c2,
+                               heavy_branch_subset, iterated_remap,
+                               over_approx, remap_under_approx,
+                               safe_minimize, short_paths_subset)
+
+NVARS = 8
+NAMES = [f"w{i}" for i in range(NVARS)]
+
+
+@st.composite
+def dnfs(draw):
+    """A DNF as a list of cubes; each cube maps var index -> polarity."""
+    n_cubes = draw(st.integers(min_value=1, max_value=6))
+    cubes = []
+    for _ in range(n_cubes):
+        width = draw(st.integers(min_value=1, max_value=4))
+        indices = draw(st.permutations(range(NVARS)))
+        cube = {}
+        for index in indices[:width]:
+            cube[index] = draw(st.booleans())
+        cubes.append(cube)
+    return cubes
+
+
+def build(manager: Manager, cubes):
+    variables = [manager.var(name) for name in NAMES]
+    acc = manager.false
+    for cube in cubes:
+        term = manager.true
+        for index, polarity in cube.items():
+            literal = variables[index]
+            term = term & (literal if polarity else ~literal)
+        acc = acc | term
+    return acc
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs(), st.integers(min_value=0, max_value=20))
+def test_every_method_returns_subset(cubes, threshold):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    for alpha in (
+            lambda g: heavy_branch_subset(g, threshold),
+            lambda g: short_paths_subset(g, threshold),
+            lambda g: bdd_under_approx(g, threshold),
+            lambda g: remap_under_approx(g, threshold),
+            lambda g: c1(g, threshold),
+            lambda g: c2(g, threshold=threshold),
+            lambda g: iterated_remap(g, threshold=threshold)):
+        assert alpha(f) <= f
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs())
+def test_safe_methods_do_not_decrease_density(cubes):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    base = f.density()
+    for alpha in (lambda g: remap_under_approx(g, quality=1.0),
+                  lambda g: c1(g),
+                  lambda g: iterated_remap(g)):
+        assert alpha(f).density() >= base - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs())
+def test_over_approx_duality(cubes):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    o = over_approx(remap_under_approx, f)
+    assert f <= o
+    assert (~o).density() >= (~f).density() - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs(), dnfs())
+def test_safe_minimize_interval(c1_cubes, c2_cubes):
+    manager = Manager(vars=NAMES)
+    lower = build(manager, c1_cubes)
+    upper = lower | build(manager, c2_cubes)
+    g = safe_minimize(lower, upper)
+    assert lower <= g <= upper
+    assert len(g) <= min(len(lower), len(upper))
+
+
+@settings(max_examples=40, deadline=None)
+@given(dnfs(), st.floats(min_value=0.25, max_value=4.0,
+                         allow_nan=False))
+def test_rua_any_quality_is_subset(cubes, quality):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    r = remap_under_approx(f, quality=quality)
+    assert r <= f
+    if quality >= 1.0:
+        assert r.density() >= f.density() - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(dnfs())
+def test_rua_replacement_ablations_are_subsets(cubes):
+    from repro.core.approx.info import (REPLACE_GRANDCHILD,
+                                        REPLACE_REMAP, REPLACE_ZERO)
+
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    for kinds in ((REPLACE_ZERO,), (REPLACE_REMAP,),
+                  (REPLACE_GRANDCHILD,),
+                  (REPLACE_REMAP, REPLACE_ZERO)):
+        r = remap_under_approx(f, replacements=kinds)
+        assert r <= f
+        assert r.density() >= f.density() - 1e-9

@@ -1,0 +1,48 @@
+"""The method registry used by the harness, CLI, and reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approx import UNDER_APPROXIMATORS, over_approx
+from repro.core.decomp import DECOMPOSERS, decompose
+
+
+class TestUnderApproximatorRegistry:
+    def test_expected_methods_present(self):
+        assert {"hb", "sp", "ua", "rua", "c1", "c2"} \
+            <= set(UNDER_APPROXIMATORS)
+
+    @pytest.mark.parametrize("name", sorted({"hb", "sp", "ua", "rua",
+                                             "c1", "c2"}))
+    def test_registry_contract(self, name, random_functions):
+        m, funcs = random_functions
+        alpha = UNDER_APPROXIMATORS[name]
+        for f in funcs[:3]:
+            r = alpha(f, max(1, len(f) // 2))
+            assert r <= f, name
+
+    @pytest.mark.parametrize("name", ["hb", "sp", "rua"])
+    def test_over_approx_wrapper(self, name, random_functions):
+        m, funcs = random_functions
+        alpha = UNDER_APPROXIMATORS[name]
+        for f in funcs[:3]:
+            o = over_approx(alpha, f, 0 if name == "rua"
+                            else max(1, len(f) // 2))
+            assert f <= o, name
+
+
+class TestDecomposerRegistry:
+    def test_expected_methods(self):
+        assert set(DECOMPOSERS) == {"cofactor", "disjoint", "band"}
+
+    def test_unknown_method_rejected(self, random_functions):
+        m, funcs = random_functions
+        with pytest.raises(ValueError):
+            decompose(funcs[0], "nope")
+
+    @pytest.mark.parametrize("method", ["cofactor", "disjoint", "band"])
+    def test_dispatch(self, method, random_functions):
+        m, funcs = random_functions
+        g, h = decompose(funcs[0], method)
+        assert (g & h) == funcs[0]

@@ -1,0 +1,154 @@
+"""remapUnderApprox: contracts, safety, internals of the three passes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.bdd.function import Function
+from repro.core.approx import remap_over_approx, remap_under_approx
+from repro.core.approx.info import analyze
+from repro.core.approx.remap import build_result, mark_nodes
+
+from ...helpers import fresh_manager, random_function
+
+
+class TestContract:
+    def test_subset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert remap_under_approx(f) <= f
+
+    def test_safe_at_quality_one(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            r = remap_under_approx(f, threshold=0, quality=1.0)
+            assert r.density() >= f.density() - 1e-9
+
+    def test_constant_inputs(self):
+        m = Manager(vars=["a"])
+        assert remap_under_approx(m.true).is_true
+        assert remap_under_approx(m.false).is_false
+
+    def test_nonzero_result_on_nonzero_input(self, random_functions):
+        # A safe under-approximation never collapses a satisfiable
+        # function to FALSE: that would zero the density.
+        m, funcs = random_functions
+        for f in funcs:
+            assert not remap_under_approx(f).is_false
+
+    def test_threshold_stops_shrinking(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        full = remap_under_approx(f, threshold=0)
+        capped = remap_under_approx(f, threshold=len(f))
+        # With the threshold already met, markNodes stops immediately.
+        assert capped == f
+        assert len(full) <= len(f)
+
+    def test_quality_monotonicity(self, random_functions):
+        # Higher quality keeps more (or equal) minterms.
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            aggressive = remap_under_approx(f, quality=1.0)
+            conservative = remap_under_approx(f, quality=2.0)
+            assert conservative.sat_count() >= aggressive.sat_count()
+
+    def test_idempotent_at_fixpoint(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            r = remap_under_approx(f)
+            r2 = remap_under_approx(r)
+            assert r2.density() >= r.density() - 1e-9
+
+
+class TestInternalAccounting:
+    def test_minterm_estimate_is_exact(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            info = analyze(f.node, m.num_vars)
+            mark_nodes(m, f.node, info, 0, 1.0)
+            result = Function(m, build_result(m, f.node, info))
+            assert result.sat_count() == info.minterms
+
+    def test_size_estimate_is_upper_bound(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            info = analyze(f.node, m.num_vars)
+            mark_nodes(m, f.node, info, 0, 1.0)
+            result = Function(m, build_result(m, f.node, info))
+            assert len(result) <= info.size
+
+    def test_no_marks_reproduces_input(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        info = analyze(f.node, m.num_vars)
+        # skip markNodes entirely: buildResult must be the identity
+        assert build_result(m, f.node, info) is f.node
+
+
+class TestReplacementTypes:
+    def test_remap_on_unate_node(self):
+        # f = x·(y | z) + x'·(y & z): the else child is contained in the
+        # then child, so remap keeps the else child.
+        m = Manager(vars=["x", "y", "z"])
+        x, y, z = (m.var(n) for n in "xyz")
+        f = m.ite(x, y | z, y & z)
+        r = remap_under_approx(f)
+        assert r <= f
+        # The and-child is the dense pick here; whatever the decision,
+        # safety must hold.
+        assert r.density() >= f.density() - 1e-9
+
+    def test_grandchild_shared_then(self):
+        # Children of the root test the same variable and share the
+        # then-grandchild; the paper replaces f by y·f_tt.
+        m = Manager(vars=["x", "y", "a", "b"])
+        x, y, a, b = (m.var(n) for n in "xyab")
+        shared = a & b
+        f_t = m.ite(y, shared, a | b)
+        f_e = m.ite(y, shared, ~a & b)
+        f = m.ite(x, f_t, f_e)
+        r = remap_under_approx(f)
+        assert r <= f
+
+    def test_cube_is_kept_whole(self):
+        # A single cube is already maximally dense per node; RUA at
+        # quality 1 must not lose its minterms entirely.
+        m, vs = fresh_manager(6)
+        cube = vs[0] & ~vs[1] & vs[2]
+        r = remap_under_approx(cube)
+        assert not r.is_false
+        assert r <= cube
+
+
+class TestOverApprox:
+    def test_superset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert f <= remap_over_approx(f)
+
+    def test_safe_on_complement(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            o = remap_over_approx(f)
+            assert (~o).density() >= (~f).density() - 1e-9
+
+    def test_constant(self):
+        m = Manager(vars=["a"])
+        assert remap_over_approx(m.false).is_false
+
+
+class TestSweepBehaviour:
+    def test_unreachable_branches_removed(self):
+        # Construct a function, then approximate one that shares nodes;
+        # dead branches of a replaced region must not survive.
+        m, vs = fresh_manager(8)
+        bulk = m.true
+        for v in vs[:6]:
+            bulk = bulk & v
+        sliver = ~vs[0] & vs[6] & vs[7] & vs[1] & ~vs[2] & vs[3]
+        f = bulk | sliver
+        r = remap_under_approx(f)
+        assert r <= f
+        assert r.density() >= f.density() - 1e-9

@@ -1,0 +1,73 @@
+"""Short-path subsetting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bdd import Manager
+from repro.core.approx import short_paths_subset, shortest_path_lengths
+
+from ...helpers import fresh_manager
+
+
+class TestShortestPathLengths:
+    def test_cube_lengths(self):
+        m, vs = fresh_manager(4)
+        cube = vs[0] & vs[1] & vs[2] & vs[3]
+        lengths = shortest_path_lengths(cube)
+        # Every node lies on the single ONE-path of length 4.
+        assert set(lengths.values()) == {4}
+
+    def test_finite_for_all_nodes(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            lengths = shortest_path_lengths(f)
+            assert all(v != math.inf for v in lengths.values())
+
+
+class TestShortPaths:
+    def test_subset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            r = short_paths_subset(f, max(1, len(f) // 3))
+            assert r <= f
+
+    def test_no_op_within_threshold(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert short_paths_subset(f, len(f)) == f
+
+    def test_nonzero_result(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert not short_paths_subset(f, 1).is_false
+
+    def test_hard_threshold_can_return_false(self):
+        m, vs = fresh_manager(8)
+        f = m.false
+        for i in range(0, 8, 2):
+            f = f | (vs[i] & vs[i + 1])
+        r = short_paths_subset(f, 1, hard=True)
+        assert r.is_false or len(r) <= 1
+
+    def test_prefers_large_implicants(self):
+        # One 1-literal cube (short path) plus junk: the subset keeps
+        # the short path first.
+        m, vs = fresh_manager(8)
+        big_cube = vs[0]
+        junk = vs[1] & ~vs[2] & vs[3] & vs[4] & ~vs[5] & vs[6]
+        f = big_cube | junk
+        r = short_paths_subset(f, 2)
+        assert big_cube <= r
+
+    def test_density_improves_on_mixed_functions(self):
+        m, vs = fresh_manager(10)
+        f = vs[0] | (vs[1] & vs[2] & vs[3] & vs[4] & vs[5] & vs[6]
+                     & vs[7] & vs[8] & vs[9])
+        r = short_paths_subset(f, max(1, len(f) // 2))
+        assert r.density() >= f.density()
+
+    def test_constants(self):
+        m = Manager(vars=["a"])
+        assert short_paths_subset(m.true, 0).is_true
+        assert short_paths_subset(m.false, 0).is_false

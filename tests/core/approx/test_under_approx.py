@@ -1,0 +1,62 @@
+"""bddUnderApprox (UA)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.core.approx import bdd_under_approx
+
+from ...helpers import fresh_manager
+
+
+class TestUnderApprox:
+    def test_subset(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert bdd_under_approx(f) <= f
+
+    def test_weight_extremes(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        # weight 0: nodes are worthless, nothing is replaced.
+        conservative = bdd_under_approx(f, weight=0.0)
+        assert conservative == f
+        # weight 1: every replacement that saves a node is accepted;
+        # still a subset.
+        aggressive = bdd_under_approx(f, weight=1.0)
+        assert aggressive <= f
+        assert len(aggressive) <= len(f)
+
+    def test_weight_monotone_in_minterms(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            low = bdd_under_approx(f, weight=0.3)
+            high = bdd_under_approx(f, weight=0.9)
+            assert high.sat_count() <= low.sat_count()
+
+    def test_invalid_weight(self, random_functions):
+        m, funcs = random_functions
+        with pytest.raises(ValueError):
+            bdd_under_approx(funcs[0], weight=1.5)
+
+    def test_threshold_short_circuits(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        assert bdd_under_approx(f, threshold=len(f)) == f
+
+    def test_constants(self):
+        m = Manager(vars=["a"])
+        assert bdd_under_approx(m.true).is_true
+        assert bdd_under_approx(m.false).is_false
+
+    def test_not_necessarily_safe(self):
+        # UA is the paper's non-safe method: it may decrease density.
+        # We only check that it never violates the subset contract even
+        # on adversarial inputs.
+        m, vs = fresh_manager(10)
+        f = vs[0]
+        for v in vs[1:]:
+            f = f ^ v
+        r = bdd_under_approx(f, weight=0.99)
+        assert r <= f

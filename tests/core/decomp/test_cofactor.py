@@ -1,0 +1,112 @@
+"""Cofactor-based decomposition (Equation 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.core.decomp import (best_split_variable, cofactor_decompose,
+                               cofactor_decompose_k, cofactor_sizes)
+
+from ...helpers import fresh_manager
+
+
+class TestCofactorSizes:
+    def test_sizes_match_direct_cofactors(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            sizes = cofactor_sizes(f)
+            for name, (hi_size, lo_size) in sizes.items():
+                assert hi_size == len(f.cofactor({name: True}))
+                assert lo_size == len(f.cofactor({name: False}))
+
+    def test_only_support_variables(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            assert set(cofactor_sizes(f)) == f.support()
+
+
+class TestBestSplit:
+    def test_minimizes_larger_cofactor(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            best = best_split_variable(f)
+            sizes = cofactor_sizes(f)
+            best_value = max(sizes[best])
+            assert all(max(pair) >= best_value
+                       for pair in sizes.values())
+
+    def test_constant_rejected(self):
+        m = Manager(vars=["a"])
+        with pytest.raises(ValueError):
+            best_split_variable(m.true)
+
+
+class TestEquationOne:
+    def test_conjunctive_identity(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            g, h = cofactor_decompose(f)
+            assert (g & h) == f
+
+    def test_disjunctive_identity(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            g, h = cofactor_decompose(f, conjunctive=False)
+            assert (g | h) == f
+
+    def test_explicit_variable(self):
+        m, vs = fresh_manager(4)
+        f = (vs[0] & vs[1]) | (vs[2] & vs[3])
+        g, h = cofactor_decompose(f, variable="x2")
+        assert (g & h) == f
+        # Equation 1 exactly: g = x2 + f_{x2'}, h = x2' + f_{x2}.
+        x2 = vs[2]
+        assert g == (x2 | f.cofactor({"x2": False}))
+        assert h == (~x2 | f.cofactor({"x2": True}))
+
+    def test_factors_smaller_than_f_typically(self, random_functions):
+        m, funcs = random_functions
+        smaller = 0
+        for f in funcs:
+            g, h = cofactor_decompose(f)
+            if max(len(g), len(h)) < len(f):
+                smaller += 1
+        assert smaller >= len(funcs) // 2
+
+    def test_constant_input(self):
+        m = Manager(vars=["a"])
+        g, h = cofactor_decompose(m.true)
+        assert (g & h).is_true
+        g, h = cofactor_decompose(m.false, conjunctive=False)
+        assert (g | h).is_false
+
+
+class TestKWay:
+    def test_partition_covers(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            parts = cofactor_decompose_k(f, 2)
+            union = m.false
+            for part in parts:
+                union = union | part
+            assert union == f
+            assert len(parts) <= 4
+
+    def test_conjunctive_k_way(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        parts = cofactor_decompose_k(f, 2, conjunctive=True)
+        product = m.true
+        for part in parts:
+            product = product & part
+        assert product == f
+
+    def test_k_zero(self, random_functions):
+        m, funcs = random_functions
+        assert cofactor_decompose_k(funcs[0], 0) == [funcs[0]]
+
+    def test_negative_k(self, random_functions):
+        m, funcs = random_functions
+        with pytest.raises(ValueError):
+            cofactor_decompose_k(funcs[0], -1)

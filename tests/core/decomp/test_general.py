@@ -1,0 +1,67 @@
+"""Figure 5: generalized decomposition at arbitrary points."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+from repro.bdd.traversal import collect_nodes
+from repro.core.decomp import band_points, decompose_at_points
+
+from ...helpers import fresh_manager
+
+
+class TestDecomposeAtPoints:
+    def test_conjunctive_identity_any_points(self, random_functions,
+                                             rng):
+        m, funcs = random_functions
+        for f in funcs:
+            nodes = collect_nodes(f.node)
+            points = set(rng.sample(nodes, min(5, len(nodes))))
+            g, h = decompose_at_points(f, points)
+            assert (g & h) == f
+
+    def test_disjunctive_identity_any_points(self, random_functions,
+                                             rng):
+        m, funcs = random_functions
+        for f in funcs:
+            nodes = collect_nodes(f.node)
+            points = set(rng.sample(nodes, min(5, len(nodes))))
+            g, h = decompose_at_points(f, points, conjunctive=False)
+            assert (g | h) == f
+
+    def test_empty_points_identity(self, random_functions):
+        # With no decomposition points the combine steps may still
+        # shuffle the (f, 1) pairs between the two sides, but the
+        # product is always f.
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            g, h = decompose_at_points(f, set())
+            assert (g & h) == f
+
+    def test_root_as_point_is_equation_one(self):
+        m, vs = fresh_manager(4)
+        f = (vs[0] & vs[1]) | (vs[0] & vs[2] & vs[3])
+        g, h = decompose_at_points(f, {f.node})
+        x = m.var(f.var)
+        assert g == (x | f.lo)
+        assert h == (~x | f.hi)
+        assert (g & h) == f
+
+    def test_terminal_input(self):
+        m = Manager(vars=["a"])
+        g, h = decompose_at_points(m.true, set())
+        assert (g & h).is_true
+        g, h = decompose_at_points(m.false, set(), conjunctive=False)
+        assert (g | h).is_false
+
+    def test_all_nodes_as_points(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            points = set(collect_nodes(f.node))
+            g, h = decompose_at_points(f, points)
+            assert (g & h) == f
+
+    def test_band_points_identity(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            g, h = decompose_at_points(f, band_points(f))
+            assert (g & h) == f

@@ -1,0 +1,68 @@
+"""McMillan's canonical conjunctive decomposition."""
+
+from __future__ import annotations
+
+from repro.bdd import Manager
+from repro.core.decomp import conjoin, mcmillan_decompose
+
+from ...helpers import fresh_manager
+
+
+class TestMcMillan:
+    def test_conjunction_identity(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert conjoin(mcmillan_decompose(f)) == f
+
+    def test_factor_count_bounded_by_support(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            assert len(mcmillan_decompose(f)) <= len(f.support()) + 1
+
+    def test_canonical(self):
+        m, vs = fresh_manager(6)
+        f1 = (vs[0] & vs[3]) | (vs[5] & ~vs[2])
+        f2 = ~(~(vs[0] & vs[3]) & ~(vs[5] & ~vs[2]))
+        assert f1 == f2
+        assert mcmillan_decompose(f1) == mcmillan_decompose(f2)
+
+    def test_false(self):
+        m = Manager(vars=["a"])
+        factors = mcmillan_decompose(m.false)
+        assert conjoin(factors).is_false
+
+    def test_true(self):
+        m = Manager(vars=["a"])
+        factors = mcmillan_decompose(m.true)
+        assert conjoin(factors).is_true
+
+    def test_untrimmed_has_one_factor_per_variable(self,
+                                                   random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            factors = mcmillan_decompose(f, trim=False)
+            assert len(factors) == len(f.support())
+
+    def test_factors_depend_on_prefix_only(self, random_functions):
+        # Factor i only mentions the first i support variables.
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            support = sorted(f.support(), key=m.level_of_var)
+            factors = mcmillan_decompose(f, trim=False)
+            for i, factor in enumerate(factors, start=1):
+                allowed = set(support[:i])
+                assert factor.support() <= allowed
+
+    def test_cube_decomposition_literal_factors(self):
+        m, vs = fresh_manager(4)
+        cube = vs[0] & ~vs[2] & vs[3]
+        factors = mcmillan_decompose(cube)
+        assert conjoin(factors) == cube
+        # A cube splits into its literals.
+        assert all(len(factor) == 1 for factor in factors)
+
+    def test_empty_factor_list_guard(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            conjoin([])

@@ -1,0 +1,91 @@
+"""Band and Disjoint decomposition-point selectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.bdd.counting import height_map
+from repro.core.decomp import (band_points, disjoint_points,
+                               score_disjointness)
+
+from ...helpers import fresh_manager
+
+
+class TestBand:
+    def test_band_heights_within_bounds(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            heights = height_map(f.node)
+            total = heights[f.node]
+            for node in band_points(f, 0.3, 0.7):
+                assert 0.3 * total <= heights[node] <= 0.7 * total
+
+    def test_full_band_is_all_nodes(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs[:4]:
+            assert len(band_points(f, 0.0, 1.0)) == len(f)
+
+    def test_empty_band_possible(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        # A degenerate sliver of the band may select nothing.
+        points = band_points(f, 0.49999, 0.50001)
+        assert isinstance(points, set)
+
+    def test_invalid_bounds(self, random_functions):
+        m, funcs = random_functions
+        with pytest.raises(ValueError):
+            band_points(funcs[0], 0.7, 0.3)
+
+    def test_constant(self):
+        m = Manager(vars=["a"])
+        assert band_points(m.true) == set()
+
+
+class TestDisjointScore:
+    def test_disjoint_children(self):
+        m, vs = fresh_manager(6)
+        # Children over disjoint variable sets share nothing.
+        f = m.ite(vs[0], vs[1] & vs[2], vs[4] ^ vs[5])
+        score = score_disjointness(f.node)
+        assert score.sharing == 0.0
+        assert score.balance >= 1.0
+
+    def test_shared_children(self):
+        m, vs = fresh_manager(4)
+        shared = vs[2] & vs[3]
+        f = m.ite(vs[0], shared & vs[1], shared)
+        hi = f.node.hi
+        score = score_disjointness(f.node)
+        assert score.sharing > 0.0
+        assert hi is not None
+
+
+class TestDisjointPoints:
+    def test_returns_nonempty_for_internal(self, random_functions):
+        m, funcs = random_functions
+        for f in funcs:
+            points = disjoint_points(f)
+            assert points
+            # All points are nodes of f with internal children.
+            from repro.bdd.traversal import collect_node_set
+            nodes = collect_node_set(f.node)
+            assert points <= nodes
+
+    def test_candidate_cap(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        few = disjoint_points(f, max_candidates=2)
+        assert len(few) <= 2
+
+    def test_constant(self):
+        m = Manager(vars=["a"])
+        assert disjoint_points(m.true) == set()
+
+    def test_strict_limits_fall_back_to_best(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        points = disjoint_points(f, sharing_limit=-1.0,
+                                 balance_limit=0.5)
+        assert len(points) == 1

@@ -1,0 +1,83 @@
+"""Property-based tests of the decomposition algorithms (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import Manager
+from repro.bdd.traversal import collect_nodes
+from repro.core.decomp import (band_points, cofactor_decompose,
+                               conjoin, decompose_at_points,
+                               disjoint_points, mcmillan_decompose)
+
+NVARS = 8
+NAMES = [f"d{i}" for i in range(NVARS)]
+
+
+@st.composite
+def dnfs(draw):
+    n_cubes = draw(st.integers(min_value=1, max_value=6))
+    cubes = []
+    for _ in range(n_cubes):
+        width = draw(st.integers(min_value=1, max_value=4))
+        indices = draw(st.permutations(range(NVARS)))
+        cubes.append({i: draw(st.booleans()) for i in indices[:width]})
+    return cubes
+
+
+def build(manager: Manager, cubes):
+    variables = [manager.var(name) for name in NAMES]
+    acc = manager.false
+    for cube in cubes:
+        term = manager.true
+        for index, polarity in cube.items():
+            term = term & (variables[index] if polarity
+                           else ~variables[index])
+        acc = acc | term
+    return acc
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs(), st.booleans())
+def test_cofactor_identity(cubes, conjunctive):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    g, h = cofactor_decompose(f, conjunctive=conjunctive)
+    recombined = (g & h) if conjunctive else (g | h)
+    assert recombined == f
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs(), st.randoms(use_true_random=False), st.booleans())
+def test_point_decomposition_identity(cubes, rng, conjunctive):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    nodes = collect_nodes(f.node)
+    k = rng.randint(0, min(4, len(nodes)))
+    points = set(rng.sample(nodes, k)) if k else set()
+    g, h = decompose_at_points(f, points, conjunctive=conjunctive)
+    recombined = (g & h) if conjunctive else (g | h)
+    assert recombined == f
+
+
+@settings(max_examples=40, deadline=None)
+@given(dnfs())
+def test_selector_identity(cubes):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    for selector in (band_points, disjoint_points):
+        g, h = decompose_at_points(f, selector(f))
+        assert (g & h) == f
+
+
+@settings(max_examples=60, deadline=None)
+@given(dnfs())
+def test_mcmillan_identity_and_canonicity(cubes):
+    manager = Manager(vars=NAMES)
+    f = build(manager, cubes)
+    factors = mcmillan_decompose(f)
+    assert conjoin(factors) == f
+    # Rebuilding the same function another way yields the same factors.
+    again = mcmillan_decompose(build(manager, list(reversed(cubes))))
+    if build(manager, list(reversed(cubes))) == f:
+        assert again == factors

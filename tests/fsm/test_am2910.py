@@ -1,0 +1,119 @@
+"""Am2910 model: differential test against the reference semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fsm.am2910 import INSTRUCTIONS, am2910, reference_step
+
+
+def to_latch_state(width: int, depth: int, state: dict) -> dict:
+    sp_bits = max(1, (depth).bit_length())
+    out = {}
+    for i in range(width):
+        out[f"pc{i}"] = bool(state["pc"] >> i & 1)
+        out[f"r{i}"] = bool(state["r"] >> i & 1)
+    for i in range(sp_bits):
+        out[f"sp{i}"] = bool(state["sp"] >> i & 1)
+    for k in range(depth):
+        for i in range(width):
+            out[f"stk{k}_{i}"] = bool(state["stack"][k] >> i & 1)
+    return out
+
+
+def make_inputs(width: int, code: int, cc: bool, d: int) -> dict:
+    inputs = {"cc": cc}
+    for i in range(4):
+        inputs[f"i{i}"] = bool(code >> i & 1)
+    for i in range(width):
+        inputs[f"d{i}"] = bool(d >> i & 1)
+    return inputs
+
+
+class TestModel:
+    def test_latch_count_matches_benchmark(self):
+        # width 12, depth 6: 12 + 12 + 72 + 3 = 99, the benchmark's FF
+        # count.
+        circuit = am2910(12, 6)
+        assert circuit.num_latches == 99
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            am2910(0, 3)
+
+    def test_random_differential(self):
+        width, depth = 4, 3
+        circuit = am2910(width, depth)
+        rng = random.Random(99)
+        state = {"pc": 0, "r": 0, "sp": 0, "stack": (0,) * depth}
+        for _ in range(600):
+            code = rng.randrange(16)
+            cc = rng.random() < 0.5
+            d = rng.randrange(1 << width)
+            inputs = make_inputs(width, code, cc, d)
+            _, next_latches = circuit.simulate(
+                inputs, to_latch_state(width, depth, state))
+            state = reference_step(width, depth, state,
+                                   {"i": code, "cc": cc, "d": d})
+            assert next_latches == to_latch_state(width, depth, state)
+
+    @pytest.mark.parametrize("name", INSTRUCTIONS)
+    def test_each_instruction_differential(self, name):
+        width, depth = 3, 2
+        circuit = am2910(width, depth)
+        code = INSTRUCTIONS.index(name)
+        rng = random.Random(code)
+        for _ in range(40):
+            state = {"pc": rng.randrange(8), "r": rng.randrange(8),
+                     "sp": rng.randrange(depth + 1),
+                     "stack": tuple(rng.randrange(8)
+                                    for _ in range(depth))}
+            cc = rng.random() < 0.5
+            d = rng.randrange(8)
+            inputs = make_inputs(width, code, cc, d)
+            _, next_latches = circuit.simulate(
+                inputs, to_latch_state(width, depth, state))
+            expected = reference_step(width, depth, state,
+                                      {"i": code, "cc": cc, "d": d})
+            assert next_latches == to_latch_state(width, depth,
+                                                  expected), state
+
+
+class TestReferenceSemantics:
+    def test_jz_clears_stack(self):
+        state = {"pc": 5, "r": 2, "sp": 2, "stack": (3, 4)}
+        nxt = reference_step(3, 2, state, {"i": 0, "cc": True, "d": 6})
+        assert nxt["pc"] == 0 and nxt["sp"] == 0
+
+    def test_push_saturates(self):
+        state = {"pc": 1, "r": 0, "sp": 2, "stack": (3, 4)}
+        nxt = reference_step(3, 2, state, {"i": 4, "cc": False, "d": 0})
+        assert nxt["sp"] == 2  # full: no change
+        assert nxt["stack"] == (3, 4)
+
+    def test_pop_on_empty_is_noop(self):
+        state = {"pc": 1, "r": 0, "sp": 0, "stack": (0, 0)}
+        nxt = reference_step(3, 2, state, {"i": 10, "cc": True, "d": 0})
+        assert nxt["sp"] == 0
+        assert nxt["pc"] == 0  # TOS of empty stack reads 0
+
+    def test_rfct_loops_until_counter_zero(self):
+        state = {"pc": 4, "r": 2, "sp": 1, "stack": (7, 0)}
+        nxt = reference_step(3, 2, state, {"i": 8, "cc": True, "d": 0})
+        assert nxt["pc"] == 7 and nxt["r"] == 1 and nxt["sp"] == 1
+        state = dict(nxt)
+        nxt = reference_step(3, 2, state, {"i": 8, "cc": True, "d": 0})
+        assert nxt["pc"] == 7 and nxt["r"] == 0
+        state = dict(nxt)
+        nxt = reference_step(3, 2, state, {"i": 8, "cc": True, "d": 0})
+        # counter exhausted: fall through and pop
+        assert nxt["pc"] == 0 and nxt["sp"] == 0
+
+    def test_cont_increments(self):
+        state = {"pc": 6, "r": 0, "sp": 0, "stack": (0, 0)}
+        nxt = reference_step(3, 2, state, {"i": 14, "cc": False, "d": 0})
+        assert nxt["pc"] == 7
+        nxt = reference_step(3, 2, nxt, {"i": 14, "cc": False, "d": 0})
+        assert nxt["pc"] == 0  # wraps

@@ -1,0 +1,119 @@
+"""Circuit builder and simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fsm import CircuitBuilder, eval_net
+
+
+class TestBuilder:
+    def test_duplicate_signal_rejected(self):
+        b = CircuitBuilder("t")
+        b.input("a")
+        with pytest.raises(ValueError):
+            b.latch("a")
+
+    def test_unset_latch_rejected(self):
+        b = CircuitBuilder("t")
+        b.latch("q")
+        with pytest.raises(ValueError):
+            b.build()
+
+    def test_set_next_foreign_net_rejected(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        with pytest.raises(ValueError):
+            b.set_next(a, a)
+
+    def test_vector_mismatch(self):
+        b = CircuitBuilder("t")
+        qs = b.latches("q", 3)
+        with pytest.raises(ValueError):
+            b.set_next_vector(qs, qs[:2])
+
+
+class TestGateSimplification:
+    def test_constants_fold(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        assert (a & b.const0) is b.const0
+        assert (a & b.const1) is a
+        assert (a | b.const1) is b.const1
+        assert (a ^ b.const0) is a
+        assert (a ^ a) is b.const0
+        assert (~~a) is a
+
+    def test_hash_consing(self):
+        b = CircuitBuilder("t")
+        x, y = b.input("x"), b.input("y")
+        assert (x & y) is (y & x)
+        assert (x ^ y) is (y ^ x)
+
+    def test_xor_with_one_is_not(self):
+        b = CircuitBuilder("t")
+        x = b.input("x")
+        assert (x ^ b.const1) is (~x)
+
+
+class TestEvalNet:
+    def test_mux(self):
+        b = CircuitBuilder("t")
+        s, p, q = b.input("s"), b.input("p"), b.input("q")
+        mux = s.ite(p, q)
+        assert eval_net(mux, {"s": True, "p": True, "q": False})
+        assert not eval_net(mux, {"s": False, "p": True, "q": False})
+
+    def test_vector_helpers(self):
+        b = CircuitBuilder("t")
+        bits = b.inputs("d", 4)
+        for value in range(16):
+            env = {f"d{i}": bool(value >> i & 1) for i in range(4)}
+            inc = b.increment(bits)
+            got = sum(eval_net(x, env) << i for i, x in enumerate(inc))
+            assert got == (value + 1) % 16
+            dec = b.decrement(bits)
+            got = sum(eval_net(x, env) << i for i, x in enumerate(dec))
+            assert got == (value - 1) % 16
+
+    def test_adder(self):
+        b = CircuitBuilder("t")
+        xs = b.inputs("x", 3)
+        ys = b.inputs("y", 3)
+        total = b.add(xs, ys)
+        for p in range(8):
+            for q in range(8):
+                env = {f"x{i}": bool(p >> i & 1) for i in range(3)}
+                env.update({f"y{i}": bool(q >> i & 1) for i in range(3)})
+                got = sum(eval_net(t, env) << i
+                          for i, t in enumerate(total))
+                assert got == (p + q) % 8
+
+    def test_comparators(self):
+        b = CircuitBuilder("t")
+        bits = b.inputs("d", 3)
+        for value in range(8):
+            env = {f"d{i}": bool(value >> i & 1) for i in range(3)}
+            assert eval_net(b.equals_constant(bits, value), env)
+            assert eval_net(b.is_zero(bits), env) == (value == 0)
+
+
+class TestSimulate:
+    def test_counter_behaviour(self):
+        from repro.fsm.benchmarks import counter
+
+        circ = counter(3)
+        state = circ.initial_state()
+        for step in range(10):
+            expected = step % 8
+            got = sum(state[f"q{i}"] << i for i in range(3))
+            assert got == expected
+            _, state = circ.simulate({"en": True}, state)
+
+    def test_disabled_counter_freezes(self):
+        from repro.fsm.benchmarks import counter
+
+        circ = counter(3)
+        state = circ.initial_state()
+        _, nxt = circ.simulate({"en": False}, state)
+        assert nxt == state

@@ -1,0 +1,80 @@
+"""Circuit -> BDD encoding."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.fsm import encode
+from repro.fsm.benchmarks import counter, token_ring
+
+
+class TestEncode:
+    def test_variable_sets(self):
+        enc = encode(counter(3))
+        assert enc.input_vars == ["en"]
+        assert enc.state_vars == ["q0", "q1", "q2"]
+        assert enc.next_vars == ["q0'", "q1'", "q2'"]
+        assert set(enc.manager.var_names) == {"en", "q0", "q1", "q2",
+                                              "q0'", "q1'", "q2'"}
+
+    def test_interleaved_order(self):
+        enc = encode(counter(3))
+        order = enc.manager.var_names
+        for present, nxt in zip(enc.state_vars, enc.next_vars):
+            assert order.index(nxt) == order.index(present) + 1
+
+    def test_inputs_last_option(self):
+        enc = encode(counter(3), inputs_first=False)
+        order = enc.manager.var_names
+        assert order[-1] == "en"
+
+    def test_next_functions_match_simulation(self):
+        circuit = token_ring(3)
+        enc = encode(circuit)
+        rng = random.Random(5)
+        for _ in range(40):
+            inputs = {name: rng.random() < 0.5
+                      for name in circuit.inputs}
+            state = {latch.name: rng.random() < 0.5
+                     for latch in circuit.latches}
+            _, expected = circuit.simulate(inputs, state)
+            env = dict(inputs)
+            env.update(state)
+            for name, delta in zip(enc.state_vars,
+                                   enc.next_functions):
+                full = {v: env.get(v, False)
+                        for v in enc.manager.var_names}
+                assert delta(**full) == expected[name], name
+
+    def test_output_functions_match_simulation(self):
+        circuit = token_ring(3)
+        enc = encode(circuit)
+        rng = random.Random(6)
+        for _ in range(20):
+            inputs = {name: rng.random() < 0.5
+                      for name in circuit.inputs}
+            state = {latch.name: rng.random() < 0.5
+                     for latch in circuit.latches}
+            outs, _ = circuit.simulate(inputs, state)
+            env = dict(inputs)
+            env.update(state)
+            for name, function in enc.output_functions.items():
+                full = {v: env.get(v, False)
+                        for v in enc.manager.var_names}
+                assert function(**full) == outs[name], name
+
+    def test_initial_states_cube(self):
+        circuit = counter(4)
+        enc = encode(circuit)
+        init = enc.initial_states()
+        assert init.sat_count(len(enc.state_vars) +
+                              enc.manager.num_vars -
+                              len(enc.state_vars)) \
+            == 2 ** (enc.manager.num_vars - len(enc.state_vars))
+        assignment = {f"q{i}": False for i in range(4)}
+        assert init == enc.manager.cube(assignment)
+
+    def test_next_of_mapping(self):
+        enc = encode(counter(2))
+        assert enc.next_of == {"q0": "q0'", "q1": "q1'"}

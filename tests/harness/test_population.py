@@ -1,0 +1,74 @@
+"""Population generation (kept small for test speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager
+from repro.harness.population import (adder_carry, combinational_population,
+                                      hidden_weighted_bit, multiplier_bit,
+                                      random_dnf)
+
+
+class TestGenerators:
+    def test_multiplier_bit_semantics(self):
+        n, bit = 3, 3
+        m = Manager()
+        f = multiplier_bit(m, n, bit)
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                for i in range(3):
+                    env[f"ma{i}"] = bool(a >> i & 1)
+                    env[f"mb{i}"] = bool(b >> i & 1)
+                assert f(**env) == bool((a * b) >> bit & 1), (a, b)
+
+    def test_hwb_semantics(self):
+        m = Manager()
+        n = 5
+        f = hidden_weighted_bit(m, n)
+        for x in range(32):
+            bits = [bool(x >> i & 1) for i in range(n)]
+            weight = sum(bits)
+            expected = bits[weight - 1] if weight else False
+            env = {f"h{i}": bits[i] for i in range(n)}
+            assert f(**env) == expected, x
+
+    def test_adder_carry_semantics(self):
+        m = Manager()
+        n = 4
+        f = adder_carry(m, n)
+        for a in range(16):
+            for b in range(16):
+                env = {}
+                for i in range(n):
+                    env[f"aa{i}"] = bool(a >> i & 1)
+                    env[f"ab{i}"] = bool(b >> i & 1)
+                assert f(**env) == (a + b >= 16), (a, b)
+
+    def test_random_dnf_deterministic(self):
+        import random
+
+        m1 = Manager()
+        vs1 = m1.add_vars(*[f"r{i}" for i in range(8)])
+        f1 = random_dnf(m1, vs1, 5, 3, random.Random(7))
+        m2 = Manager()
+        vs2 = m2.add_vars(*[f"r{i}" for i in range(8)])
+        f2 = random_dnf(m2, vs2, 5, 3, random.Random(7))
+        assert f1.sat_count() == f2.sat_count()
+
+
+class TestPopulation:
+    @pytest.fixture(scope="class")
+    def small_population(self):
+        return combinational_population(min_nodes=50)
+
+    def test_threshold_respected(self, small_population):
+        assert all(len(e.function) >= 50 for e in small_population)
+
+    def test_names_unique(self, small_population):
+        names = [e.name for e in small_population]
+        assert len(names) == len(set(names))
+
+    def test_nonempty(self, small_population):
+        assert len(small_population) >= 10

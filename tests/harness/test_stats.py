@@ -1,0 +1,71 @@
+"""Statistics: geometric means and exact wins/ties scoring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness import (Measurement, denser, geometric_mean,
+                           wins_and_ties)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_floats(self):
+        assert geometric_mean([0.5, 2.0]) == pytest.approx(1.0)
+
+    def test_huge_integers(self):
+        values = [10 ** 45, 10 ** 47]
+        assert geometric_mean(values) == pytest.approx(1e46, rel=1e-6)
+
+    def test_zero_collapses(self):
+        assert geometric_mean([0, 100]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestDenser:
+    def test_strict(self):
+        a = Measurement(nodes=10, minterms=100)
+        b = Measurement(nodes=10, minterms=50)
+        assert denser(a, b) == 1
+        assert denser(b, a) == -1
+
+    def test_exact_tie_cross_multiplied(self):
+        a = Measurement(nodes=3, minterms=6)
+        b = Measurement(nodes=5, minterms=10)
+        assert denser(a, b) == 0
+
+    def test_huge_values_no_overflow(self):
+        a = Measurement(nodes=12345, minterms=10 ** 50)
+        b = Measurement(nodes=12346, minterms=10 ** 50)
+        assert denser(a, b) == 1
+
+
+class TestWinsAndTies:
+    def test_sole_winner(self):
+        rows = [{"a": Measurement(1, 10), "b": Measurement(1, 5)}]
+        assert wins_and_ties(rows) == {"a": (1, 0), "b": (0, 0)}
+
+    def test_tie_scored_for_all_best(self):
+        rows = [{"a": Measurement(2, 10), "b": Measurement(4, 20),
+                 "c": Measurement(1, 1)}]
+        score = wins_and_ties(rows)
+        assert score["a"] == (0, 1)
+        assert score["b"] == (0, 1)
+        assert score["c"] == (0, 0)
+
+    def test_accumulates_over_population(self):
+        rows = [
+            {"a": Measurement(1, 4), "b": Measurement(1, 2)},
+            {"a": Measurement(1, 2), "b": Measurement(1, 4)},
+            {"a": Measurement(1, 3), "b": Measurement(1, 3)},
+        ]
+        score = wins_and_ties(rows)
+        assert score["a"] == (1, 1)
+        assert score["b"] == (1, 1)

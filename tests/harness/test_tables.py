@@ -1,0 +1,31 @@
+"""Table formatting."""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["Method", "nodes"],
+                            [["RUA", 30], ["HB", 24]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Method")
+        assert len(lines) == 4
+        assert lines[1].startswith("---")
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table 2")
+        assert text.splitlines()[0] == "Table 2"
+
+    def test_scientific_formatting(self):
+        text = format_table(["m"], [[10 ** 45]])
+        assert "e+" in text
+
+    def test_float_formatting(self):
+        text = format_table(["d"], [[3.14159]])
+        assert "3.1" in text
+
+    def test_small_float_scientific(self):
+        text = format_table(["d"], [[0.00001]])
+        assert "e-" in text

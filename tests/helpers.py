@@ -1,0 +1,46 @@
+"""Shared test utilities: random functions, brute-force oracles."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from repro.bdd import Function, Manager
+
+
+def fresh_manager(nvars: int, prefix: str = "x") -> tuple[Manager,
+                                                          list[Function]]:
+    """A manager with ``nvars`` variables ``x0..``."""
+    manager = Manager()
+    variables = manager.add_vars(*[f"{prefix}{i}" for i in range(nvars)])
+    return manager, variables
+
+
+def random_function(manager: Manager, variables: list[Function],
+                    rng: random.Random, terms: int = 8,
+                    width: int = 3) -> Function:
+    """A random DNF over the given variables."""
+    acc = manager.false
+    width = min(width, len(variables))
+    for _ in range(terms):
+        cube = manager.true
+        for variable in rng.sample(variables, width):
+            cube = cube & (variable if rng.random() < 0.5 else ~variable)
+        acc = acc | cube
+    return acc
+
+
+def truth_table(function: Function, names: list[str]) -> list[bool]:
+    """Exhaustive evaluation over the named variables (small n only)."""
+    n = len(names)
+    return [function(**{names[i]: bool(k >> i & 1) for i in range(n)})
+            for k in range(1 << n)]
+
+
+def assert_equal_semantics(f: Function, oracle: Callable[..., bool],
+                           names: list[str]) -> None:
+    """Check a BDD against a Python oracle on the full truth table."""
+    n = len(names)
+    for k in range(1 << n):
+        assignment = {names[i]: bool(k >> i & 1) for i in range(n)}
+        assert f(**assignment) == oracle(**assignment), assignment

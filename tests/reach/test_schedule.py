@@ -1,0 +1,67 @@
+"""Early-quantification schedule internals."""
+
+from __future__ import annotations
+
+from repro.fsm import encode
+from repro.fsm.benchmarks import comm_controller, counter
+from repro.reach import TransitionRelation
+from repro.reach.transition import _cluster, _quantification_schedule
+
+
+class TestQuantificationSchedule:
+    def test_every_quantifiable_var_scheduled_once(self):
+        encoded = encode(comm_controller(4, 2))
+        tr = TransitionRelation(encoded, cluster_limit=50)
+        quantifiable = set(encoded.state_vars) | set(encoded.input_vars)
+        scheduled: list[str] = []
+        for group in tr.quantify_forward:
+            scheduled.extend(group)
+        assert len(scheduled) == len(set(scheduled))
+        mentioned = set()
+        for cluster in tr.clusters:
+            mentioned |= cluster.support()
+        assert set(scheduled) == quantifiable & mentioned
+
+    def test_no_variable_quantified_before_last_use(self):
+        encoded = encode(comm_controller(4, 2))
+        tr = TransitionRelation(encoded, cluster_limit=50)
+        for index, group in enumerate(tr.quantify_forward):
+            for later in tr.clusters[index + 1:]:
+                assert not (group & later.support()), \
+                    "variable quantified while still in use"
+
+    def test_schedule_helper_directly(self):
+        supports = [{"a", "b"}, {"b", "c"}, {"c"}]
+        schedule = _quantification_schedule(supports, {"a", "b", "c"})
+        assert schedule == [{"a"}, {"b"}, {"c"}]
+
+    def test_schedule_with_unquantifiable(self):
+        supports = [{"a", "y"}, {"y", "b"}]
+        schedule = _quantification_schedule(supports, {"a", "b"})
+        assert schedule == [{"a"}, {"b"}]
+
+
+class TestClustering:
+    def test_cluster_respects_limit_locally(self):
+        encoded = encode(counter(6))
+        partitions = [encoded.manager.var(y).equiv(delta)
+                      for y, delta in zip(encoded.next_vars,
+                                          encoded.next_functions)]
+        clusters = _cluster(partitions, limit=8)
+        assert len(clusters) >= 2
+        # Conjunction of all clusters equals conjunction of partitions.
+        total_a = encoded.manager.true
+        for c in clusters:
+            total_a = total_a & c
+        total_b = encoded.manager.true
+        for p in partitions:
+            total_b = total_b & p
+        assert total_a == total_b
+
+    def test_huge_limit_single_cluster(self):
+        encoded = encode(counter(4))
+        tr = TransitionRelation(encoded, cluster_limit=10 ** 9)
+        assert len(tr.clusters) == 1
+
+    def test_empty_partition_list(self):
+        assert _cluster([], limit=10) == []

@@ -1,0 +1,138 @@
+"""Transition relations: clustering, images, early quantification."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.fsm import encode
+from repro.fsm.benchmarks import counter, token_ring
+from repro.reach import PartialImagePolicy, TransitionRelation
+from repro.core.approx import remap_under_approx
+
+
+def explicit_image(circuit, states: set[tuple]) -> set[tuple]:
+    """Brute-force one-step image over latch-name-sorted state tuples."""
+    latch_names = sorted(latch.name for latch in circuit.latches)
+    out = set()
+    for state_tuple in states:
+        state = dict(zip(latch_names, state_tuple))
+        for bits in itertools.product([False, True],
+                                      repeat=len(circuit.inputs)):
+            inputs = dict(zip(circuit.inputs, bits))
+            _, nxt = circuit.simulate(inputs, state)
+            out.add(tuple(nxt[name] for name in latch_names))
+    return out
+
+
+def to_set(function, encoded) -> set[tuple]:
+    latch_names = sorted(encoded.state_vars)
+    out = set()
+    for assignment in function.iter_minterms(latch_names):
+        out.add(tuple(assignment[name] for name in latch_names))
+    return out
+
+
+class TestImage:
+    @pytest.mark.parametrize("make", [lambda: counter(3),
+                                      lambda: token_ring(3)])
+    def test_image_matches_explicit(self, make):
+        circuit = make()
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        init = encoded.initial_states()
+        symbolic = tr.image(init)
+        latch_names = sorted(encoded.state_vars)
+        init_tuple = tuple(circuit.initial_state()[name]
+                           for name in latch_names)
+        expected = explicit_image(circuit, {init_tuple})
+        assert to_set(symbolic, encoded) == expected
+
+    def test_image_two_steps(self):
+        circuit = token_ring(3)
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        one = tr.image(encoded.initial_states())
+        two = tr.image(one)
+        latch_names = sorted(encoded.state_vars)
+        init_tuple = tuple(circuit.initial_state()[name]
+                           for name in latch_names)
+        explicit_two = explicit_image(circuit,
+                                      explicit_image(circuit,
+                                                     {init_tuple}))
+        assert to_set(two, encoded) == explicit_two
+
+    def test_image_supports_state_vars_only(self):
+        encoded = encode(counter(4))
+        tr = TransitionRelation(encoded)
+        image = tr.image(encoded.initial_states())
+        assert image.support() <= set(encoded.state_vars)
+
+    def test_cluster_limit_changes_count_not_result(self):
+        circuit = token_ring(3)
+        enc1 = encode(circuit)
+        tr_fine = TransitionRelation(enc1, cluster_limit=1)
+        enc2 = encode(circuit)
+        tr_coarse = TransitionRelation(enc2, cluster_limit=10 ** 9)
+        assert len(tr_fine.clusters) >= len(tr_coarse.clusters)
+        img_fine = tr_fine.image(enc1.initial_states())
+        img_coarse = tr_coarse.image(enc2.initial_states())
+        assert to_set(img_fine, enc1) == to_set(img_coarse, enc2)
+
+    def test_monolithic_agrees_with_clusters(self):
+        circuit = counter(3)
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        mono = tr.monolithic()
+        init = encoded.initial_states()
+        direct = (mono & init).exists(
+            set(encoded.state_vars) | set(encoded.input_vars))
+        direct = direct.rename(dict(zip(encoded.next_vars,
+                                        encoded.state_vars)))
+        assert direct == tr.image(init)
+
+
+class TestPreimage:
+    def test_preimage_inverts_image_on_reachable(self):
+        circuit = token_ring(3)
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        init = encoded.initial_states()
+        image = tr.image(init)
+        pre = tr.preimage(image)
+        # Every state whose successors are in image... at least init.
+        assert init <= pre
+
+    def test_preimage_explicit(self):
+        circuit = counter(2)
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        # Preimage of {q=1} is {q=0 (en), q=1 (no en)}.
+        target = encoded.manager.cube({"q0": True, "q1": False})
+        pre = tr.preimage(target)
+        expected = {(False, False), (True, False)}
+        assert to_set(pre, encoded) == expected
+
+
+class TestPartialImage:
+    def test_partial_image_is_subset(self):
+        circuit = token_ring(4)
+        encoded = encode(circuit)
+        tr = TransitionRelation(encoded)
+        init = encoded.initial_states()
+        frontier = tr.image(init)
+        policy = PartialImagePolicy(
+            subset=lambda f, t: remap_under_approx(f, t),
+            trigger=1, threshold=0)
+        partial = tr.image(frontier, partial=policy)
+        exact = tr.image(frontier)
+        assert partial <= exact
+
+    def test_stats_accumulate(self):
+        encoded = encode(counter(3))
+        tr = TransitionRelation(encoded)
+        assert tr.stats.images == 0
+        tr.image(encoded.initial_states())
+        assert tr.stats.images == 1
+        assert tr.stats.peak_product_nodes > 0

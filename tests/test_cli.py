@@ -1,0 +1,74 @@
+"""Command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.fsm.benchmarks import counter, token_ring
+from repro.fsm.blif import write_blif
+
+
+@pytest.fixture
+def counter_blif(tmp_path):
+    path = tmp_path / "counter.blif"
+    path.write_text(write_blif(counter(3)))
+    return str(path)
+
+
+@pytest.fixture
+def ring_blif(tmp_path):
+    path = tmp_path / "ring.blif"
+    path.write_text(write_blif(token_ring(3)))
+    return str(path)
+
+
+class TestInfo:
+    def test_info(self, counter_blif, capsys):
+        assert main(["info", counter_blif]) == 0
+        out = capsys.readouterr().out
+        assert "latches: 3" in out
+        assert "next-state functions" in out
+
+
+class TestReach:
+    def test_bfs(self, counter_blif, capsys):
+        assert main(["reach", counter_blif]) == 0
+        out = capsys.readouterr().out
+        assert "states:     8" in out
+        assert "complete:   True" in out
+
+    @pytest.mark.parametrize("method", ["rua", "sp", "hb"])
+    def test_high_density_methods(self, ring_blif, method, capsys):
+        assert main(["reach", ring_blif, "--method", method,
+                     "--threshold", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "complete:   True" in out
+
+    def test_bounded(self, counter_blif, capsys):
+        assert main(["reach", counter_blif, "--max-iterations",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "complete:   False" in out
+
+
+class TestApprox:
+    def test_table_printed(self, ring_blif, capsys):
+        assert main(["approx", ring_blif, "--min-nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "RUA" in out
+
+    def test_min_nodes_filter(self, counter_blif, capsys):
+        assert main(["approx", counter_blif, "--min-nodes",
+                     "10000"]) == 1
+
+
+class TestDecomp:
+    def test_outputs_decomposed(self, ring_blif, capsys):
+        assert main(["decomp", ring_blif]) == 0
+        out = capsys.readouterr().out
+        assert "Cofactor" in out
+
+    def test_bad_command(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
