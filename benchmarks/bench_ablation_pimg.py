@@ -41,7 +41,7 @@ def run(pimg_method: str):
     circ = circuit()
     encoded = encode(circ)
     tr = TransitionRelation(encoded)
-    sp = lambda f, t: short_paths_subset(f, t)
+    sp = lambda f, *, threshold=0: short_paths_subset(f, threshold)
     policy = None
     trigger, threshold = pimg_trigger()
     if pimg_method == "sp":
@@ -49,7 +49,7 @@ def run(pimg_method: str):
                                     threshold=threshold)
     elif pimg_method == "rua":
         policy = PartialImagePolicy(
-            subset=lambda f, t: remap_under_approx(f, t),
+            subset=lambda f, *, threshold=0: remap_under_approx(f, threshold),
             trigger=trigger, threshold=threshold)
     result = high_density_reachability(
         tr, encoded.initial_states(), sp, threshold=150,

@@ -111,9 +111,11 @@ def run_bfs(row: Table1Row):
         result = bfs_reachability(tr, encoded.initial_states(),
                                   deadline=row.bfs_deadline)
         states = count_states(result.reached, encoded.state_vars)
-        return result.seconds, states, circuit.num_latches
+        return (result.seconds, states, circuit.num_latches,
+                encoded.manager.stats.peak_nodes)
     except TraversalLimit:
-        return None, None, circuit.num_latches
+        return (None, None, circuit.num_latches,
+                encoded.manager.stats.peak_nodes)
 
 
 def run_hd(row: Table1Row, method: str):
@@ -122,10 +124,10 @@ def run_hd(row: Table1Row, method: str):
     tr = TransitionRelation(encoded)
     if method == "rua":
         threshold, quality, pimg = row.rua
-        subset = lambda f, t: remap_under_approx(f, t, quality=quality)
+        subset = lambda f, *, threshold=0: remap_under_approx(f, threshold, quality=quality)
     else:
         threshold, pimg = row.sp
-        subset = lambda f, t: short_paths_subset(f, t)
+        subset = lambda f, *, threshold=0: short_paths_subset(f, threshold)
     policy = None
     if pimg is not None:
         policy = PartialImagePolicy(subset=subset, trigger=pimg[0],
@@ -134,19 +136,20 @@ def run_hd(row: Table1Row, method: str):
         tr, encoded.initial_states(), subset, threshold=threshold,
         partial=policy, deadline=row.hd_deadline)
     states = count_states(result.reached, encoded.state_vars)
-    return result.seconds, states
+    return result.seconds, states, encoded.manager.stats.peak_nodes
 
 
 @pytest.mark.benchmark(group="table1")
 @pytest.mark.parametrize("row", rows_for_scale(),
                          ids=lambda r: r.paper_name)
 def test_table1_bfs(benchmark, row):
-    seconds, states, latches = benchmark.pedantic(
+    seconds, states, latches, peak = benchmark.pedantic(
         run_bfs, args=(row,), rounds=1, iterations=1)
     entry = RESULTS.setdefault(row.paper_name, {})
     entry["ff"] = latches
     entry["bfs"] = seconds
     entry["states"] = states
+    entry["peak"] = max(entry.get("peak", 0), peak)
     if row.paper_name == "am2910" and \
             os.environ.get("REPRO_BENCH_SCALE") == "full":
         assert seconds is None, \
@@ -158,10 +161,11 @@ def test_table1_bfs(benchmark, row):
 @pytest.mark.parametrize("row", rows_for_scale(),
                          ids=lambda r: r.paper_name)
 def test_table1_high_density(benchmark, row, method):
-    seconds, states = benchmark.pedantic(
+    seconds, states, peak = benchmark.pedantic(
         run_hd, args=(row, method), rounds=1, iterations=1)
     entry = RESULTS.setdefault(row.paper_name, {})
     entry[method] = seconds
+    entry["peak"] = max(entry.get("peak", 0), peak)
     expected = entry.get("states")
     if expected is not None:
         assert states == expected, \
@@ -195,11 +199,12 @@ def test_table1_report(benchmark):
             fmt(entry.get("rua", None)),
             row.sp[0],
             fmt(entry.get("sp", None)),
+            entry.get("peak", "?"),
         ])
     print()
     print(format_table(
         ["Ckt", "FF", "States", "BFS time", "Th", "Qual", "PImg",
-         "RUA time", "SP Th", "SP time"],
+         "RUA time", "SP Th", "SP time", "Peak nodes"],
         table,
         title="Table 1: Reachability analysis results using BDD "
               "approximations"))

@@ -21,6 +21,22 @@ from repro.harness import (Measurement, format_table, geometric_mean,
 METHODS = ("F", "HB", "SP", "UA", "RUA")
 
 
+def cache_summary(population) -> str:
+    """Aggregate computed-table statistics over the population managers."""
+    managers = {id(e.function.manager): e.function.manager
+                for e in population}
+    hits = misses = evictions = 0
+    for m in managers.values():
+        t = m.computed.totals()
+        hits += t.hits
+        misses += t.misses
+        evictions += t.evictions
+    lookups = hits + misses
+    rate = hits / lookups if lookups else 0.0
+    return (f"[computed table: {lookups} lookups, {rate:.0%} hit rate, "
+            f"{evictions} evictions over {len(managers)} managers]")
+
+
 def run_simple_methods(population):
     """Apply all simple methods; returns per-function measurements."""
     rows = []
@@ -73,6 +89,7 @@ def test_table2_simple_methods(benchmark, population):
     print()
     print(f"[population: {len(population)} functions]")
     print(summarize(rows))
+    print(cache_summary(population))
     # Shape assertions from the paper: RUA is the densest simple method
     # on geometric mean and takes the most wins.
     score = wins_and_ties([{k: v for k, v in row.items() if k != "F"}

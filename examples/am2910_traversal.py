@@ -50,7 +50,7 @@ def main() -> None:
     start = time.perf_counter()
     hd = high_density_reachability(
         tr_hd, encoded_hd.initial_states(),
-        lambda f, t: short_paths_subset(f, t), threshold=150)
+        lambda f, *, threshold=0: short_paths_subset(f, threshold), threshold=150)
     states = count_states(hd.reached, encoded_hd.state_vars)
     print(f"HD-SP:  {time.perf_counter() - start:6.1f}s  "
           f"{states} states in {hd.iterations} iterations "

@@ -61,7 +61,7 @@ def main() -> None:
     never_full = ~parse(encoded.manager, "v0 & v1 & v2", declare=False)
     hunt = hunt_invariant_violation(
         encoded, tr, never_full,
-        lambda f, t: remap_under_approx(f, t))
+        lambda f, *, threshold=0: remap_under_approx(f, threshold))
     print(f"\nhigh-density hunt: "
           f"{'no violation' if hunt.holds else 'violation found'} in "
           f"{hunt.iterations} dense iterations")

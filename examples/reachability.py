@@ -42,8 +42,8 @@ def main() -> None:
     # High-density traversal with RUA frontier subsetting.
     # ------------------------------------------------------------------
     for label, subsetter, threshold in [
-            ("HD-RUA", lambda f, t: remap_under_approx(f, t), 0),
-            ("HD-SP ", lambda f, t: short_paths_subset(f, t), 50)]:
+            ("HD-RUA", lambda f, *, threshold=0: remap_under_approx(f, threshold), 0),
+            ("HD-SP ", lambda f, *, threshold=0: short_paths_subset(f, threshold), 50)]:
         encoded_hd = encode(circuit)
         tr_hd = TransitionRelation(encoded_hd)
         start = time.perf_counter()

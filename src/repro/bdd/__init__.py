@@ -12,12 +12,13 @@ counting helpers) is a documented advanced API used by the approximation
 and decomposition algorithms in :mod:`repro.core`.
 """
 
+from .computed import CacheOpStats, ComputedTable
 from .counting import bdd_size, density, log2int, sat_count, shared_size
 from .dot import to_dot
 from .expr import ExprError, parse
 from .function import Function
 from .io import dump, dumps_many, load, loads_many, transfer
-from .manager import Manager
+from .manager import Manager, ManagerStats
 from .node import TERMINAL_LEVEL, Node
 from .ops_extra import (conjoin_all, disjoin_all, essential_variables,
                         swap_variables)
@@ -25,6 +26,9 @@ from .restrict import constrain, restrict
 
 __all__ = [
     "Manager",
+    "ManagerStats",
+    "ComputedTable",
+    "CacheOpStats",
     "Function",
     "Node",
     "TERMINAL_LEVEL",

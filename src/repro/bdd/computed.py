@@ -1,0 +1,197 @@
+"""The computed table: a bounded, op-tagged operation cache.
+
+CUDD bounds its computed table to a fixed number of buckets and resolves
+collisions by *overwriting* the incumbent entry — losing a memoized
+result only costs recomputation, never correctness, because the unique
+table re-canonicalizes anything that is re-derived.  This module
+reproduces that policy:
+
+* ``limit=None`` — unbounded ``dict`` storage (the seed behaviour).
+* ``limit=N`` — a fixed array of ``N`` buckets indexed by ``hash(key)
+  % N``; inserting into an occupied bucket evicts the previous entry
+  (CUDD's "overwrite on collision").
+
+Every lookup/insert carries an *op tag* (``"and"``, ``"ite"``,
+``"exists"``, ...) so hit/miss/eviction counts are kept per operation;
+:meth:`ComputedTable.stats` snapshots them for
+:attr:`repro.bdd.manager.Manager.stats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CacheOpStats:
+    """Hit/miss/eviction counters of one operation tag."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the table (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+# Indices into the mutable per-op counter records.
+_HITS, _MISSES, _EVICTIONS = 0, 1, 2
+
+
+class ComputedTable:
+    """Memoization table shared by all manager-level BDD operations.
+
+    Keys are arbitrary hashable tuples built by the operation
+    implementations (by convention ``(op, operand, ...)``); values are
+    canonical nodes — or plain values for predicate caches such as the
+    containment test.  The ``op`` argument of :meth:`lookup` and
+    :meth:`insert` only attributes statistics; it does not partition the
+    key space.
+    """
+
+    __slots__ = ("_limit", "_entries", "_slots", "_occupied", "_ops")
+
+    def __init__(self, limit: int | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise ValueError("cache_limit must be positive or None")
+        self._limit = limit
+        self._entries: dict[Hashable, Any] = {}
+        #: bounded storage: (key, result, op) per bucket
+        self._slots: list[tuple[Hashable, Any, str] | None] = \
+            [None] * limit if limit is not None else []
+        self._occupied = 0
+        #: op tag -> [hits, misses, evictions]
+        self._ops: dict[str, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    @property
+    def limit(self) -> int | None:
+        """Maximum number of entries (None: unbounded)."""
+        return self._limit
+
+    def set_limit(self, limit: int | None) -> None:
+        """Re-bound the table, rehashing the entries that still fit.
+
+        Statistics are preserved; shrinking may silently drop entries
+        whose buckets collide (not counted as evictions — resizing is a
+        policy change, not a capacity decision).
+        """
+        if limit is not None and limit <= 0:
+            raise ValueError("cache_limit must be positive or None")
+        if self._limit is None:
+            # Unbounded storage does not record op tags; recover them
+            # from the conventional ``(op, ...)`` key shape.
+            survivors = [(key, result,
+                          key[0] if isinstance(key, tuple) and key
+                          and isinstance(key[0], str) else "?")
+                         for key, result in self._entries.items()]
+        else:
+            survivors = [slot for slot in self._slots if slot is not None]
+        self._limit = limit
+        self._entries = {}
+        self._slots = [None] * limit if limit is not None else []
+        self._occupied = 0
+        for key, result, op in survivors:
+            if limit is None:
+                self._entries[key] = result
+            else:
+                index = hash(key) % limit
+                if self._slots[index] is None:
+                    self._occupied += 1
+                self._slots[index] = (key, result, op)
+
+    # ------------------------------------------------------------------
+    # The memoization protocol
+    # ------------------------------------------------------------------
+
+    def lookup(self, op: str, key: Hashable) -> Any | None:
+        """Return the memoized result for ``key``, or None on a miss."""
+        record = self._ops.get(op)
+        if record is None:
+            record = self._ops[op] = [0, 0, 0]
+        if self._limit is None:
+            result = self._entries.get(key)
+            if result is None:
+                record[_MISSES] += 1
+            else:
+                record[_HITS] += 1
+            return result
+        slot = self._slots[hash(key) % self._limit]
+        if slot is not None and slot[0] == key:
+            record[_HITS] += 1
+            return slot[1]
+        record[_MISSES] += 1
+        return None
+
+    def insert(self, op: str, key: Hashable, result: Any) -> None:
+        """Memoize ``result`` under ``key``, evicting on bucket clash."""
+        if self._limit is None:
+            self._entries[key] = result
+            return
+        index = hash(key) % self._limit
+        slot = self._slots[index]
+        if slot is None:
+            self._occupied += 1
+        elif slot[0] != key:
+            record = self._ops.get(slot[2])
+            if record is None:
+                record = self._ops[slot[2]] = [0, 0, 0]
+            record[_EVICTIONS] += 1
+        self._slots[index] = (key, result, op)
+
+    def clear(self) -> int:
+        """Drop every entry (GC / reordering flush); returns the count.
+
+        Flushes are not counted as evictions: an eviction is a capacity
+        decision, a flush invalidates results whose nodes may die.
+        """
+        dropped = len(self)
+        if self._limit is None:
+            self._entries.clear()
+        else:
+            self._slots = [None] * self._limit
+            self._occupied = 0
+        return dropped
+
+    def __len__(self) -> int:
+        return self._occupied if self._limit is not None \
+            else len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, CacheOpStats]:
+        """Immutable per-op snapshot of the hit/miss/eviction counters."""
+        return {op: CacheOpStats(hits=r[_HITS], misses=r[_MISSES],
+                                 evictions=r[_EVICTIONS])
+                for op, r in sorted(self._ops.items())}
+
+    def totals(self) -> CacheOpStats:
+        """Aggregate counters across every operation tag."""
+        hits = misses = evictions = 0
+        for record in self._ops.values():
+            hits += record[_HITS]
+            misses += record[_MISSES]
+            evictions += record[_EVICTIONS]
+        return CacheOpStats(hits=hits, misses=misses, evictions=evictions)
+
+    def reset_stats(self) -> None:
+        """Zero all counters (entries are kept)."""
+        self._ops.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        bound = "unbounded" if self._limit is None else f"/{self._limit}"
+        return f"<ComputedTable {len(self)}{bound} entries>"

@@ -91,12 +91,14 @@ class Function:
     def __invert__(self) -> "Function":
         from .operations import not_node
 
+        self.manager.safe_point()
         return self._wrap(not_node(self.manager, self.node))
 
     def __and__(self, other: "Function | bool") -> "Function":
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "and",
                                      self.node, other.node))
 
@@ -106,6 +108,7 @@ class Function:
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "or",
                                      self.node, other.node))
 
@@ -115,6 +118,7 @@ class Function:
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "xor",
                                      self.node, other.node))
 
@@ -125,6 +129,7 @@ class Function:
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "diff",
                                      self.node, other.node))
 
@@ -133,6 +138,7 @@ class Function:
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "imp",
                                      self.node, other.node))
 
@@ -141,6 +147,7 @@ class Function:
         from .operations import apply_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return self._wrap(apply_node(self.manager, "xnor",
                                      self.node, other.node))
 
@@ -150,6 +157,7 @@ class Function:
 
         g = self._coerce(g)
         h = self._coerce(h)
+        self.manager.safe_point()
         return self._wrap(ite_node(self.manager, self.node, g.node, h.node))
 
     # ------------------------------------------------------------------
@@ -161,6 +169,7 @@ class Function:
         from .operations import leq_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         return leq_node(self.manager, self.node, other.node)
 
     def __ge__(self, other: "Function | bool") -> bool:
@@ -197,6 +206,7 @@ class Function:
         """Restrict variables to constants."""
         from .operations import cofactor_node
 
+        self.manager.safe_point()
         levels = {self.manager.level_of_var(n): v
                   for n, v in assignment.items()}
         return self._wrap(cofactor_node(self.manager, self.node, levels))
@@ -205,6 +215,7 @@ class Function:
         """Simultaneously substitute functions for variables."""
         from .operations import vector_compose_node
 
+        self.manager.safe_point()
         levels = {self.manager.level_of_var(n): g.node
                   for n, g in substitution.items()}
         return self._wrap(vector_compose_node(self.manager, self.node,
@@ -238,6 +249,7 @@ class Function:
         """Existential quantification over the named variables."""
         from .quantify import exists_node
 
+        self.manager.safe_point()
         levels = frozenset(self.manager.level_of_var(n) for n in names)
         return self._wrap(exists_node(self.manager, self.node, levels))
 
@@ -245,6 +257,7 @@ class Function:
         """Universal quantification over the named variables."""
         from .quantify import forall_node
 
+        self.manager.safe_point()
         levels = frozenset(self.manager.level_of_var(n) for n in names)
         return self._wrap(forall_node(self.manager, self.node, levels))
 
@@ -254,6 +267,7 @@ class Function:
         from .quantify import and_exists_node
 
         other = self._coerce(other)
+        self.manager.safe_point()
         levels = frozenset(self.manager.level_of_var(n) for n in names)
         return self._wrap(and_exists_node(self.manager, self.node,
                                           other.node, levels))

@@ -1,4 +1,4 @@
-"""The BDD manager: unique table, computed cache, variables, GC.
+"""The BDD manager: unique table, computed table, variables, GC.
 
 The manager owns every node it ever created.  Canonicity is enforced by
 hash-consing through per-level *subtables* (``dict`` keyed by the child
@@ -10,18 +10,101 @@ external references.  Normal operation only ever increments; decrements
 happen during :meth:`Manager.collect_garbage` (which recomputes counts
 from live :class:`~repro.bdd.function.Function` handles) and during
 variable swaps (which maintain them incrementally).
+
+Memory management is CUDD-style and opt-in:
+
+* ``cache_limit`` bounds the computed table
+  (:class:`~repro.bdd.computed.ComputedTable`) to a fixed number of
+  buckets with overwrite-on-collision eviction.
+* ``gc_threshold`` arms *automatic garbage collection*: when the node
+  count crosses the threshold, the next **safe point** — the entry of a
+  Function-level operation, never inside a recursion holding raw
+  :class:`~repro.bdd.node.Node` references — runs
+  :meth:`collect_garbage`.  Code that holds raw nodes across
+  Function-level calls can suspend collection with :meth:`defer_gc`.
+
+:attr:`Manager.stats` snapshots per-operation cache hits/misses/
+evictions, GC count/pauses/reclaimed nodes, peak live nodes, and the
+reorder count; :meth:`reset_stats` rewinds all counters.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import time
 import weakref
 from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
+from .computed import CacheOpStats, ComputedTable
 from .node import Node, TERMINAL_LEVEL
+
+
+@dataclass(frozen=True)
+class ManagerStats:
+    """Point-in-time snapshot of a manager's runtime counters.
+
+    Obtained from :attr:`Manager.stats`; every later performance change
+    measures itself against these numbers.
+    """
+
+    #: live internal nodes right now
+    nodes: int
+    #: historical maximum of live internal nodes
+    peak_nodes: int
+    #: declared variables
+    num_vars: int
+    #: entries currently memoized in the computed table
+    cache_size: int
+    #: configured computed-table bound (None: unbounded)
+    cache_limit: int | None
+    #: per-operation cache counters (op tag -> hits/misses/evictions)
+    cache_per_op: dict[str, CacheOpStats] = field(default_factory=dict)
+    #: garbage collections run (manual + automatic)
+    gc_count: int = 0
+    #: total seconds spent inside collect_garbage
+    gc_pause_total: float = 0.0
+    #: longest single GC pause in seconds
+    gc_pause_max: float = 0.0
+    #: total nodes reclaimed by GC
+    gc_reclaimed: int = 0
+    #: variable reorderings run
+    reorder_count: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(s.hits for s in self.cache_per_op.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(s.misses for s in self.cache_per_op.values())
+
+    @property
+    def cache_evictions(self) -> int:
+        return sum(s.evictions for s in self.cache_per_op.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class Manager:
     """Create and combine BDDs over a growing set of named variables.
+
+    Parameters
+    ----------
+    vars:
+        Variable names to declare up front.
+    cache_limit:
+        Bound on the computed table (None: unbounded, the default).
+    gc_threshold:
+        Node count at which automatic garbage collection arms itself;
+        collection then runs at the next safe point.  None (default)
+        disables automatic GC — :meth:`collect_garbage` stays available
+        for explicit calls.
 
     Example
     -------
@@ -32,7 +115,9 @@ class Manager:
     1
     """
 
-    def __init__(self, vars: Iterable[str] = ()) -> None:
+    def __init__(self, vars: Iterable[str] = (), *,
+                 cache_limit: int | None = None,
+                 gc_threshold: int | None = None) -> None:
         self.zero_node = Node(TERMINAL_LEVEL, None, None, value=0)
         self.one_node = Node(TERMINAL_LEVEL, None, None, value=1)
         # Terminals must never be collected.
@@ -42,8 +127,8 @@ class Manager:
         self._subtables: list[dict[tuple[Node, Node], Node]] = []
         self._level_to_var: list[str] = []
         self._var_to_level: dict[str, int] = {}
-        #: computed table for binary/ternary operations
-        self._cache: dict[tuple, Node] = {}
+        #: computed table shared by every memoized operation
+        self.computed = ComputedTable(cache_limit)
         #: live Function handles (GC roots), keyed by object identity.
         #: A WeakSet would deduplicate *equal* handles (Function defines
         #: value equality), silently dropping roots when the surviving
@@ -53,6 +138,16 @@ class Manager:
         #: statistics, useful in benchmarks
         self.gc_count = 0
         self.reorder_count = 0
+        self._peak_nodes = 0
+        self._gc_pause_total = 0.0
+        self._gc_pause_max = 0.0
+        self._gc_reclaimed = 0
+        self._gc_defer = 0
+        self._gc_threshold = gc_threshold
+        # The live trigger starts at the threshold and is raised after
+        # each collection (see collect_garbage) to avoid GC thrash when
+        # most nodes are live.
+        self._gc_trigger = gc_threshold
         for name in vars:
             self.add_var(name)
 
@@ -142,6 +237,8 @@ class Manager:
             lo.ref += 1
             subtable[key] = node
             self._num_nodes += 1
+            if self._num_nodes > self._peak_nodes:
+                self._peak_nodes = self._num_nodes
         return node
 
     # ------------------------------------------------------------------
@@ -175,16 +272,17 @@ class Manager:
         return [len(t) for t in self._subtables]
 
     # ------------------------------------------------------------------
-    # Cache and function registry
+    # Cache limit and function registry
     # ------------------------------------------------------------------
 
-    def cache_lookup(self, key: tuple) -> Node | None:
-        """Look up the computed table (advanced API)."""
-        return self._cache.get(key)
+    @property
+    def cache_limit(self) -> int | None:
+        """Computed-table bound (None: unbounded)."""
+        return self.computed.limit
 
-    def cache_insert(self, key: tuple, result: Node) -> None:
-        """Insert into the computed table (advanced API)."""
-        self._cache[key] = result
+    def set_cache_limit(self, limit: int | None) -> None:
+        """Re-bound the computed table, dropping memoized results."""
+        self.computed.set_limit(limit)
 
     def register(self, function: "Function") -> None:
         """Track a Function handle as a garbage-collection root."""
@@ -209,6 +307,46 @@ class Manager:
     # Garbage collection
     # ------------------------------------------------------------------
 
+    @property
+    def gc_threshold(self) -> int | None:
+        """Node count arming automatic GC (None: disabled)."""
+        return self._gc_threshold
+
+    @gc_threshold.setter
+    def gc_threshold(self, value: int | None) -> None:
+        if value is not None and value <= 0:
+            raise ValueError("gc_threshold must be positive or None")
+        self._gc_threshold = value
+        self._gc_trigger = value
+
+    def safe_point(self) -> None:
+        """Run pending automatic GC if armed — called where no raw
+        ``Node`` references are held outside Function handles.
+
+        Every Function-level operation calls this on entry; node-level
+        recursions never do, so collection cannot invalidate raw nodes
+        mid-recursion.
+        """
+        if self._gc_trigger is None or self._gc_defer \
+                or self._num_nodes < self._gc_trigger:
+            return
+        self.collect_garbage()
+
+    @contextmanager
+    def defer_gc(self):
+        """Suspend automatic GC while holding raw node references.
+
+        Advanced API for algorithms that keep raw :class:`Node` refs
+        across Function-level operations; nests freely.  A collection
+        postponed by the deferral runs at the next safe point after the
+        outermost block exits.
+        """
+        self._gc_defer += 1
+        try:
+            yield self
+        finally:
+            self._gc_defer -= 1
+
     def collect_garbage(self) -> int:
         """Remove nodes unreachable from live Function handles.
 
@@ -218,6 +356,7 @@ class Manager:
         Only call this at a *safe point*: any raw :class:`Node` reference
         held outside a Function handle is invalidated.
         """
+        start = time.perf_counter()
         marked: set[int] = set()
         stack = self.live_roots()
         while stack:
@@ -235,9 +374,19 @@ class Manager:
                 del subtable[key]
                 reclaimed += 1
         self._num_nodes -= reclaimed
-        self._cache.clear()
+        self.computed.clear()
         self._recount_refs()
         self.gc_count += 1
+        self._gc_reclaimed += reclaimed
+        pause = time.perf_counter() - start
+        self._gc_pause_total += pause
+        if pause > self._gc_pause_max:
+            self._gc_pause_max = pause
+        if self._gc_threshold is not None:
+            # Raise the live trigger above the surviving population so a
+            # mostly-live heap does not re-collect on every safe point.
+            self._gc_trigger = max(self._gc_threshold,
+                                   2 * self._num_nodes)
         return reclaimed
 
     def _recount_refs(self) -> None:
@@ -257,6 +406,37 @@ class Manager:
         self.one_node.ref += 1
 
     # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> ManagerStats:
+        """Snapshot of all runtime counters (see :class:`ManagerStats`)."""
+        return ManagerStats(
+            nodes=self._num_nodes,
+            peak_nodes=self._peak_nodes,
+            num_vars=self.num_vars,
+            cache_size=len(self.computed),
+            cache_limit=self.computed.limit,
+            cache_per_op=self.computed.stats(),
+            gc_count=self.gc_count,
+            gc_pause_total=self._gc_pause_total,
+            gc_pause_max=self._gc_pause_max,
+            gc_reclaimed=self._gc_reclaimed,
+            reorder_count=self.reorder_count,
+        )
+
+    def reset_stats(self) -> None:
+        """Rewind every statistics counter; entries and nodes survive."""
+        self.computed.reset_stats()
+        self.gc_count = 0
+        self.reorder_count = 0
+        self._peak_nodes = self._num_nodes
+        self._gc_pause_total = 0.0
+        self._gc_pause_max = 0.0
+        self._gc_reclaimed = 0
+
+    # ------------------------------------------------------------------
     # Convenience forwarding (implemented in sibling modules)
     # ------------------------------------------------------------------
 
@@ -265,6 +445,7 @@ class Manager:
         from .function import Function
         from .operations import ite_node
 
+        self.safe_point()
         return Function(self, ite_node(self, f.node, g.node, h.node))
 
     def apply(self, op: str, f: "Function", g: "Function") -> "Function":
@@ -272,12 +453,44 @@ class Manager:
         from .function import Function
         from .operations import apply_node
 
+        self.safe_point()
         return Function(self, apply_node(self, op, f.node, g.node))
+
+    def conjoin(self, functions: Iterable["Function"]) -> "Function":
+        """AND of many functions, combining the two smallest first.
+
+        Balanced smallest-first combination is the standard trick for
+        keeping intermediate BDDs small when conjoining many partitions
+        (transition relations, McMillan factors).
+        """
+        return self._combine(functions, "and", self.true)
+
+    def disjoin(self, functions: Iterable["Function"]) -> "Function":
+        """OR of many functions, combining the two smallest first."""
+        return self._combine(functions, "or", self.false)
+
+    def _combine(self, functions: Iterable["Function"], op: str,
+                 neutral: "Function") -> "Function":
+        counter = itertools.count()
+        heap: list[tuple[int, int, "Function"]] = []
+        for function in functions:
+            if function.manager is not self:
+                raise ValueError("operands belong to different managers")
+            heapq.heappush(heap, (len(function), next(counter), function))
+        if not heap:
+            return neutral
+        while len(heap) > 1:
+            _, _, a = heapq.heappop(heap)
+            _, _, b = heapq.heappop(heap)
+            combined = self.apply(op, a, b)
+            heapq.heappush(heap, (len(combined), next(counter), combined))
+        return heap[0][2]
 
     def cube(self, assignment: dict[str, bool]) -> "Function":
         """Conjunction of literals, e.g. ``{"a": True, "b": False}``."""
         from .function import Function
 
+        self.safe_point()
         node = self.one_node
         for name in sorted(assignment,
                            key=lambda n: self._var_to_level[n],

@@ -1,6 +1,7 @@
 """Core BDD operations on raw nodes: ITE, apply, compose, cofactor.
 
-All functions here are memoized through the manager's computed table.
+All functions here are memoized through the manager's op-tagged
+:class:`~repro.bdd.computed.ComputedTable`.
 Results are canonical nodes in the same manager.  The node-level API is
 used by the approximation/decomposition algorithms; user code should go
 through :class:`~repro.bdd.function.Function`.
@@ -49,6 +50,8 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
         raise ValueError(f"unknown operator {op!r}") from None
     one, zero = manager.one_node, manager.zero_node
     terminals = (zero, one)
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     commutative = op in _COMMUTATIVE
 
@@ -85,14 +88,14 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
         if commutative and id(f) > id(g):
             f, g = g, f
         key = (op, f, g)
-        cached = manager.cache_lookup(key)
+        cached = cache_get(op, key)
         if cached is not None:
             return cached
         level = top_level(f, g)
         f_hi, f_lo = cofactors_at(f, level)
         g_hi, g_lo = cofactors_at(g, level)
         result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
-        manager.cache_insert(key, result)
+        cache_put(op, key, result)
         return result
 
     return rec(f, g)
@@ -101,6 +104,8 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
 def not_node(manager: Manager, f: Node) -> Node:
     """Complement a BDD (no complement arcs: O(|f|) new nodes)."""
     one, zero = manager.one_node, manager.zero_node
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node) -> Node:
         if f is zero:
@@ -108,12 +113,12 @@ def not_node(manager: Manager, f: Node) -> Node:
         if f is one:
             return zero
         key = ("not", f)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("not", key)
         if cached is not None:
             return cached
         result = manager.mk(f.level, rec(f.hi), rec(f.lo))
-        manager.cache_insert(key, result)
-        manager.cache_insert(("not", result), f)
+        cache_put("not", key, result)
+        cache_put("not", ("not", result), f)
         return result
 
     return rec(f)
@@ -122,6 +127,8 @@ def not_node(manager: Manager, f: Node) -> Node:
 def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
     """If-then-else ``f·g + f'·h`` with standard terminal cases."""
     one, zero = manager.one_node, manager.zero_node
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node, g: Node, h: Node) -> Node:
         if f is one:
@@ -139,7 +146,7 @@ def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
         elif f is h:  # ite(f, g, f) = f & g
             h = zero
         key = ("ite", f, g, h)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("ite", key)
         if cached is not None:
             return cached
         level = top_level(f, g, h)
@@ -148,10 +155,26 @@ def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
         h_hi, h_lo = cofactors_at(h, level)
         result = manager.mk(level, rec(f_hi, g_hi, h_hi),
                             rec(f_lo, g_lo, h_lo))
-        manager.cache_insert(key, result)
+        cache_put("ite", key, result)
         return result
 
     return rec(f, g, h)
+
+
+class _ManagerLeqCache:
+    """Adapter memoizing containment queries in the manager's computed
+    table (op tag ``"leq"``) behind :func:`leq_node`'s dict protocol."""
+
+    __slots__ = ("_computed",)
+
+    def __init__(self, computed) -> None:
+        self._computed = computed
+
+    def get(self, key: tuple[Node, Node]) -> bool | None:
+        return self._computed.lookup("leq", ("leq", key[0], key[1]))
+
+    def __setitem__(self, key: tuple[Node, Node], value: bool) -> None:
+        self._computed.insert("leq", ("leq", key[0], key[1]), value)
 
 
 def leq_node(manager: Manager, f: Node, g: Node,
@@ -159,11 +182,12 @@ def leq_node(manager: Manager, f: Node, g: Node,
     """Containment test ``f <= g`` (f implies g) without building BDDs.
 
     ``cache`` may be supplied to share memoization across many queries
-    (RUA's markNodes performs one containment test per node).
+    (RUA's markNodes performs one containment test per node); by default
+    queries memoize in the manager's computed table.
     """
     one, zero = manager.one_node, manager.zero_node
     if cache is None:
-        cache = {}
+        cache = _ManagerLeqCache(manager.computed)
 
     def rec(f: Node, g: Node) -> bool:
         if f is zero or g is one or f is g:
@@ -190,12 +214,14 @@ def cofactor_node(manager: Manager, f: Node,
     if not levels:
         return f
     frozen = tuple(sorted(levels.items()))
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node) -> Node:
         if f.is_terminal or f.level > frozen[-1][0]:
             return f
         key = ("cof", f, frozen)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("cof", key)
         if cached is not None:
             return cached
         value = levels.get(f.level)
@@ -205,7 +231,7 @@ def cofactor_node(manager: Manager, f: Node,
             result = rec(f.hi)
         else:
             result = rec(f.lo)
-        manager.cache_insert(key, result)
+        cache_put("cof", key, result)
         return result
 
     return rec(f)
@@ -224,12 +250,14 @@ def vector_compose_node(manager: Manager, f: Node,
         return f
     frozen = tuple(sorted(substitution.items()))
     max_level = frozen[-1][0]
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node) -> Node:
         if f.is_terminal or f.level > max_level:
             return f
         key = ("vcomp", f, frozen)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("vcomp", key)
         if cached is not None:
             return cached
         hi = rec(f.hi)
@@ -242,7 +270,7 @@ def vector_compose_node(manager: Manager, f: Node,
             result = ite_node(manager, var, hi, lo)
         else:
             result = ite_node(manager, replacement, hi, lo)
-        manager.cache_insert(key, result)
+        cache_put("vcomp", key, result)
         return result
 
     return rec(f)

@@ -1,14 +1,12 @@
 """Higher-level operations: n-ary combiners, variable permutation.
 
-The n-ary conjoin/disjoin use balanced (smallest-first) combination —
-the standard trick for keeping intermediate BDDs small when conjoining
-many partitions (transition relations, McMillan factors).
+The n-ary combiners live on the manager (:meth:`Manager.conjoin`,
+:meth:`Manager.disjoin`); the module-level functions remain as thin
+aliases for existing call sites.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 from collections.abc import Iterable
 
 from .function import Function
@@ -17,32 +15,14 @@ from .manager import Manager
 
 def conjoin_all(manager: Manager,
                 functions: Iterable[Function]) -> Function:
-    """AND of many functions, combining the two smallest first."""
-    return _combine(manager, functions, "and", manager.true)
+    """AND of many functions; alias of :meth:`Manager.conjoin`."""
+    return manager.conjoin(functions)
 
 
 def disjoin_all(manager: Manager,
                 functions: Iterable[Function]) -> Function:
-    """OR of many functions, combining the two smallest first."""
-    return _combine(manager, functions, "or", manager.false)
-
-
-def _combine(manager: Manager, functions: Iterable[Function], op: str,
-             neutral: Function) -> Function:
-    counter = itertools.count()
-    heap: list[tuple[int, int, Function]] = []
-    for function in functions:
-        if function.manager is not manager:
-            raise ValueError("operands belong to different managers")
-        heapq.heappush(heap, (len(function), next(counter), function))
-    if not heap:
-        return neutral
-    while len(heap) > 1:
-        _, _, a = heapq.heappop(heap)
-        _, _, b = heapq.heappop(heap)
-        combined = manager.apply(op, a, b)
-        heapq.heappush(heap, (len(combined), next(counter), combined))
-    return heap[0][2]
+    """OR of many functions; alias of :meth:`Manager.disjoin`."""
+    return manager.disjoin(functions)
 
 
 def swap_variables(function: Function, pairs: dict[str, str]

@@ -22,12 +22,14 @@ def exists_node(manager: Manager, f: Node,
     if not levels:
         return f
     max_level = max(levels)
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node) -> Node:
         if f.is_terminal or f.level > max_level:
             return f
         key = ("exists", f, levels)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("exists", key)
         if cached is not None:
             return cached
         hi = rec(f.hi)
@@ -36,7 +38,7 @@ def exists_node(manager: Manager, f: Node,
             result = apply_node(manager, "or", hi, lo)
         else:
             result = manager.mk(f.level, hi, lo)
-        manager.cache_insert(key, result)
+        cache_put("exists", key, result)
         return result
 
     return rec(f)
@@ -48,12 +50,14 @@ def forall_node(manager: Manager, f: Node,
     if not levels:
         return f
     max_level = max(levels)
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node) -> Node:
         if f.is_terminal or f.level > max_level:
             return f
         key = ("forall", f, levels)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("forall", key)
         if cached is not None:
             return cached
         hi = rec(f.hi)
@@ -62,7 +66,7 @@ def forall_node(manager: Manager, f: Node,
             result = apply_node(manager, "and", hi, lo)
         else:
             result = manager.mk(f.level, hi, lo)
-        manager.cache_insert(key, result)
+        cache_put("forall", key, result)
         return result
 
     return rec(f)
@@ -75,6 +79,8 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
     if not levels:
         return apply_node(manager, "and", f, g)
     max_level = max(levels)
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node, g: Node) -> Node:
         if f is zero or g is zero:
@@ -92,7 +98,7 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
         if id(f) > id(g):
             f, g = g, f
         key = ("andex", f, g, levels)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("andex", key)
         if cached is not None:
             return cached
         level = top_level(f, g)
@@ -106,7 +112,7 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
                 result = apply_node(manager, "or", hi, rec(f_lo, g_lo))
         else:
             result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
-        manager.cache_insert(key, result)
+        cache_put("andex", key, result)
         return result
 
     return rec(f, g)

@@ -26,6 +26,8 @@ from .quantify import exists_node
 def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
     """Coudert–Madre generalized cofactor ``f || c``."""
     one, zero = manager.one_node, manager.zero_node
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node, c: Node) -> Node:
         if c is zero:
@@ -40,7 +42,7 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
         if c is one or f.is_terminal:
             return f
         key = ("constrain", f, c)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("constrain", key)
         if cached is not None:
             return cached
         level = top_level(f, c)
@@ -52,7 +54,7 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
             result = rec(f_hi, c_hi)
         else:
             result = manager.mk(level, rec(f_hi, c_hi), rec(f_lo, c_lo))
-        manager.cache_insert(key, result)
+        cache_put("constrain", key, result)
         return result
 
     return rec(f, c)
@@ -67,6 +69,8 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
     the support of ``f`` and the result is usually no larger.
     """
     one, zero = manager.one_node, manager.zero_node
+    cache_get = manager.computed.lookup
+    cache_put = manager.computed.insert
 
     def rec(f: Node, c: Node) -> Node:
         if c is zero:
@@ -76,7 +80,7 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
         if c is one or f.is_terminal:
             return f
         key = ("restrict", f, c)
-        cached = manager.cache_lookup(key)
+        cached = cache_get("restrict", key)
         if cached is not None:
             return cached
         if c.level < f.level:
@@ -96,7 +100,7 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
             else:
                 result = manager.mk(level, rec(f_hi, c_hi),
                                     rec(f_lo, c_lo))
-        manager.cache_insert(key, result)
+        cache_put("restrict", key, result)
         return result
 
     return rec(f, c)
@@ -108,6 +112,7 @@ def constrain(f, c):
 
     if f.manager is not c.manager:
         raise ValueError("operands belong to different managers")
+    f.manager.safe_point()
     return Function(f.manager, constrain_node(f.manager, f.node, c.node))
 
 
@@ -117,4 +122,5 @@ def restrict(f, c):
 
     if f.manager is not c.manager:
         raise ValueError("operands belong to different managers")
+    f.manager.safe_point()
     return Function(f.manager, restrict_node(f.manager, f.node, c.node))

@@ -16,6 +16,12 @@ Commands
 
 All commands read BLIF; the benchmark generators can export BLIF via
 ``repro.fsm.blif.write_blif`` for experimentation.
+
+Runtime options shared by every command configure the manager's memory
+policy and observability: ``--cache-limit`` bounds the computed table,
+``--gc-threshold`` arms automatic garbage collection, and ``--stats``
+prints the :attr:`~repro.bdd.manager.Manager.stats` snapshot after the
+command body.
 """
 
 from __future__ import annotations
@@ -28,19 +34,36 @@ from .core.approx import UNDER_APPROXIMATORS
 from .core.decomp import DECOMPOSERS, decompose
 from .fsm.blif import read_blif
 from .fsm.encode import encode
-from .harness.tables import format_table
+from .harness.tables import format_manager_stats, format_table
 from .reach.bfs import bfs_reachability, count_states
 from .reach.highdensity import high_density_reachability
 from .reach.transition import TransitionRelation
 
 
-def _load(path: str):
-    circuit = read_blif(path)
-    return circuit, encode(circuit)
+def _load(args):
+    """Read the circuit and encode it under the requested runtime policy."""
+    circuit = read_blif(args.circuit)
+    encoded = encode(circuit)
+    manager = encoded.manager
+    try:
+        if getattr(args, "cache_limit", None) is not None:
+            manager.set_cache_limit(args.cache_limit)
+        if getattr(args, "gc_threshold", None) is not None:
+            manager.gc_threshold = args.gc_threshold
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    return circuit, encoded
+
+
+def _finish(args, encoded) -> None:
+    """Shared epilogue: print the manager runtime stats when asked."""
+    if getattr(args, "stats", False):
+        print()
+        print(format_manager_stats(encoded.manager.stats))
 
 
 def cmd_info(args) -> int:
-    circuit, encoded = _load(args.circuit)
+    circuit, encoded = _load(args)
     print(f"model:   {circuit.name}")
     print(f"inputs:  {len(circuit.inputs)}")
     print(f"latches: {circuit.num_latches}")
@@ -50,11 +73,12 @@ def cmd_info(args) -> int:
                                    encoded.next_functions)]
     print(format_table(["latch", "|delta|", "density"], rows,
                        title="next-state functions"))
+    _finish(args, encoded)
     return 0
 
 
 def cmd_reach(args) -> int:
-    circuit, encoded = _load(args.circuit)
+    circuit, encoded = _load(args)
     tr = TransitionRelation(encoded, cluster_limit=args.cluster_limit)
     init = encoded.initial_states()
     if args.method == "bfs":
@@ -72,11 +96,26 @@ def cmd_reach(args) -> int:
     print(f"states:     {states}")
     print(f"|reached|:  {len(result.reached)} nodes")
     print(f"time:       {result.seconds:.2f}s")
+    _finish(args, encoded)
     return 0
 
 
+def _parse_methods(spec: str) -> list[str]:
+    """Validate a comma-separated method list against the registry."""
+    if spec == "all":
+        return list(UNDER_APPROXIMATORS)
+    methods = [m.strip() for m in spec.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in UNDER_APPROXIMATORS]
+    if unknown or not methods:
+        known = ",".join(UNDER_APPROXIMATORS)
+        raise SystemExit(f"unknown approximation methods "
+                         f"{unknown or [spec]!r}; choose from: {known}")
+    return methods
+
+
 def cmd_approx(args) -> int:
-    circuit, encoded = _load(args.circuit)
+    circuit, encoded = _load(args)
+    methods = _parse_methods(args.methods)
     functions = list(zip(encoded.state_vars, encoded.next_functions))
     functions += list(encoded.output_functions.items())
     rows = []
@@ -84,21 +123,23 @@ def cmd_approx(args) -> int:
         if len(f) < args.min_nodes:
             continue
         row = [name, len(f)]
-        for method in ("hb", "sp", "ua", "rua"):
-            result = UNDER_APPROXIMATORS[method](f, args.threshold)
+        for method in methods:
+            result = UNDER_APPROXIMATORS[method](
+                f, threshold=args.threshold)
             row.append(f"{len(result)}/{density(result):.1f}")
         rows.append(row)
     if not rows:
         print(f"no function has >= {args.min_nodes} nodes")
         return 1
     print(format_table(
-        ["function", "|f|", "HB |.|/dens", "SP", "UA", "RUA"], rows,
+        ["function", "|f|"] + [m.upper() for m in methods], rows,
         title="approximation comparison (nodes/density)"))
+    _finish(args, encoded)
     return 0
 
 
 def cmd_decomp(args) -> int:
-    circuit, encoded = _load(args.circuit)
+    circuit, encoded = _load(args)
     rows = []
     for name, f in encoded.output_functions.items():
         if f.is_constant:
@@ -116,6 +157,7 @@ def cmd_decomp(args) -> int:
     print(format_table(
         ["output", "|f|"] + [m.capitalize() for m in DECOMPOSERS],
         rows, title="two-way conjunctive decompositions (|G|/|H|)"))
+    _finish(args, encoded)
     return 0
 
 
@@ -124,13 +166,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="BDD approximation/decomposition toolkit "
                     "(DAC 1998 reproduction)")
+    runtime = argparse.ArgumentParser(add_help=False)
+    runtime.add_argument("--stats", action="store_true",
+                         help="print manager cache/GC statistics after "
+                              "the command")
+    runtime.add_argument("--cache-limit", type=int, default=None,
+                         help="bound the computed table to this many "
+                              "entries (default: unbounded)")
+    runtime.add_argument("--gc-threshold", type=int, default=None,
+                         help="enable automatic GC above this many live "
+                              "nodes (default: disabled)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_info = sub.add_parser("info", help="netlist and BDD statistics")
+    p_info = sub.add_parser("info", parents=[runtime],
+                            help="netlist and BDD statistics")
     p_info.add_argument("circuit", help="BLIF file")
     p_info.set_defaults(func=cmd_info)
 
-    p_reach = sub.add_parser("reach", help="reachability analysis")
+    p_reach = sub.add_parser("reach", parents=[runtime],
+                             help="reachability analysis")
     p_reach.add_argument("circuit", help="BLIF file")
     p_reach.add_argument("--method", default="bfs",
                          choices=["bfs"] + sorted(UNDER_APPROXIMATORS))
@@ -140,14 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_reach.add_argument("--cluster-limit", type=int, default=2500)
     p_reach.set_defaults(func=cmd_reach)
 
-    p_approx = sub.add_parser("approx",
+    p_approx = sub.add_parser("approx", parents=[runtime],
                               help="compare approximation methods")
     p_approx.add_argument("circuit", help="BLIF file")
     p_approx.add_argument("--threshold", type=int, default=0)
     p_approx.add_argument("--min-nodes", type=int, default=10)
+    p_approx.add_argument("--methods", default="all",
+                          help="comma-separated registry methods "
+                               f"({','.join(UNDER_APPROXIMATORS)}) or "
+                               "'all'")
     p_approx.set_defaults(func=cmd_approx)
 
-    p_decomp = sub.add_parser("decomp",
+    p_decomp = sub.add_parser("decomp", parents=[runtime],
                               help="compare decomposition methods")
     p_decomp.add_argument("circuit", help="BLIF file")
     p_decomp.set_defaults(func=cmd_decomp)

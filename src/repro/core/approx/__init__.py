@@ -44,19 +44,79 @@ __all__ = [
     "minimized",
     "iterated_remap",
     "over_approx",
+    "register_approximator",
     "UNDER_APPROXIMATORS",
 ]
 
-#: Registry used by the experiment harness and the reachability engine.
-#: Each entry maps a short method name to ``fn(f, threshold) -> Function``.
-UNDER_APPROXIMATORS: dict[str, Callable[[Function, int], Function]] = {
-    "hb": lambda f, threshold: heavy_branch_subset(f, threshold),
-    "sp": lambda f, threshold: short_paths_subset(f, threshold),
-    "ua": lambda f, threshold: bdd_under_approx(f, threshold),
-    "rua": lambda f, threshold: remap_under_approx(f, threshold),
-    "c1": lambda f, threshold: c1(f, threshold),
-    "c2": lambda f, threshold: c2(f, threshold=threshold),
-}
+#: An under-approximation entry: ``fn(f, *, threshold=0) -> Function``
+#: with ``fn(f) <= f``.  All knobs beyond the function are keyword-only,
+#: so every registry entry is called the same way.
+Approximator = Callable[..., Function]
+
+#: Registry used by the CLI, the experiment harness, and the
+#: reachability engine; populated by :func:`register_approximator`.
+UNDER_APPROXIMATORS: dict[str, Approximator] = {}
+
+
+def register_approximator(name: str) -> Callable[[Approximator],
+                                                 Approximator]:
+    """Register an under-approximator under a short method name.
+
+    The decorated callable must accept ``(f, *, threshold=0)`` — one
+    positional Function and keyword-only knobs — so the CLI, harness,
+    and reachability engine can drive every method uniformly::
+
+        @register_approximator("hb")
+        def _hb(f, *, threshold=0):
+            return heavy_branch_subset(f, threshold)
+    """
+
+    def decorator(fn: Approximator) -> Approximator:
+        if name in UNDER_APPROXIMATORS:
+            raise ValueError(f"approximator {name!r} already registered")
+        UNDER_APPROXIMATORS[name] = fn
+        return fn
+
+    return decorator
+
+
+@register_approximator("hb")
+def _hb(f: Function, *, threshold: int = 0) -> Function:
+    """HB — heavy-branch subsetting."""
+    return heavy_branch_subset(f, threshold)
+
+
+@register_approximator("sp")
+def _sp(f: Function, *, threshold: int = 0) -> Function:
+    """SP — short-path subsetting."""
+    return short_paths_subset(f, threshold)
+
+
+@register_approximator("ua")
+def _ua(f: Function, *, threshold: int = 0) -> Function:
+    """UA — Shiple's bddUnderApprox."""
+    return bdd_under_approx(f, threshold)
+
+
+@register_approximator("rua")
+def _rua(f: Function, *, threshold: int = 0,
+         quality: float = 1.0) -> Function:
+    """RUA — the paper's safe remapping algorithm."""
+    return remap_under_approx(f, threshold, quality=quality)
+
+
+@register_approximator("c1")
+def _c1(f: Function, *, threshold: int = 0,
+        quality: float = 1.0) -> Function:
+    """C1 — RUA followed by safe minimization."""
+    return c1(f, threshold, quality=quality)
+
+
+@register_approximator("c2")
+def _c2(f: Function, *, threshold: int = 0,
+        quality: float = 1.0) -> Function:
+    """C2 — SP, then RUA, then safe minimization."""
+    return c2(f, threshold=threshold, quality=quality)
 
 
 def over_approx(alpha: Callable[..., Function], f: Function,

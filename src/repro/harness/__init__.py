@@ -3,7 +3,7 @@
 from .population import (PopulationEntry, combinational_population,
                          generate_population, traversal_population)
 from .stats import Measurement, denser, geometric_mean, wins_and_ties
-from .tables import format_table
+from .tables import format_manager_stats, format_table
 
 __all__ = [
     "PopulationEntry",
@@ -15,4 +15,5 @@ __all__ = [
     "denser",
     "wins_and_ties",
     "format_table",
+    "format_manager_stats",
 ]

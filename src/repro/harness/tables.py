@@ -25,6 +25,31 @@ def format_table(headers: Sequence[str],
     return "\n".join(lines)
 
 
+def format_manager_stats(stats) -> str:
+    """Render a :class:`~repro.bdd.manager.ManagerStats` snapshot.
+
+    A per-operation computed-table section followed by the node / GC /
+    reorder summary, in the same fixed-width style as the paper tables.
+    """
+    rows = [[op, s.hits, s.misses, s.evictions, f"{s.hit_rate:.0%}"]
+            for op, s in stats.cache_per_op.items()]
+    rows.append(["total", stats.cache_hits, stats.cache_misses,
+                 stats.cache_evictions, f"{stats.cache_hit_rate:.0%}"])
+    cache = format_table(["op", "hits", "misses", "evict", "rate"],
+                         rows, title="computed table")
+    limit = "unbounded" if stats.cache_limit is None else stats.cache_limit
+    summary = "\n".join([
+        f"cache entries:   {stats.cache_size} (limit: {limit})",
+        f"live nodes:      {stats.nodes} (peak: {stats.peak_nodes})",
+        f"gc:              {stats.gc_count} runs, "
+        f"{stats.gc_reclaimed} nodes reclaimed, "
+        f"{stats.gc_pause_total * 1e3:.1f}ms total "
+        f"({stats.gc_pause_max * 1e3:.1f}ms max pause)",
+        f"reorders:        {stats.reorder_count}",
+    ])
+    return cache + "\n" + summary
+
+
 def _fmt(value: object) -> str:
     if isinstance(value, float):
         if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):

@@ -6,6 +6,7 @@ import time
 from dataclasses import dataclass, field
 
 from ..bdd.function import Function
+from ..bdd.manager import ManagerStats
 from .transition import TransitionRelation
 
 
@@ -25,6 +26,9 @@ class ReachResult:
     frontier_trace: list[int] = field(default_factory=list)
     seconds: float = 0.0
     complete: bool = True
+    #: manager runtime snapshot taken when the traversal returned
+    #: (cache hit rates, GC pauses, peak nodes); None for legacy callers
+    manager_stats: ManagerStats | None = None
 
 
 def count_states(reached: Function, state_vars: list[str]) -> int:
@@ -59,7 +63,8 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                                size_trace=size_trace,
                                frontier_trace=frontier_trace,
                                seconds=time.perf_counter() - start,
-                               complete=False)
+                               complete=False,
+                               manager_stats=reached.manager.stats)
         image = tr.image(frontier)
         frontier = image - reached
         reached = reached | frontier
@@ -78,4 +83,5 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
     return ReachResult(reached=reached, iterations=iterations,
                        size_trace=size_trace,
                        frontier_trace=frontier_trace,
-                       seconds=time.perf_counter() - start)
+                       seconds=time.perf_counter() - start,
+                       manager_stats=reached.manager.stats)

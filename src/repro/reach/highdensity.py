@@ -27,8 +27,9 @@ from ..bdd.function import Function
 from .bfs import ReachResult, TraversalLimit
 from .transition import PartialImagePolicy, TransitionRelation
 
-#: An under-approximation procedure fn(f, threshold) -> subset of f.
-Subsetter = Callable[[Function, int], Function]
+#: An under-approximation procedure fn(f, *, threshold=0) -> subset of
+#: f, the uniform signature of the UNDER_APPROXIMATORS registry.
+Subsetter = Callable[..., Function]
 
 
 @dataclass
@@ -54,8 +55,8 @@ def high_density_reachability(
     ----------
     subset:
         The approximation procedure extracting a dense subset from the
-        new states (e.g. ``remap_under_approx`` or
-        ``short_paths_subset`` adapted to the two-argument signature).
+        new states — any ``UNDER_APPROXIMATORS`` entry or callable with
+        the registry's ``fn(f, *, threshold=0)`` signature.
     threshold:
         Size threshold handed to ``subset`` (the paper's "Th" column).
     partial:
@@ -84,7 +85,7 @@ def high_density_reachability(
             return _result(reached, iterations, size_trace,
                            frontier_trace, densities, recoveries,
                            start, complete=False)
-        frontier = subset(new, threshold)
+        frontier = subset(new, threshold=threshold)
         if frontier.is_false:
             # Degenerate subset: fall back to the full new set so the
             # traversal always makes progress.
@@ -118,4 +119,5 @@ def _result(reached: Function, iterations: int, size_trace: list[int],
         reached=reached, iterations=iterations, size_trace=size_trace,
         frontier_trace=frontier_trace,
         seconds=time.perf_counter() - start, complete=complete,
-        subset_densities=densities, recoveries=recoveries)
+        subset_densities=densities, recoveries=recoveries,
+        manager_stats=reached.manager.stats)

@@ -37,10 +37,11 @@ class PartialImagePolicy:
     ``trigger``: apply the subsetting procedure only to products larger
     than this many nodes.  ``threshold``: size target handed to the
     procedure.  ``subset``: the approximation procedure itself,
-    ``fn(f, threshold) -> Function`` with ``fn(f) <= f``.
+    ``fn(f, *, threshold=0) -> Function`` with ``fn(f) <= f`` (the
+    uniform ``UNDER_APPROXIMATORS`` signature).
     """
 
-    subset: Callable[[Function, int], Function]
+    subset: Callable[..., Function]
     trigger: int
     threshold: int
 
@@ -113,7 +114,8 @@ class TransitionRelation:
             if size > self.stats.peak_product_nodes:
                 self.stats.peak_product_nodes = size
             if partial is not None and size > partial.trigger:
-                product = partial.subset(product, partial.threshold)
+                product = partial.subset(product,
+                                         threshold=partial.threshold)
                 self.stats.subset_calls += 1
         # Quantify variables no cluster mentioned (e.g. unused inputs).
         remaining = self.free_vars & product.support()

@@ -36,6 +36,24 @@ class TestNary:
         with pytest.raises(ValueError):
             conjoin_all(m1, [vs1[0], vs2[0]])
 
+    def test_manager_methods(self, random_functions):
+        m, funcs = random_functions
+        assert m.conjoin(funcs) == conjoin_all(m, funcs)
+        assert m.disjoin(funcs) == disjoin_all(m, funcs)
+        assert m.conjoin([]).is_true
+        assert m.disjoin([]).is_false
+
+    def test_module_functions_are_aliases(self, random_functions):
+        m, funcs = random_functions
+        # conjoin_all/disjoin_all stay importable but defer to Manager.
+        assert conjoin_all(m, funcs[:3]) == m.conjoin(funcs[:3])
+
+    def test_manager_method_rejects_foreign(self):
+        m1, vs1 = fresh_manager(2)
+        m2, vs2 = fresh_manager(2)
+        with pytest.raises(ValueError):
+            m1.conjoin([vs1[0], vs2[0]])
+
 
 class TestSwapVariables:
     def test_swap_is_involution(self, random_functions):

@@ -1,0 +1,271 @@
+"""Manager runtime layer: bounded computed table, auto-GC, statistics."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bdd import ComputedTable, Manager
+from repro.fsm.benchmarks import counter, token_ring
+from repro.fsm.encode import encode
+from repro.reach.bfs import bfs_reachability, count_states
+from repro.reach.highdensity import high_density_reachability
+from repro.reach.transition import TransitionRelation
+
+
+class TestComputedTable:
+    def test_unbounded_by_default(self):
+        table = ComputedTable()
+        for i in range(1000):
+            table.insert("and", ("and", i), i)
+        assert len(table) == 1000
+        assert table.totals().evictions == 0
+
+    def test_bounded_evicts(self):
+        table = ComputedTable(limit=16)
+        for i in range(100):
+            table.insert("and", ("and", i), i)
+        assert len(table) <= 16
+        assert table.totals().evictions > 0
+
+    def test_hit_miss_counting(self):
+        table = ComputedTable()
+        assert table.lookup("ite", ("ite", 1)) is None
+        table.insert("ite", ("ite", 1), "r")
+        assert table.lookup("ite", ("ite", 1)) == "r"
+        s = table.stats()["ite"]
+        assert (s.hits, s.misses) == (1, 1)
+        assert s.hit_rate == 0.5
+
+    def test_eviction_attributed_to_evicted_op(self):
+        table = ComputedTable(limit=1)
+        table.insert("and", ("and", 1), 1)
+        table.insert("or", ("or", 1), 1)
+        # The "and" entry was pushed out by the "or" insert.
+        assert table.stats()["and"].evictions == 1
+        assert table.stats().get("or", None) is None \
+            or table.stats()["or"].evictions == 0
+
+    def test_set_limit_validation(self):
+        table = ComputedTable()
+        with pytest.raises(ValueError):
+            table.set_limit(0)
+        with pytest.raises(ValueError):
+            table.set_limit(-5)
+
+    def test_set_limit_rehashes_existing(self):
+        table = ComputedTable()
+        for i in range(10):
+            table.insert("and", ("and", i), i)
+        table.set_limit(64)
+        hits = sum(table.lookup("and", ("and", i)) == i
+                   for i in range(10))
+        assert hits == 10
+
+    def test_reset_stats_keeps_entries(self):
+        table = ComputedTable()
+        table.insert("and", ("and", 1), 1)
+        table.lookup("and", ("and", 1))
+        table.reset_stats()
+        assert table.totals().lookups == 0
+        assert table.lookup("and", ("and", 1)) == 1
+
+
+class TestBoundedCacheCanonicity:
+    def test_eviction_preserves_canonicity(self):
+        """Recomputing an evicted result yields the identical node."""
+        m = Manager([f"x{i}" for i in range(10)], cache_limit=8)
+        xs = [m.var(f"x{i}") for i in range(10)]
+        products = [xs[i] & xs[i + 1] for i in range(9)]
+        first = [(p.node, p) for p in products]
+        # Thrash the tiny cache so earlier entries are evicted ...
+        for i in range(9):
+            _ = products[i] | xs[(i + 3) % 10]
+        assert m.computed.totals().evictions > 0
+        # ... then recompute: hash-consing must return the same nodes.
+        again = [xs[i] & xs[i + 1] for i in range(9)]
+        for (node, p), q in zip(first, again):
+            assert q.node is node
+            assert q == p
+
+    def test_results_independent_of_cache_limit(self):
+        def build(**kw):
+            m = Manager([f"x{i}" for i in range(8)], **kw)
+            xs = [m.var(f"x{i}") for i in range(8)]
+            f = m.false
+            for i in range(8):
+                f = f | (xs[i] & ~xs[(i + 1) % 8])
+            g = f.exists([f"x{j}" for j in range(0, 8, 2)])
+            return f.sat_count(), g.sat_count(), len(f), len(g)
+
+        assert build() == build(cache_limit=16)
+
+
+class TestAutomaticGC:
+    def test_gc_fires_at_safe_points(self):
+        m = Manager([f"x{i}" for i in range(12)], gc_threshold=20)
+        xs = [m.var(f"x{i}") for i in range(12)]
+        f = m.false
+        for i in range(12):
+            f = f | (xs[i] & xs[(i + 1) % 12] & ~xs[(i + 5) % 12])
+            del f  # drop the old root each round to create dead nodes
+            f = m.false | xs[i]
+        assert m.stats.gc_count > 0
+        assert m.stats.gc_reclaimed > 0
+
+    def test_gc_threshold_validation(self):
+        m = Manager(["a"])
+        with pytest.raises(ValueError):
+            m.gc_threshold = 0
+        with pytest.raises(ValueError):
+            m.gc_threshold = -1
+        m.gc_threshold = 5
+        assert m.gc_threshold == 5
+        m.gc_threshold = None
+        assert m.gc_threshold is None
+
+    def test_defer_gc_suppresses_collection(self):
+        m = Manager([f"x{i}" for i in range(8)], gc_threshold=1)
+        xs = [m.var(f"x{i}") for i in range(8)]
+        with m.defer_gc():
+            before = m.stats.gc_count
+            f = xs[0] & xs[1]
+            g = f | xs[2]
+            assert m.stats.gc_count == before
+        assert (f & g) == f  # results still valid after the block
+
+    def test_gc_never_fires_mid_recursion(self, monkeypatch):
+        """Stress reachability with an aggressive threshold and assert
+        every collection happens outside any memoized recursion frame.
+        """
+        recursion_frames = {"rec"}  # all memoized recursions use `rec`
+        offenders: list[str] = []
+        original = Manager.collect_garbage
+
+        def checked(self):
+            frame = sys._getframe(1)
+            while frame is not None:
+                if frame.f_code.co_name in recursion_frames:
+                    offenders.append(frame.f_code.co_name)
+                frame = frame.f_back
+            return original(self)
+
+        monkeypatch.setattr(Manager, "collect_garbage", checked)
+        encoded = encode(token_ring(4))
+        encoded.manager.gc_threshold = 8  # absurdly aggressive
+        tr = TransitionRelation(encoded)
+        from repro.core.approx import UNDER_APPROXIMATORS
+        result = high_density_reachability(
+            tr, encoded.initial_states(), UNDER_APPROXIMATORS["rua"],
+            threshold=50)
+        assert encoded.manager.stats.gc_count > 0
+        assert offenders == []
+        assert result.complete
+
+    def test_gc_stats_populated(self):
+        m = Manager(["a", "b", "c"])
+        a, b = m.var("a"), m.var("b")
+        f = a & b
+        del f
+        reclaimed = m.collect_garbage()
+        s = m.stats
+        assert s.gc_count == 1
+        assert s.gc_reclaimed == reclaimed
+        assert s.gc_pause_total >= 0
+        assert s.gc_pause_max <= s.gc_pause_total
+
+
+class TestManagerStats:
+    def test_counters_reconcile(self):
+        m = Manager(["a", "b", "c"])
+        a, b = m.var("a"), m.var("b")
+        _ = a & b
+        _ = a & b  # safe_point may clear nothing; cache entry survives
+        per_op = m.stats.cache_per_op
+        assert per_op["and"].misses >= 1
+        assert per_op["and"].hits >= 1
+        totals = m.stats
+        assert totals.cache_hits == sum(s.hits
+                                        for s in per_op.values())
+        assert totals.cache_misses == sum(s.misses
+                                          for s in per_op.values())
+        assert totals.cache_evictions == sum(s.evictions
+                                             for s in per_op.values())
+
+    def test_op_tags_cover_operations(self):
+        m = Manager(["a", "b", "c", "d"])
+        a, b, c = m.var("a"), m.var("b"), m.var("c")
+        _ = a & b
+        _ = a | b
+        _ = a ^ b
+        _ = a.ite(b, c)
+        _ = (a & b).exists(["a"])
+        _ = (a | b).forall(["b"])
+        ops = set(m.stats.cache_per_op)
+        assert {"and", "or", "xor", "ite", "exists", "forall"} <= ops
+
+    def test_peak_nodes(self):
+        m = Manager([f"x{i}" for i in range(6)])
+        xs = [m.var(f"x{i}") for i in range(6)]
+        f = xs[0]
+        for x in xs[1:]:
+            f = f ^ x
+        assert m.stats.peak_nodes >= len(m)
+        assert m.stats.peak_nodes >= m.stats.nodes
+
+    def test_reset_stats(self):
+        m = Manager(["a", "b"])
+        a, b = m.var("a"), m.var("b")
+        _ = a & b
+        m.collect_garbage()
+        m.reset_stats()
+        s = m.stats
+        assert s.cache_hits == s.cache_misses == 0
+        assert s.gc_count == 0 and s.gc_reclaimed == 0
+        assert s.gc_pause_total == 0.0
+        assert s.peak_nodes == s.nodes  # peak re-anchored to now
+
+    def test_stats_snapshot_is_frozen(self):
+        m = Manager(["a"])
+        with pytest.raises(AttributeError):
+            m.stats.nodes = 0
+
+
+class TestReachabilityByteIdentical:
+    """Acceptance: cache bounding + auto-GC must not change results."""
+
+    @pytest.mark.parametrize("circuit", [counter(4), token_ring(4)])
+    def test_bfs_identical(self, circuit):
+        def run(**kw):
+            encoded = encode(circuit)
+            manager = encoded.manager
+            if "cache_limit" in kw:
+                manager.set_cache_limit(kw["cache_limit"])
+            if "gc_threshold" in kw:
+                manager.gc_threshold = kw["gc_threshold"]
+            tr = TransitionRelation(encoded)
+            r = bfs_reachability(tr, encoded.initial_states())
+            return (count_states(r.reached, encoded.state_vars),
+                    len(r.reached), r.iterations, r.complete)
+
+        assert run() == run(cache_limit=256, gc_threshold=64)
+
+    def test_high_density_identical(self):
+        from repro.core.approx import UNDER_APPROXIMATORS
+
+        def run(**kw):
+            encoded = encode(token_ring(4))
+            manager = encoded.manager
+            if "cache_limit" in kw:
+                manager.set_cache_limit(kw["cache_limit"])
+            if "gc_threshold" in kw:
+                manager.gc_threshold = kw["gc_threshold"]
+            tr = TransitionRelation(encoded)
+            r = high_density_reachability(
+                tr, encoded.initial_states(),
+                UNDER_APPROXIMATORS["rua"], threshold=40)
+            return (count_states(r.reached, encoded.state_vars),
+                    len(r.reached), r.iterations, r.complete)
+
+        assert run() == run(cache_limit=128, gc_threshold=32)

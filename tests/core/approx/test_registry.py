@@ -19,15 +19,27 @@ class TestUnderApproximatorRegistry:
         m, funcs = random_functions
         alpha = UNDER_APPROXIMATORS[name]
         for f in funcs[:3]:
-            r = alpha(f, max(1, len(f) // 2))
+            r = alpha(f, threshold=max(1, len(f) // 2))
             assert r <= f, name
+
+    def test_uniform_keyword_signature(self, random_functions):
+        m, funcs = random_functions
+        f = funcs[0]
+        for name, alpha in UNDER_APPROXIMATORS.items():
+            with pytest.raises(TypeError):
+                alpha(f, 1)  # thresholds must be keyword-only
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.approx import register_approximator
+        with pytest.raises(ValueError):
+            register_approximator("hb")(lambda f, *, threshold=0: f)
 
     @pytest.mark.parametrize("name", ["hb", "sp", "rua"])
     def test_over_approx_wrapper(self, name, random_functions):
         m, funcs = random_functions
         alpha = UNDER_APPROXIMATORS[name]
         for f in funcs[:3]:
-            o = over_approx(alpha, f, 0 if name == "rua"
+            o = over_approx(alpha, f, threshold=0 if name == "rua"
                             else max(1, len(f) // 2))
             assert f <= o, name
 

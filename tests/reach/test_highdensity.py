@@ -14,9 +14,9 @@ from repro.reach import (PartialImagePolicy, TransitionRelation,
                          high_density_reachability)
 
 SUBSETTERS = [
-    ("rua", lambda f, t: remap_under_approx(f, t), 0),
-    ("sp", lambda f, t: short_paths_subset(f, t), 16),
-    ("hb", lambda f, t: heavy_branch_subset(f, t), 16),
+    ("rua", lambda f, *, threshold=0: remap_under_approx(f, threshold), 0),
+    ("sp", lambda f, *, threshold=0: short_paths_subset(f, threshold), 16),
+    ("hb", lambda f, *, threshold=0: heavy_branch_subset(f, threshold), 16),
 ]
 
 
@@ -53,11 +53,11 @@ class TestExactness:
         enc = encode(circuit)
         tr = TransitionRelation(enc)
         policy = PartialImagePolicy(
-            subset=lambda f, t: remap_under_approx(f, t),
+            subset=lambda f, *, threshold=0: remap_under_approx(f, threshold),
             trigger=8, threshold=4)
         result = high_density_reachability(
             tr, enc.initial_states(),
-            lambda f, t: remap_under_approx(f, t), threshold=0,
+            lambda f, *, threshold=0: remap_under_approx(f, threshold), threshold=0,
             partial=policy)
         assert result.complete
         assert count_states(result.reached, enc.state_vars) == expected
@@ -70,7 +70,7 @@ class TestStatistics:
         tr = TransitionRelation(enc)
         result = high_density_reachability(
             tr, enc.initial_states(),
-            lambda f, t: remap_under_approx(f, t))
+            lambda f, *, threshold=0: remap_under_approx(f, threshold))
         assert len(result.subset_densities) == result.iterations
         assert all(d > 0 for d in result.subset_densities)
 
@@ -79,7 +79,7 @@ class TestStatistics:
         tr = TransitionRelation(enc)
         result = high_density_reachability(
             tr, enc.initial_states(),
-            lambda f, t: remap_under_approx(f, t), max_iterations=2)
+            lambda f, *, threshold=0: remap_under_approx(f, threshold), max_iterations=2)
         assert not result.complete
 
     def test_deadline_raises(self):
@@ -88,7 +88,7 @@ class TestStatistics:
         with pytest.raises(TraversalLimit):
             high_density_reachability(
                 tr, enc.initial_states(),
-                lambda f, t: remap_under_approx(f, t), deadline=0.0)
+                lambda f, *, threshold=0: remap_under_approx(f, threshold), deadline=0.0)
 
     def test_degenerate_subsetter_falls_back(self):
         # A subsetter that always returns FALSE must not wedge the
@@ -96,6 +96,6 @@ class TestStatistics:
         enc = encode(counter(3))
         tr = TransitionRelation(enc)
         result = high_density_reachability(
-            tr, enc.initial_states(), lambda f, t: enc.manager.false)
+            tr, enc.initial_states(), lambda f, *, threshold=0: enc.manager.false)
         assert result.complete
         assert count_states(result.reached, enc.state_vars) == 8

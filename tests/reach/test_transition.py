@@ -123,7 +123,7 @@ class TestPartialImage:
         init = encoded.initial_states()
         frontier = tr.image(init)
         policy = PartialImagePolicy(
-            subset=lambda f, t: remap_under_approx(f, t),
+            subset=lambda f, *, threshold=0: remap_under_approx(f, threshold),
             trigger=1, threshold=0)
         partial = tr.image(frontier, partial=policy)
         exact = tr.image(frontier)

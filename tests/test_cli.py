@@ -57,10 +57,50 @@ class TestApprox:
         assert main(["approx", ring_blif, "--min-nodes", "1"]) == 0
         out = capsys.readouterr().out
         assert "RUA" in out
+        assert "C2" in out
 
     def test_min_nodes_filter(self, counter_blif, capsys):
         assert main(["approx", counter_blif, "--min-nodes",
                      "10000"]) == 1
+
+    def test_methods_subset(self, ring_blif, capsys):
+        assert main(["approx", ring_blif, "--min-nodes", "1",
+                     "--methods", "hb,rua"]) == 0
+        out = capsys.readouterr().out
+        assert "HB" in out
+        assert "RUA" in out
+        assert "SP" not in out
+
+    def test_unknown_method_rejected(self, ring_blif):
+        with pytest.raises(SystemExit):
+            main(["approx", ring_blif, "--methods", "nope"])
+
+
+class TestRuntimeOptions:
+    def test_reach_stats(self, counter_blif, capsys):
+        assert main(["reach", counter_blif, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "states:     8" in out
+        assert "computed table" in out
+        assert "live nodes:" in out
+
+    def test_stats_on_every_command(self, ring_blif, capsys):
+        for cmd in (["info"], ["approx", "--min-nodes", "1"],
+                    ["decomp"]):
+            assert main([cmd[0], ring_blif, *cmd[1:], "--stats"]) == 0
+            assert "computed table" in capsys.readouterr().out
+
+    def test_runtime_knobs_preserve_results(self, counter_blif, capsys):
+        assert main(["reach", counter_blif]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["reach", counter_blif, "--cache-limit", "64",
+                     "--gc-threshold", "32"]) == 0
+        bounded = capsys.readouterr().out
+        assert "states:     8" in baseline
+        assert "states:     8" in bounded
+        for line in baseline.splitlines():
+            if line.startswith(("states:", "complete:", "|reached|:")):
+                assert line in bounded
 
 
 class TestDecomp:

@@ -89,8 +89,8 @@ class TestHighDensityMatrix:
         tr = TransitionRelation(encoded)
         exact = bfs_reachability(tr, encoded.initial_states())
         expected = count_states(exact.reached, encoded.state_vars)
-        for subset in (lambda f, t: remap_under_approx(f, t),
-                       lambda f, t: short_paths_subset(f, max(1, t))):
+        for subset in (lambda f, *, threshold=0: remap_under_approx(f, threshold),
+                       lambda f, *, threshold=0: short_paths_subset(f, max(1, threshold))):
             encoded2 = encode(circuit)
             tr2 = TransitionRelation(encoded2)
             result = high_density_reachability(

@@ -83,7 +83,7 @@ class TestHunt:
         six = manager.cube({"q0": False, "q1": True, "q2": True})
         result = hunt_invariant_violation(
             encoded, tr, ~six,
-            lambda f, t: remap_under_approx(f, t))
+            lambda f, *, threshold=0: remap_under_approx(f, threshold))
         assert not result.holds
         assert result.trace[0] == {"q0": False, "q1": True,
                                    "q2": True}
@@ -98,7 +98,7 @@ class TestHunt:
             | (~t[0] & ~t[1] & t[2])
         result = hunt_invariant_violation(
             encoded, tr, one_hot,
-            lambda f, t_: remap_under_approx(f, t_))
+            lambda f, *, threshold=0: remap_under_approx(f, threshold))
         assert result.holds
 
 
