@@ -16,12 +16,10 @@ Subpackages
     Experiment harness regenerating the paper's tables.
 """
 
-import sys
-
-# BDD recursions descend one level per call; deep orders plus the
-# recursive experiment drivers need more head-room than CPython's
-# default 1000 frames.
-if sys.getrecursionlimit() < 20000:
-    sys.setrecursionlimit(20000)
+# The BDD kernels are iterative (explicit stacks; see
+# docs/algorithms.md, "Iterative kernels"), so importing this package
+# must never touch sys.setrecursionlimit — deep BDDs work at CPython's
+# default limit, and tests/test_recursion_limit.py guards against the
+# old hack returning.
 
 __version__ = "1.0.0"

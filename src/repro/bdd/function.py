@@ -325,35 +325,53 @@ class Function:
         on small functions (tests, examples).
         """
         manager = self.manager
+        zero, one = manager.zero_node, manager.one_node
         if names is None:
             names = sorted(self.support(), key=manager.level_of_var)
         else:
             names = list(names)
         levels = [manager.level_of_var(n) for n in names]
         order = sorted(range(len(names)), key=lambda i: levels[i])
+        total = len(order)
 
-        def rec(node: Node, idx: int, partial: dict[str, bool]
-                ) -> Iterator[dict[str, bool]]:
-            if node is manager.zero_node:
-                return
-            if idx == len(order):
-                if node is not manager.one_node:
+        root = self.node
+        if root is zero:
+            return
+        if total == 0:
+            if root is not one:
+                raise ValueError(
+                    "function depends on variables outside names")
+            yield {}
+            return
+        partial: dict[str, bool] = {}
+        # One frame per assigned variable on the current path; each
+        # frame owns the iterator over its variable's polarities and
+        # the corresponding ``partial`` entry.
+        stack = [(root, 0, iter((False, True)))]
+        while stack:
+            node, idx, polarities = stack[-1]
+            pos = order[idx]
+            name, level = names[pos], levels[pos]
+            try:
+                value = next(polarities)
+            except StopIteration:
+                stack.pop()
+                partial.pop(name, None)
+                continue
+            if node.level == level:
+                child = node.hi if value else node.lo
+            else:
+                child = node
+            partial[name] = value
+            if child is zero:
+                continue
+            if idx + 1 == total:
+                if child is not one:
                     raise ValueError(
                         "function depends on variables outside names")
                 yield dict(partial)
-                return
-            pos = order[idx]
-            name, level = names[pos], levels[pos]
-            for value in (False, True):
-                if node.level == level:
-                    child = node.hi if value else node.lo
-                else:
-                    child = node
-                partial[name] = value
-                yield from rec(child, idx + 1, partial)
-                del partial[name]
-
-        yield from rec(self.node, 0, {})
+                continue
+            stack.append((child, idx + 1, iter((False, True))))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_true:

@@ -102,22 +102,38 @@ def transfer(function: Function, target: Manager,
         return function
     cache: dict[Node, Node] = {}
 
-    def rec(node: Node) -> Node:
-        if node is source.zero_node:
-            return target.zero_node
-        if node is source.one_node:
-            return target.one_node
-        result = cache.get(node)
-        if result is not None:
-            return result
-        name = source.var_at_level(node.level)
-        if name not in target._var_to_level:
-            if not declare:
-                raise ValueError(f"unknown variable {name!r}")
-            target.add_var(name)
-        var = target.var_node(name)
-        result = ite_node(target, var, rec(node.hi), rec(node.lo))
-        cache[node] = result
-        return result
-
-    return Function(target, rec(function.node))
+    # Explicit post-order walk (no recursion): expand frames (flag 0)
+    # copy leaves or queue the children; rebuild frames (flag 1) pop the
+    # two copied children off the value stack and re-canonicalize via
+    # ITE in the target order.
+    stack: list[tuple[int, Node]] = [(0, function.node)]
+    values: list[Node] = []
+    while stack:
+        flag, node = stack.pop()
+        if flag == 0:
+            if node is source.zero_node:
+                values.append(target.zero_node)
+                continue
+            if node is source.one_node:
+                values.append(target.one_node)
+                continue
+            result = cache.get(node)
+            if result is not None:
+                values.append(result)
+                continue
+            name = source.var_at_level(node.level)
+            if name not in target._var_to_level:
+                if not declare:
+                    raise ValueError(f"unknown variable {name!r}")
+                target.add_var(name)
+            stack.append((1, node))
+            stack.append((0, node.lo))
+            stack.append((0, node.hi))
+        else:
+            lo = values.pop()
+            hi = values.pop()
+            var = target.var_node(source.var_at_level(node.level))
+            result = ite_node(target, var, hi, lo)
+            cache[node] = result
+            values.append(result)
+    return Function(target, values[0])

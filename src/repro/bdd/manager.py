@@ -18,7 +18,7 @@ Memory management is CUDD-style and opt-in:
   buckets with overwrite-on-collision eviction.
 * ``gc_threshold`` arms *automatic garbage collection*: when the node
   count crosses the threshold, the next **safe point** — the entry of a
-  Function-level operation, never inside a recursion holding raw
+  Function-level operation, never inside a kernel traversal holding raw
   :class:`~repro.bdd.node.Node` references — runs
   :meth:`collect_garbage`.  Code that holds raw nodes across
   Function-level calls can suspend collection with :meth:`defer_gc`.
@@ -181,11 +181,19 @@ class Manager:
             level = len(self._level_to_var)
         if level != len(self._level_to_var) and self._num_nodes:
             raise ValueError("cannot insert a variable above existing nodes")
-        self._level_to_var.insert(level, name)
-        self._subtables.insert(level, {})
-        self._var_to_level = {
-            v: i for i, v in enumerate(self._level_to_var)
-        }
+        if level == len(self._level_to_var):
+            # Appending at the bottom shifts nothing: O(1) instead of
+            # rebuilding the name map (declaring n variables one by one
+            # would otherwise cost O(n^2)).
+            self._level_to_var.append(name)
+            self._subtables.append({})
+            self._var_to_level[name] = level
+        else:
+            self._level_to_var.insert(level, name)
+            self._subtables.insert(level, {})
+            self._var_to_level = {
+                v: i for i, v in enumerate(self._level_to_var)
+            }
         node = self.mk(level, self.one_node, self.zero_node)
         return Function(self, node)
 
@@ -324,8 +332,8 @@ class Manager:
         ``Node`` references are held outside Function handles.
 
         Every Function-level operation calls this on entry; node-level
-        recursions never do, so collection cannot invalidate raw nodes
-        mid-recursion.
+        kernel traversals never do, so collection cannot invalidate raw
+        nodes mid-operation.
         """
         if self._gc_trigger is None or self._gc_defer \
                 or self._num_nodes < self._gc_trigger:

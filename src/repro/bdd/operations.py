@@ -5,6 +5,16 @@ All functions here are memoized through the manager's op-tagged
 Results are canonical nodes in the same manager.  The node-level API is
 used by the approximation/decomposition algorithms; user code should go
 through :class:`~repro.bdd.function.Function`.
+
+Every kernel is *iterative*: recursion frames live on an explicit Python
+list instead of the interpreter stack, so operations work on BDDs of any
+depth (chain-shaped BDDs tens of thousands of levels deep) at CPython's
+default recursion limit.  The scheme is the standard two-phase one — an
+*expand* frame examines operands (terminal cases, computed-table lookup,
+cofactor split) and pushes a *rebuild* frame below its children's expand
+frames; the rebuild frame later pops the finished child results off a
+value stack, rebuilds through the unique table, and memoizes.  See
+docs/algorithms.md, "Iterative kernels".
 """
 
 from __future__ import annotations
@@ -29,6 +39,11 @@ _OP_TABLES: dict[str, tuple[int, int, int, int]] = {
 #: normalized to double the hit rate.
 _COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
 
+#: Frame tags of the explicit-stack kernels.  _EXPAND frames carry
+#: operands still to be examined; the other tags name a pending
+#: second-phase step whose inputs are already on the value stack.
+_EXPAND, _REBUILD, _FORWARD, _AFTER_HI = 0, 1, 2, 3
+
 
 def top_level(*nodes: Node) -> int:
     """Root-most level among the arguments."""
@@ -52,53 +67,72 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
     terminals = (zero, one)
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
     commutative = op in _COMMUTATIVE
 
-    def rec(f: Node, g: Node) -> Node:
-        if f.is_terminal and g.is_terminal:
-            return terminals[table[2 * f.value + g.value]]
-        # Operator-specific terminal shortcuts.
-        if op == "and":
-            if f is zero or g is zero:
-                return zero
-            if f is one:
-                return g
-            if g is one or f is g:
-                return f
-        elif op == "or":
-            if f is one or g is one:
-                return one
-            if f is zero:
-                return g
-            if g is zero or f is g:
-                return f
-        elif op == "xor":
-            if f is zero:
-                return g
-            if g is zero:
-                return f
-            if f is g:
-                return zero
-        elif op == "diff":
-            if f is zero or g is one or f is g:
-                return zero
-            if g is zero:
-                return f
-        if commutative and id(f) > id(g):
-            f, g = g, f
-        key = (op, f, g)
-        cached = cache_get(op, key)
-        if cached is not None:
-            return cached
-        level = top_level(f, g)
-        f_hi, f_lo = cofactors_at(f, level)
-        g_hi, g_lo = cofactors_at(g, level)
-        result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
-        cache_put(op, key, result)
-        return result
-
-    return rec(f, g)
+    stack: list[tuple] = [(_EXPAND, f, g)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _EXPAND:
+            f, g = frame[1], frame[2]
+            if f.is_terminal and g.is_terminal:
+                emit(terminals[table[2 * f.value + g.value]])
+                continue
+            # Operator-specific terminal shortcuts.
+            result = None
+            if op == "and":
+                if f is zero or g is zero:
+                    result = zero
+                elif f is one:
+                    result = g
+                elif g is one or f is g:
+                    result = f
+            elif op == "or":
+                if f is one or g is one:
+                    result = one
+                elif f is zero:
+                    result = g
+                elif g is zero or f is g:
+                    result = f
+            elif op == "xor":
+                if f is zero:
+                    result = g
+                elif g is zero:
+                    result = f
+                elif f is g:
+                    result = zero
+            elif op == "diff":
+                if f is zero or g is one or f is g:
+                    result = zero
+                elif g is zero:
+                    result = f
+            if result is not None:
+                emit(result)
+                continue
+            if commutative and id(f) > id(g):
+                f, g = g, f
+            key = (op, f, g)
+            cached = cache_get(op, key)
+            if cached is not None:
+                emit(cached)
+                continue
+            level = f.level if f.level < g.level else g.level
+            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
+            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            push((_REBUILD, key, level))
+            push((_EXPAND, f_lo, g_lo))
+            push((_EXPAND, f_hi, g_hi))
+        else:  # _REBUILD
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put(op, frame[1], result)
+            emit(result)
+    return values[0]
 
 
 def not_node(manager: Manager, f: Node) -> Node:
@@ -106,22 +140,39 @@ def not_node(manager: Manager, f: Node) -> Node:
     one, zero = manager.one_node, manager.zero_node
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node) -> Node:
-        if f is zero:
-            return one
-        if f is one:
-            return zero
-        key = ("not", f)
-        cached = cache_get("not", key)
-        if cached is not None:
-            return cached
-        result = manager.mk(f.level, rec(f.hi), rec(f.lo))
-        cache_put("not", key, result)
-        cache_put("not", ("not", result), f)
-        return result
-
-    return rec(f)
+    stack: list[tuple] = [(_EXPAND, f)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _EXPAND:
+            f = frame[1]
+            if f is zero:
+                emit(one)
+                continue
+            if f is one:
+                emit(zero)
+                continue
+            key = ("not", f)
+            cached = cache_get("not", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            push((_REBUILD, key, f))
+            push((_EXPAND, f.lo))
+            push((_EXPAND, f.hi))
+        else:  # _REBUILD
+            f = frame[2]
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(f.level, hi, lo)
+            cache_put("not", frame[1], result)
+            cache_put("not", ("not", result), f)
+            emit(result)
+    return values[0]
 
 
 def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
@@ -129,36 +180,58 @@ def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
     one, zero = manager.one_node, manager.zero_node
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node, g: Node, h: Node) -> Node:
-        if f is one:
-            return g
-        if f is zero:
-            return h
-        if g is h:
-            return g
-        if g is one and h is zero:
-            return f
-        if g is zero and h is one:
-            return not_node(manager, f)
-        if f is g:  # ite(f, f, h) = f + h
-            g = one
-        elif f is h:  # ite(f, g, f) = f & g
-            h = zero
-        key = ("ite", f, g, h)
-        cached = cache_get("ite", key)
-        if cached is not None:
-            return cached
-        level = top_level(f, g, h)
-        f_hi, f_lo = cofactors_at(f, level)
-        g_hi, g_lo = cofactors_at(g, level)
-        h_hi, h_lo = cofactors_at(h, level)
-        result = manager.mk(level, rec(f_hi, g_hi, h_hi),
-                            rec(f_lo, g_lo, h_lo))
-        cache_put("ite", key, result)
-        return result
-
-    return rec(f, g, h)
+    stack: list[tuple] = [(_EXPAND, f, g, h)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _EXPAND:
+            f, g, h = frame[1], frame[2], frame[3]
+            if f is one:
+                emit(g)
+                continue
+            if f is zero:
+                emit(h)
+                continue
+            if g is h:
+                emit(g)
+                continue
+            if g is one and h is zero:
+                emit(f)
+                continue
+            if g is zero and h is one:
+                emit(not_node(manager, f))
+                continue
+            if f is g:  # ite(f, f, h) = f + h
+                g = one
+            elif f is h:  # ite(f, g, f) = f & g
+                h = zero
+            key = ("ite", f, g, h)
+            cached = cache_get("ite", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            level = f.level
+            if g.level < level:
+                level = g.level
+            if h.level < level:
+                level = h.level
+            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
+            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            h_hi, h_lo = (h.hi, h.lo) if h.level == level else (h, h)
+            push((_REBUILD, key, level))
+            push((_EXPAND, f_lo, g_lo, h_lo))
+            push((_EXPAND, f_hi, g_hi, h_hi))
+        else:  # _REBUILD
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put("ite", frame[1], result)
+            emit(result)
+    return values[0]
 
 
 class _ManagerLeqCache:
@@ -184,28 +257,53 @@ def leq_node(manager: Manager, f: Node, g: Node,
     ``cache`` may be supplied to share memoization across many queries
     (RUA's markNodes performs one containment test per node); by default
     queries memoize in the manager's computed table.
+
+    The conjunction short-circuits like the recursive formulation did:
+    when the then-branch refutes containment, the else-branch is never
+    explored.
     """
     one, zero = manager.one_node, manager.zero_node
     if cache is None:
         cache = _ManagerLeqCache(manager.computed)
+    cache_get = cache.get
 
-    def rec(f: Node, g: Node) -> bool:
-        if f is zero or g is one or f is g:
-            return True
-        if f is one or g is zero:
-            return False
-        key = (f, g)
-        cached = cache.get(key)
-        if cached is not None:
-            return cached
-        level = top_level(f, g)
-        f_hi, f_lo = cofactors_at(f, level)
-        g_hi, g_lo = cofactors_at(g, level)
-        result = rec(f_hi, g_hi) and rec(f_lo, g_lo)
-        cache[key] = result
-        return result
-
-    return rec(f, g)
+    stack: list[tuple] = [(_EXPAND, f, g)]
+    push = stack.append
+    values: list[bool] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        tag = frame[0]
+        if tag == _EXPAND:
+            f, g = frame[1], frame[2]
+            if f is zero or g is one or f is g:
+                emit(True)
+                continue
+            if f is one or g is zero:
+                emit(False)
+                continue
+            key = (f, g)
+            cached = cache_get(key)
+            if cached is not None:
+                emit(cached)
+                continue
+            level = f.level if f.level < g.level else g.level
+            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
+            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            push((_AFTER_HI, key, f_lo, g_lo))
+            push((_EXPAND, f_hi, g_hi))
+        elif tag == _AFTER_HI:
+            key = frame[1]
+            if not values.pop():
+                cache[key] = False
+                emit(False)
+                continue
+            push((_REBUILD, key))
+            push((_EXPAND, frame[2], frame[3]))
+        else:  # _REBUILD: record the else-branch verdict
+            result = values[-1]
+            cache[frame[1]] = result
+    return values[0]
 
 
 def cofactor_node(manager: Manager, f: Node,
@@ -214,34 +312,55 @@ def cofactor_node(manager: Manager, f: Node,
     if not levels:
         return f
     frozen = tuple(sorted(levels.items()))
+    max_level = frozen[-1][0]
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node) -> Node:
-        if f.is_terminal or f.level > frozen[-1][0]:
-            return f
-        key = ("cof", f, frozen)
-        cached = cache_get("cof", key)
-        if cached is not None:
-            return cached
-        value = levels.get(f.level)
-        if value is None:
-            result = manager.mk(f.level, rec(f.hi), rec(f.lo))
-        elif value:
-            result = rec(f.hi)
-        else:
-            result = rec(f.lo)
-        cache_put("cof", key, result)
-        return result
-
-    return rec(f)
+    stack: list[tuple] = [(_EXPAND, f)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        tag = frame[0]
+        if tag == _EXPAND:
+            f = frame[1]
+            if f.is_terminal or f.level > max_level:
+                emit(f)
+                continue
+            key = ("cof", f, frozen)
+            cached = cache_get("cof", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            value = levels.get(f.level)
+            if value is None:
+                push((_REBUILD, key, f.level))
+                push((_EXPAND, f.lo))
+                push((_EXPAND, f.hi))
+            elif value:
+                push((_FORWARD, key))
+                push((_EXPAND, f.hi))
+            else:
+                push((_FORWARD, key))
+                push((_EXPAND, f.lo))
+        elif tag == _REBUILD:
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put("cof", frame[1], result)
+            emit(result)
+        else:  # _FORWARD: memoize the single child's result as our own
+            cache_put("cof", frame[1], values[-1])
+    return values[0]
 
 
 def vector_compose_node(manager: Manager, f: Node,
                         substitution: dict[int, Node]) -> Node:
     """Simultaneously substitute ``substitution[level]`` for each variable.
 
-    Implemented by the standard recursive formulation:
+    Implemented by the standard formulation:
     ``f = ite(sub(x), compose(f_hi), compose(f_lo))`` at substituted
     levels, rebuilding with ITE below to keep canonicity when the
     substituted functions overlap the remaining variables.
@@ -250,27 +369,42 @@ def vector_compose_node(manager: Manager, f: Node,
         return f
     frozen = tuple(sorted(substitution.items()))
     max_level = frozen[-1][0]
+    one, zero = manager.one_node, manager.zero_node
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node) -> Node:
-        if f.is_terminal or f.level > max_level:
-            return f
-        key = ("vcomp", f, frozen)
-        cached = cache_get("vcomp", key)
-        if cached is not None:
-            return cached
-        hi = rec(f.hi)
-        lo = rec(f.lo)
-        replacement = substitution.get(f.level)
-        if replacement is None:
-            # The variable itself survives; rebuild with ITE because hi/lo
-            # may now depend on variables at or above f.level.
-            var = manager.mk(f.level, manager.one_node, manager.zero_node)
-            result = ite_node(manager, var, hi, lo)
-        else:
-            result = ite_node(manager, replacement, hi, lo)
-        cache_put("vcomp", key, result)
-        return result
-
-    return rec(f)
+    stack: list[tuple] = [(_EXPAND, f)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _EXPAND:
+            f = frame[1]
+            if f.is_terminal or f.level > max_level:
+                emit(f)
+                continue
+            key = ("vcomp", f, frozen)
+            cached = cache_get("vcomp", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            push((_REBUILD, key, f.level))
+            push((_EXPAND, f.lo))
+            push((_EXPAND, f.hi))
+        else:  # _REBUILD
+            level = frame[2]
+            lo = values.pop()
+            hi = values.pop()
+            replacement = substitution.get(level)
+            if replacement is None:
+                # The variable itself survives; rebuild with ITE because
+                # hi/lo may now depend on variables at or above level.
+                var = mk(level, one, zero)
+                result = ite_node(manager, var, hi, lo)
+            else:
+                result = ite_node(manager, replacement, hi, lo)
+            cache_put("vcomp", frame[1], result)
+            emit(result)
+    return values[0]

@@ -7,69 +7,76 @@ core step of symbolic image computation (Section 1 of the paper):
 
 Fusing avoids building the full conjunction when quantification collapses
 it early.
+
+Like the core kernels in :mod:`~repro.bdd.operations`, all three
+traversals run on explicit stacks, so quantification over arbitrarily
+deep BDDs never hits the interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from .manager import Manager
 from .node import Node
-from .operations import apply_node, cofactors_at, top_level
+from .operations import apply_node
+
+# Frame tags of the explicit-stack traversals (same scheme as
+# repro.bdd.operations; see docs/algorithms.md, "Iterative kernels").
+_EXPAND, _REBUILD, _AFTER_HI, _DISJOIN = 0, 1, 2, 3
 
 
 def exists_node(manager: Manager, f: Node,
                 levels: frozenset[int]) -> Node:
     """Existentially quantify the variables at ``levels`` out of ``f``."""
-    if not levels:
-        return f
-    max_level = max(levels)
-    cache_get = manager.computed.lookup
-    cache_put = manager.computed.insert
-
-    def rec(f: Node) -> Node:
-        if f.is_terminal or f.level > max_level:
-            return f
-        key = ("exists", f, levels)
-        cached = cache_get("exists", key)
-        if cached is not None:
-            return cached
-        hi = rec(f.hi)
-        lo = rec(f.lo)
-        if f.level in levels:
-            result = apply_node(manager, "or", hi, lo)
-        else:
-            result = manager.mk(f.level, hi, lo)
-        cache_put("exists", key, result)
-        return result
-
-    return rec(f)
+    return _quantify(manager, f, levels, "exists", "or")
 
 
 def forall_node(manager: Manager, f: Node,
                 levels: frozenset[int]) -> Node:
     """Universally quantify the variables at ``levels`` out of ``f``."""
+    return _quantify(manager, f, levels, "forall", "and")
+
+
+def _quantify(manager: Manager, f: Node, levels: frozenset[int],
+              tag: str, combine_op: str) -> Node:
+    """Shared exists/forall walk: merge children with ``combine_op`` at
+    quantified levels, rebuild through the unique table elsewhere."""
     if not levels:
         return f
     max_level = max(levels)
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node) -> Node:
-        if f.is_terminal or f.level > max_level:
-            return f
-        key = ("forall", f, levels)
-        cached = cache_get("forall", key)
-        if cached is not None:
-            return cached
-        hi = rec(f.hi)
-        lo = rec(f.lo)
-        if f.level in levels:
-            result = apply_node(manager, "and", hi, lo)
-        else:
-            result = manager.mk(f.level, hi, lo)
-        cache_put("forall", key, result)
-        return result
-
-    return rec(f)
+    stack: list[tuple] = [(_EXPAND, f)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        if frame[0] == _EXPAND:
+            f = frame[1]
+            if f.is_terminal or f.level > max_level:
+                emit(f)
+                continue
+            key = (tag, f, levels)
+            cached = cache_get(tag, key)
+            if cached is not None:
+                emit(cached)
+                continue
+            push((_REBUILD, key, f.level))
+            push((_EXPAND, f.lo))
+            push((_EXPAND, f.hi))
+        else:  # _REBUILD
+            level = frame[2]
+            lo = values.pop()
+            hi = values.pop()
+            if level in levels:
+                result = apply_node(manager, combine_op, hi, lo)
+            else:
+                result = mk(level, hi, lo)
+            cache_put(tag, frame[1], result)
+            emit(result)
+    return values[0]
 
 
 def and_exists_node(manager: Manager, f: Node, g: Node,
@@ -81,38 +88,69 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
     max_level = max(levels)
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node, g: Node) -> Node:
-        if f is zero or g is zero:
-            return zero
-        if f is one and g is one:
-            return one
-        if f.level > max_level and g.level > max_level:
-            return apply_node(manager, "and", f, g)
-        if f is one:
-            return exists_node(manager, g, levels)
-        if g is one:
-            return exists_node(manager, f, levels)
-        if f is g:
-            return exists_node(manager, f, levels)
-        if id(f) > id(g):
-            f, g = g, f
-        key = ("andex", f, g, levels)
-        cached = cache_get("andex", key)
-        if cached is not None:
-            return cached
-        level = top_level(f, g)
-        f_hi, f_lo = cofactors_at(f, level)
-        g_hi, g_lo = cofactors_at(g, level)
-        if level in levels:
-            hi = rec(f_hi, g_hi)
-            if hi is one:
-                result = one
+    stack: list[tuple] = [(_EXPAND, f, g)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        tag = frame[0]
+        if tag == _EXPAND:
+            f, g = frame[1], frame[2]
+            if f is zero or g is zero:
+                emit(zero)
+                continue
+            if f is one and g is one:
+                emit(one)
+                continue
+            if f.level > max_level and g.level > max_level:
+                emit(apply_node(manager, "and", f, g))
+                continue
+            if f is one:
+                emit(exists_node(manager, g, levels))
+                continue
+            if g is one or f is g:
+                emit(exists_node(manager, f, levels))
+                continue
+            if id(f) > id(g):
+                f, g = g, f
+            key = ("andex", f, g, levels)
+            cached = cache_get("andex", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            level = f.level if f.level < g.level else g.level
+            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
+            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            if level in levels:
+                # Quantified level: the else pair is only explored when
+                # the then result falls short of ONE (short-circuit).
+                push((_AFTER_HI, key, f_lo, g_lo))
+                push((_EXPAND, f_hi, g_hi))
             else:
-                result = apply_node(manager, "or", hi, rec(f_lo, g_lo))
-        else:
-            result = manager.mk(level, rec(f_hi, g_hi), rec(f_lo, g_lo))
-        cache_put("andex", key, result)
-        return result
-
-    return rec(f, g)
+                push((_REBUILD, key, level))
+                push((_EXPAND, f_lo, g_lo))
+                push((_EXPAND, f_hi, g_hi))
+        elif tag == _AFTER_HI:
+            key = frame[1]
+            hi = values.pop()
+            if hi is one:
+                cache_put("andex", key, one)
+                emit(one)
+                continue
+            push((_DISJOIN, key, hi))
+            push((_EXPAND, frame[2], frame[3]))
+        elif tag == _DISJOIN:
+            lo = values.pop()
+            result = apply_node(manager, "or", frame[2], lo)
+            cache_put("andex", frame[1], result)
+            emit(result)
+        else:  # _REBUILD
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put("andex", frame[1], result)
+            emit(result)
+    return values[0]

@@ -13,14 +13,21 @@ minterm via the closest-assignment map*, which makes it useful for
 decomposition (it satisfies ``c & constrain(f, c) == c & f`` and, unlike
 restrict, ``exists . constrain`` laws), but it may *grow* the BDD because
 it can pull variables not in the support of ``f`` into the result.
+
+Both traversals run on explicit stacks (docs/algorithms.md, "Iterative
+kernels"), so deep care sets and deep functions never overflow the
+interpreter recursion limit.
 """
 
 from __future__ import annotations
 
 from .manager import Manager
 from .node import Node
-from .operations import cofactors_at, top_level
 from .quantify import exists_node
+
+# Frame tags of the explicit-stack traversals (same scheme as
+# repro.bdd.operations).
+_EXPAND, _REBUILD, _FORWARD = 0, 1, 2
 
 
 def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
@@ -28,36 +35,58 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
     one, zero = manager.one_node, manager.zero_node
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node, c: Node) -> Node:
-        if c is zero:
-            # The care set is empty: the result is arbitrary; return f to
-            # keep the recursion total (callers never use this branch's
-            # value on the care set, which is empty).
-            return f
-        if f is c:
-            # The function and the care set coincide: on the care set
-            # the value is 1, and off it the value is free.
-            return one
-        if c is one or f.is_terminal:
-            return f
-        key = ("constrain", f, c)
-        cached = cache_get("constrain", key)
-        if cached is not None:
-            return cached
-        level = top_level(f, c)
-        f_hi, f_lo = cofactors_at(f, level)
-        c_hi, c_lo = cofactors_at(c, level)
-        if c_hi is zero:
-            result = rec(f_lo, c_lo)
-        elif c_lo is zero:
-            result = rec(f_hi, c_hi)
-        else:
-            result = manager.mk(level, rec(f_hi, c_hi), rec(f_lo, c_lo))
-        cache_put("constrain", key, result)
-        return result
-
-    return rec(f, c)
+    stack: list[tuple] = [(_EXPAND, f, c)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        tag = frame[0]
+        if tag == _EXPAND:
+            f, c = frame[1], frame[2]
+            if c is zero:
+                # The care set is empty: the result is arbitrary; return
+                # f to keep the walk total (callers never use this
+                # branch's value on the care set, which is empty).
+                emit(f)
+                continue
+            if f is c:
+                # The function and the care set coincide: on the care
+                # set the value is 1, and off it the value is free.
+                emit(one)
+                continue
+            if c is one or f.is_terminal:
+                emit(f)
+                continue
+            key = ("constrain", f, c)
+            cached = cache_get("constrain", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            level = f.level if f.level < c.level else c.level
+            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
+            c_hi, c_lo = (c.hi, c.lo) if c.level == level else (c, c)
+            if c_hi is zero:
+                push((_FORWARD, key))
+                push((_EXPAND, f_lo, c_lo))
+            elif c_lo is zero:
+                push((_FORWARD, key))
+                push((_EXPAND, f_hi, c_hi))
+            else:
+                push((_REBUILD, key, level))
+                push((_EXPAND, f_lo, c_lo))
+                push((_EXPAND, f_hi, c_hi))
+        elif tag == _REBUILD:
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put("constrain", frame[1], result)
+            emit(result)
+        else:  # _FORWARD: one-branch descent, memoized under our key
+            cache_put("constrain", frame[1], values[-1])
+    return values[0]
 
 
 def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
@@ -71,39 +100,62 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
     one, zero = manager.one_node, manager.zero_node
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
+    mk = manager.mk
 
-    def rec(f: Node, c: Node) -> Node:
-        if c is zero:
-            return f
-        if f is c:
-            return one
-        if c is one or f.is_terminal:
-            return f
-        key = ("restrict", f, c)
-        cached = cache_get("restrict", key)
-        if cached is not None:
-            return cached
-        if c.level < f.level:
-            # f does not depend on the top variable of c: merge branches.
-            merged = exists_node(manager, c, frozenset({c.level}))
-            result = rec(f, merged)
-        else:
+    stack: list[tuple] = [(_EXPAND, f, c)]
+    push = stack.append
+    values: list[Node] = []
+    emit = values.append
+    while stack:
+        frame = stack.pop()
+        tag = frame[0]
+        if tag == _EXPAND:
+            f, c = frame[1], frame[2]
+            if c is zero:
+                emit(f)
+                continue
+            if f is c:
+                emit(one)
+                continue
+            if c is one or f.is_terminal:
+                emit(f)
+                continue
+            key = ("restrict", f, c)
+            cached = cache_get("restrict", key)
+            if cached is not None:
+                emit(cached)
+                continue
+            if c.level < f.level:
+                # f does not depend on the top variable of c: merge the
+                # care branches and retry on the merged care set.
+                merged = exists_node(manager, c, frozenset({c.level}))
+                push((_FORWARD, key))
+                push((_EXPAND, f, merged))
+                continue
             level = f.level
             f_hi, f_lo = f.hi, f.lo
-            c_hi, c_lo = cofactors_at(c, level)
+            c_hi, c_lo = (c.hi, c.lo) if c.level == level else (c, c)
             if c_hi is zero:
                 # Remapping step (Figure 1): the then-branch is don't
                 # care, replace the whole node by the else cofactor.
-                result = rec(f_lo, c_lo)
+                push((_FORWARD, key))
+                push((_EXPAND, f_lo, c_lo))
             elif c_lo is zero:
-                result = rec(f_hi, c_hi)
+                push((_FORWARD, key))
+                push((_EXPAND, f_hi, c_hi))
             else:
-                result = manager.mk(level, rec(f_hi, c_hi),
-                                    rec(f_lo, c_lo))
-        cache_put("restrict", key, result)
-        return result
-
-    return rec(f, c)
+                push((_REBUILD, key, level))
+                push((_EXPAND, f_lo, c_lo))
+                push((_EXPAND, f_hi, c_hi))
+        elif tag == _REBUILD:
+            lo = values.pop()
+            hi = values.pop()
+            result = mk(frame[2], hi, lo)
+            cache_put("restrict", frame[1], result)
+            emit(result)
+        else:  # _FORWARD
+            cache_put("restrict", frame[1], values[-1])
+    return values[0]
 
 
 def constrain(f, c):

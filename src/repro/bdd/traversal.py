@@ -65,16 +65,28 @@ def iter_paths(root: Node, manager) -> Iterator[tuple[dict[int, bool], int]]:
     """Iterate (partial level assignment, terminal value) per BDD path.
 
     Exponential in general; used in tests and on small examples only.
+    The walk keeps its own branch stack, so paths of any depth work at
+    the default recursion limit.
     """
+    if root.is_terminal:
+        yield {}, root.value
+        return
     path: dict[int, bool] = {}
-
-    def rec(node: Node) -> Iterator[tuple[dict[int, bool], int]]:
-        if node.is_terminal:
-            yield dict(path), node.value
-            return
-        for value, child in ((True, node.hi), (False, node.lo)):
-            path[node.level] = value
-            yield from rec(child)
+    # One frame per internal node on the current path; each frame owns
+    # the iterator over its (branch value, child) pairs and the path
+    # entry at its level.
+    stack = [(root, iter(((True, root.hi), (False, root.lo))))]
+    while stack:
+        node, branches = stack[-1]
+        try:
+            value, child = next(branches)
+        except StopIteration:
+            stack.pop()
             del path[node.level]
-
-    yield from rec(root)
+            continue
+        path[node.level] = value
+        if child.is_terminal:
+            yield dict(path), child.value
+        else:
+            stack.append((child,
+                          iter(((True, child.hi), (False, child.lo)))))

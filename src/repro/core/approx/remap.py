@@ -259,31 +259,57 @@ def find_replacement(manager: Manager, node: Node, flow: int,
 # ----------------------------------------------------------------------
 
 def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
-    """Rebuild the BDD bottom-up applying the recorded replacements."""
+    """Rebuild the BDD bottom-up applying the recorded replacements.
+
+    Explicit post-order walk (no recursion, so replacement chains of any
+    depth work at the default recursion limit): expand frames (flag 0)
+    resolve terminals/memo hits and queue the nodes a status depends on;
+    rebuild frames (flag 1) pop the finished pieces off the value stack.
+    """
     memo: dict[Node, Node] = {}
+    status_of = info.status
+    zero = manager.zero_node
 
-    def build(node: Node) -> Node:
-        if node.is_terminal:
-            return node
-        result = memo.get(node)
-        if result is not None:
-            return result
-        status = info.status.get(node)
-        if status is None:
-            result = manager.mk(node.level, build(node.hi),
-                                build(node.lo))
-        elif status[0] == REPLACE_ZERO:
-            result = manager.zero_node
-        elif status[0] == REPLACE_REMAP:
-            result = build(status[1])
-        else:
-            _, level, use_then, shared = status
-            branch = build(shared)
-            if use_then:
-                result = manager.mk(level, branch, manager.zero_node)
+    stack: list[tuple[int, Node]] = [(0, root)]
+    values: list[Node] = []
+    while stack:
+        flag, node = stack.pop()
+        if flag == 0:
+            if node.is_terminal:
+                values.append(node)
+                continue
+            result = memo.get(node)
+            if result is not None:
+                values.append(result)
+                continue
+            status = status_of.get(node)
+            if status is not None and status[0] == REPLACE_ZERO:
+                memo[node] = zero
+                values.append(zero)
+                continue
+            stack.append((1, node))
+            if status is None:
+                stack.append((0, node.lo))
+                stack.append((0, node.hi))
+            elif status[0] == REPLACE_REMAP:
+                stack.append((0, status[1]))
             else:
-                result = manager.mk(level, manager.zero_node, branch)
-        memo[node] = result
-        return result
-
-    return build(root)
+                stack.append((0, status[3]))  # the shared grandchild
+        else:
+            status = status_of.get(node)
+            if status is None:
+                lo = values.pop()
+                hi = values.pop()
+                result = manager.mk(node.level, hi, lo)
+            elif status[0] == REPLACE_REMAP:
+                result = values.pop()
+            else:
+                _, level, use_then, _ = status
+                branch = values.pop()
+                if use_then:
+                    result = manager.mk(level, branch, zero)
+                else:
+                    result = manager.mk(level, zero, branch)
+            memo[node] = result
+            values.append(result)
+    return values[0]

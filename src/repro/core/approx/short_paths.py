@@ -51,18 +51,32 @@ def short_paths_subset(f: Function, threshold: int,
         cutoff = candidate
     keep = {node for node, length in lengths.items() if length <= cutoff}
 
+    # Explicit post-order rebuild (no recursion): kept nodes are
+    # re-created bottom-up, discarded nodes collapse to ZERO.
     memo: dict = {}
-
-    def build(node):
-        if node.is_terminal:
-            return node
-        if node not in keep:
-            return manager.zero_node
-        result = memo.get(node)
-        if result is None:
-            result = manager.mk(node.level, build(node.hi),
-                                build(node.lo))
+    zero = manager.zero_node
+    stack = [(0, root)]
+    values = []
+    while stack:
+        flag, node = stack.pop()
+        if flag == 0:
+            if node.is_terminal:
+                values.append(node)
+                continue
+            if node not in keep:
+                values.append(zero)
+                continue
+            result = memo.get(node)
+            if result is not None:
+                values.append(result)
+                continue
+            stack.append((1, node))
+            stack.append((0, node.lo))
+            stack.append((0, node.hi))
+        else:
+            lo = values.pop()
+            hi = values.pop()
+            result = manager.mk(node.level, hi, lo)
             memo[node] = result
-        return result
-
-    return Function(manager, build(root))
+            values.append(result)
+    return Function(manager, values[0])

@@ -1,0 +1,145 @@
+"""Deep-structure stress tests for the iterative explicit-stack kernels.
+
+Chain BDDs (one node per level — the conjunction of all variables) and
+ladder BDDs (two nodes per level — the parity function) are the
+worst-case shapes for recursion depth; Bryant's chain-reduction paper
+observes they are common in practice.  Every public operation must
+complete on them at CPython's *default* recursion limit: the 2000-level
+variant runs in tier-1, the 10000-level variant under ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.bdd import Manager, constrain, restrict
+from repro.bdd.counting import path_count
+from repro.bdd.traversal import iter_paths
+
+DEPTHS = [
+    pytest.param(2000, id="tier1-2k"),
+    pytest.param(10000, id="slow-10k", marks=pytest.mark.slow),
+]
+
+
+def deep_manager(n: int) -> Manager:
+    return Manager([f"x{i}" for i in range(n)])
+
+
+def chain(manager: Manager, n: int):
+    """AND of all n variables: one internal node per level."""
+    return manager.cube({f"x{i}": True for i in range(n)})
+
+
+def ladder(manager: Manager, n: int):
+    """XOR of all n variables: two internal nodes per level."""
+    from repro.bdd import Function
+
+    even = manager.zero_node  # parity of the variables below is 0
+    odd = manager.one_node
+    for level in reversed(range(n)):
+        even, odd = (manager.mk(level, odd, even),
+                     manager.mk(level, even, odd))
+    return Function(manager, even)
+
+
+@pytest.fixture(params=DEPTHS)
+def depth(request):
+    n = request.param
+    # The whole point: these depths must far exceed the recursion limit.
+    assert sys.getrecursionlimit() < n
+    return n
+
+
+class TestDeepStructures:
+    def test_build_shapes(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = ladder(m, depth)
+        assert len(f) == depth
+        assert len(g) == 2 * depth - 1
+        assert f.sat_count() == 1
+        assert g.sat_count() == 1 << (depth - 1)
+
+    def test_apply(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = ladder(m, depth)
+        assert (f & g).is_false if depth % 2 == 0 else (f & g) == f
+        assert (f | g).sat_count() == g.sat_count() + (depth % 2 == 0)
+        assert (f ^ f).is_false
+        assert (g ^ g).is_false
+        assert (f - g).sat_count() == (1 if depth % 2 == 0 else 0)
+
+    def test_not(self, depth):
+        m = deep_manager(depth)
+        g = ladder(m, depth)
+        h = ~g
+        assert h.sat_count() == 1 << (depth - 1)
+        assert ~h == g
+
+    def test_ite(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = ladder(m, depth)
+        r = f.ite(g, ~g)
+        assert r == (f & g) | (~f & ~g)
+
+    def test_quantify(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        evens = [f"x{i}" for i in range(0, depth, 2)]
+        e = f.exists(evens)
+        assert len(e) == depth - len(evens)
+        assert e.sat_count() == 1 << len(evens)
+        assert f.forall(["x0"]).is_false
+        g = ladder(m, depth)
+        assert g.exists(["x0"]).is_true
+
+    def test_and_exists(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = ladder(m, depth)
+        names = [f"x{i}" for i in range(depth)]
+        r = f.and_exists(g, names)
+        assert r == (f & g).exists(names)
+
+    def test_constrain_restrict(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = ladder(m, depth)
+        for op in (constrain, restrict):
+            r = op(g, f)
+            assert (f & r) == (f & g)
+        assert restrict(g, f).support() <= g.support()
+
+    def test_cofactor_and_compose(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        assert len(f.cofactor({"x0": True})) == depth - 1
+        assert f.cofactor({"x0": False}).is_false
+        swapped = f.compose({"x0": m.var("x1"), "x1": m.var("x0")})
+        assert swapped == f  # the chain is symmetric in its variables
+
+    def test_leq(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        g = f | m.var("x0")
+        assert f <= g
+        assert not (g <= f)
+
+    def test_counting_and_paths(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        assert path_count(f.node) == depth + 1
+        assert sum(1 for _ in iter_paths(f.node, m)) == depth + 1
+        assert sum(1 for _ in f.iter_minterms()) == 1
+
+    def test_pick_and_eval(self, depth):
+        m = deep_manager(depth)
+        f = chain(m, depth)
+        assignment = f.pick_one()
+        assert assignment is not None and all(assignment.values())
+        assert f(**assignment)

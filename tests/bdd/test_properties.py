@@ -3,6 +3,8 @@
 Random boolean expressions are generated as syntax trees, built both as
 BDDs and as Python closures, and compared on the full truth table —
 canonicity, operator algebra, quantifier laws, cofactor contracts.
+The iterative explicit-stack kernels are additionally cross-checked
+against the brute-force truth-table oracle in ``tests/helpers.py``.
 """
 
 from __future__ import annotations
@@ -13,7 +15,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.bdd import Manager, constrain, restrict
 
-NVARS = 5
+from ..helpers import assert_equal_semantics, truth_table
+
+NVARS = 8
 NAMES = [f"v{i}" for i in range(NVARS)]
 
 
@@ -78,8 +82,43 @@ def all_envs():
 def test_bdd_matches_semantics(expr):
     manager = Manager(vars=NAMES)
     f = build(manager, expr)
-    for env in all_envs():
-        assert f(**env) == evaluate(expr, env)
+    # The helpers oracle enumerates the full 2^NVARS truth table.
+    expected = [evaluate(expr, {NAMES[i]: bool(k >> i & 1)
+                                for i in range(NVARS)})
+                for k in range(1 << NVARS)]
+    assert truth_table(f, NAMES) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(exprs(), exprs())
+def test_operator_kernels_match_oracle(e1, e2):
+    """Differential check of apply/not/ite against the brute-force
+    oracle from tests/helpers.py."""
+    manager = Manager(vars=NAMES)
+    a = build(manager, e1)
+    b = build(manager, e2)
+
+    def ea(**env):
+        return evaluate(e1, env)
+
+    def eb(**env):
+        return evaluate(e2, env)
+
+    assert_equal_semantics(a & b, lambda **env: ea(**env) and eb(**env),
+                           NAMES)
+    assert_equal_semantics(a | b, lambda **env: ea(**env) or eb(**env),
+                           NAMES)
+    assert_equal_semantics(a ^ b, lambda **env: ea(**env) != eb(**env),
+                           NAMES)
+    assert_equal_semantics(~a, lambda **env: not ea(**env), NAMES)
+    assert_equal_semantics(a - b, lambda **env: ea(**env)
+                           and not eb(**env), NAMES)
+    assert_equal_semantics(a.implies(b),
+                           lambda **env: (not ea(**env)) or eb(**env),
+                           NAMES)
+    assert_equal_semantics(a.ite(b, ~b),
+                           lambda **env: eb(**env) if ea(**env)
+                           else not eb(**env), NAMES)
 
 
 @settings(max_examples=80, deadline=None)

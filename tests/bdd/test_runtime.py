@@ -137,9 +137,15 @@ class TestAutomaticGC:
 
     def test_gc_never_fires_mid_recursion(self, monkeypatch):
         """Stress reachability with an aggressive threshold and assert
-        every collection happens outside any memoized recursion frame.
+        every collection happens outside any kernel traversal frame
+        (the iterative kernels hold raw nodes on their explicit stacks).
         """
-        recursion_frames = {"rec"}  # all memoized recursions use `rec`
+        recursion_frames = {
+            "apply_node", "not_node", "ite_node", "leq_node",
+            "cofactor_node", "vector_compose_node", "exists_node",
+            "forall_node", "_quantify", "and_exists_node",
+            "constrain_node", "restrict_node", "build_result",
+        }
         offenders: list[str] = []
         original = Manager.collect_garbage
 
@@ -269,3 +275,29 @@ class TestReachabilityByteIdentical:
                     len(r.reached), r.iterations, r.complete)
 
         assert run() == run(cache_limit=128, gc_threshold=32)
+
+    @pytest.mark.parametrize("circuit", [counter(5), token_ring(5)])
+    def test_eviction_mid_operation_identical(self, circuit):
+        """A cache bound tiny enough to evict *during* the image-step
+        kernels (the iterative explicit-stack traversals re-derive the
+        lost sub-results through the unique table) must still produce
+        byte-identical fixpoints vs an unbounded cache.
+        """
+        def run(cache_limit=None):
+            encoded = encode(circuit)
+            manager = encoded.manager
+            if cache_limit is not None:
+                manager.set_cache_limit(cache_limit)
+            tr = TransitionRelation(encoded)
+            r = bfs_reachability(tr, encoded.initial_states())
+            evictions = manager.computed.totals().evictions
+            return (count_states(r.reached, encoded.state_vars),
+                    len(r.reached), r.iterations, r.complete), evictions
+
+        unbounded, no_evictions = run()
+        bounded, evictions = run(cache_limit=32)
+        assert no_evictions == 0
+        # The bound must be small enough that entries are lost while a
+        # fixpoint (and the kernels inside it) is still in flight.
+        assert evictions > 0
+        assert bounded == unbounded

@@ -1,0 +1,45 @@
+"""Guard against the ``sys.setrecursionlimit`` hack returning.
+
+The kernels are iterative (explicit stacks), so importing ``repro`` must
+never need to raise the interpreter recursion limit.  The check runs in
+a fresh subprocess because the limit is process-global state.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def test_import_does_not_touch_recursion_limit():
+    code = (
+        "import sys\n"
+        "before = sys.getrecursionlimit()\n"
+        "import repro\n"
+        "import repro.bdd, repro.core, repro.fsm, repro.reach\n"
+        "import repro.verify, repro.harness\n"
+        "after = sys.getrecursionlimit()\n"
+        "assert after == before, f'recursion limit changed: "
+        "{before} -> {after}'\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run([sys.executable, "-c", code], env=env,
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_no_setrecursionlimit_in_source_tree():
+    """No module under src/repro may call sys.setrecursionlimit."""
+    offenders = [
+        path
+        for path in Path(SRC_DIR, "repro").rglob("*.py")
+        if "setrecursionlimit(" in path.read_text(encoding="utf-8")
+    ]
+    assert offenders == []
