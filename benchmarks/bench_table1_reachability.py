@@ -23,10 +23,12 @@ am2910         am2910 model       exact BFS infeasible; high-density
                                   completes
 =============  =================  ====================================
 
-BFS on the am2910 row is bounded by a deadline standing in for the
-paper's ">2 weeks".  Quick scale keeps every run under a couple of
-minutes; ``REPRO_BENCH_SCALE=full`` uses the larger instances recorded
-in EXPERIMENTS.md.
+All (circuit, method) pairs fan over one experiment-engine run — each
+task rebuilds its circuit from the factory registry and executes
+:func:`repro.harness.experiments.reachability_row` — so a crashing or
+diverging traversal never takes down the rest of the table.  BFS on
+the am2910 row is bounded by a deadline standing in for the paper's
+">2 weeks".  Results are persisted to ``BENCH_table1.json``.
 
 Run:  pytest benchmarks/bench_table1_reachability.py --benchmark-only -s
 """
@@ -38,15 +40,8 @@ from dataclasses import dataclass
 
 import pytest
 
-from repro.core.approx import remap_under_approx, short_paths_subset
-from repro.fsm import encode
-from repro.fsm.am2910 import am2910
-from repro.fsm.benchmarks import (checksum_memory, serial_multiplier,
-                                  shift_queue)
-from repro.harness import format_table
-from repro.reach import (PartialImagePolicy, TransitionRelation,
-                         TraversalLimit, bfs_reachability, count_states,
-                         high_density_reachability)
+from repro.harness import Task, format_table, run_tasks, task_rows
+from repro.harness.experiments import reachability_row
 
 
 @dataclass(frozen=True)
@@ -54,7 +49,8 @@ class Table1Row:
     """One circuit and its tuned per-method parameters."""
 
     paper_name: str
-    make: object
+    factory: str
+    args: tuple
     #: RUA: (threshold, quality, partial-image (trigger, threshold))
     rua: tuple
     #: SP: (threshold, partial-image)
@@ -62,33 +58,45 @@ class Table1Row:
     bfs_deadline: float
     hd_deadline: float
 
+    def payloads(self):
+        base = {"name": self.paper_name, "factory": self.factory,
+                "args": self.args}
+        yield dict(base, method="bfs", deadline=self.bfs_deadline)
+        threshold, quality, pimg = self.rua
+        yield dict(base, method="rua", threshold=threshold,
+                   quality=quality, pimg=pimg,
+                   deadline=self.hd_deadline)
+        threshold, pimg = self.sp
+        yield dict(base, method="sp", threshold=threshold, pimg=pimg,
+                   deadline=self.hd_deadline)
+
 
 QUICK_ROWS = (
-    Table1Row("s3330", lambda: checksum_memory(4, 4),
+    Table1Row("s3330", "checksum_memory", (4, 4),
               rua=(0, 1.0, None), sp=(50, None),
               bfs_deadline=120.0, hd_deadline=240.0),
-    Table1Row("s1269", lambda: serial_multiplier(8),
+    Table1Row("s1269", "serial_multiplier", (8,),
               rua=(0, 1.0, None), sp=(60, None),
               bfs_deadline=120.0, hd_deadline=240.0),
-    Table1Row("s5378opt", lambda: shift_queue(5, 3),
+    Table1Row("s5378opt", "shift_queue", (5, 3),
               rua=(0, 1.0, None), sp=(60, None),
               bfs_deadline=120.0, hd_deadline=240.0),
-    Table1Row("am2910", lambda: am2910(5, 3),
+    Table1Row("am2910", "am2910", (5, 3),
               rua=(0, 1.0, (20000, 8000)), sp=(150, (20000, 8000)),
               bfs_deadline=45.0, hd_deadline=300.0),
 )
 
 FULL_ROWS = (
-    Table1Row("s3330", lambda: checksum_memory(8, 4),
+    Table1Row("s3330", "checksum_memory", (8, 4),
               rua=(0, 1.0, (20000, 8000)), sp=(100, (20000, 8000)),
               bfs_deadline=600.0, hd_deadline=1200.0),
-    Table1Row("s1269", lambda: serial_multiplier(8),
+    Table1Row("s1269", "serial_multiplier", (8,),
               rua=(0, 1.0, None), sp=(60, None),
               bfs_deadline=600.0, hd_deadline=1200.0),
-    Table1Row("s5378opt", lambda: shift_queue(6, 4),
+    Table1Row("s5378opt", "shift_queue", (6, 4),
               rua=(0, 1.0, None), sp=(100, None),
               bfs_deadline=600.0, hd_deadline=1200.0),
-    Table1Row("am2910", lambda: am2910(6, 4),
+    Table1Row("am2910", "am2910", (6, 4),
               rua=(0, 0.5, (20000, 8000)), sp=(150, (20000, 8000)),
               bfs_deadline=150.0, hd_deadline=600.0),
 )
@@ -100,111 +108,65 @@ def rows_for_scale() -> tuple:
     return QUICK_ROWS
 
 
-RESULTS: dict[str, dict] = {}
+def run_engine(jobs):
+    tasks = [Task(f"{p['name']}/{p['method']}", p)
+             for row in rows_for_scale() for p in row.payloads()]
+    return run_tasks(reachability_row, tasks, jobs=jobs)
 
 
-def run_bfs(row: Table1Row):
-    circuit = row.make()
-    encoded = encode(circuit)
-    tr = TransitionRelation(encoded)
-    try:
-        result = bfs_reachability(tr, encoded.initial_states(),
-                                  deadline=row.bfs_deadline)
-        states = count_states(result.reached, encoded.state_vars)
-        return (result.seconds, states, circuit.num_latches,
-                encoded.manager.stats.peak_nodes)
-    except TraversalLimit:
-        return (None, None, circuit.num_latches,
-                encoded.manager.stats.peak_nodes)
-
-
-def run_hd(row: Table1Row, method: str):
-    circuit = row.make()
-    encoded = encode(circuit)
-    tr = TransitionRelation(encoded)
-    if method == "rua":
-        threshold, quality, pimg = row.rua
-        subset = lambda f, *, threshold=0: remap_under_approx(f, threshold, quality=quality)
-    else:
-        threshold, pimg = row.sp
-        subset = lambda f, *, threshold=0: short_paths_subset(f, threshold)
-    policy = None
-    if pimg is not None:
-        policy = PartialImagePolicy(subset=subset, trigger=pimg[0],
-                                    threshold=pimg[1])
-    result = high_density_reachability(
-        tr, encoded.initial_states(), subset, threshold=threshold,
-        partial=policy, deadline=row.hd_deadline)
-    states = count_states(result.reached, encoded.state_vars)
-    return result.seconds, states, encoded.manager.stats.peak_nodes
-
-
-@pytest.mark.benchmark(group="table1")
-@pytest.mark.parametrize("row", rows_for_scale(),
-                         ids=lambda r: r.paper_name)
-def test_table1_bfs(benchmark, row):
-    seconds, states, latches, peak = benchmark.pedantic(
-        run_bfs, args=(row,), rounds=1, iterations=1)
-    entry = RESULTS.setdefault(row.paper_name, {})
-    entry["ff"] = latches
-    entry["bfs"] = seconds
-    entry["states"] = states
-    entry["peak"] = max(entry.get("peak", 0), peak)
-    if row.paper_name == "am2910" and \
-            os.environ.get("REPRO_BENCH_SCALE") == "full":
-        assert seconds is None, \
-            "full-scale am2910 BFS should exceed its budget"
-
-
-@pytest.mark.benchmark(group="table1")
-@pytest.mark.parametrize("method", ["rua", "sp"])
-@pytest.mark.parametrize("row", rows_for_scale(),
-                         ids=lambda r: r.paper_name)
-def test_table1_high_density(benchmark, row, method):
-    seconds, states, peak = benchmark.pedantic(
-        run_hd, args=(row, method), rounds=1, iterations=1)
-    entry = RESULTS.setdefault(row.paper_name, {})
-    entry[method] = seconds
-    entry["peak"] = max(entry.get("peak", 0), peak)
-    expected = entry.get("states")
-    if expected is not None:
-        assert states == expected, \
-            f"{method} reached a different state count than BFS"
-    else:
-        entry["states"] = states
-
-
-@pytest.mark.benchmark(group="table1-report")
-def test_table1_report(benchmark):
-    """Prints the collected Table 1 (runs after the timed tests).
-
-    Declared as a benchmark so it still runs under --benchmark-only;
-    the measured body is a no-op.
-    """
-    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
-    if not RESULTS:
-        pytest.skip("timed Table 1 benchmarks did not run")
-    rows = rows_for_scale()
+def render(rows_cfg, results) -> str:
     table = []
-    for row in rows:
-        entry = RESULTS.get(row.paper_name, {})
-        fmt = lambda v: "timeout" if v is None else f"{v:.1f}"
-        threshold, quality, pimg = row.rua
+    fmt = lambda v: "timeout" if v is None else f"{v:.1f}"
+    for cfg in rows_cfg:
+        by_method = {m: results[f"{cfg.paper_name}/{m}"]
+                     for m in ("bfs", "rua", "sp")}
+        threshold, quality, pimg = cfg.rua
         pimg_text = "NA" if pimg is None else f"{pimg[0]}/{pimg[1]}"
+        states = next((r["states"] for r in by_method.values()
+                       if r.get("states") is not None), "?")
+        peak = max(r["peak_nodes"] for r in by_method.values())
         table.append([
-            row.paper_name, entry.get("ff", "?"),
-            entry.get("states", "?"),
-            fmt(entry.get("bfs", None)),
+            cfg.paper_name, by_method["bfs"]["ff"], states,
+            fmt(by_method["bfs"]["traverse_seconds"]),
             threshold, quality, pimg_text,
-            fmt(entry.get("rua", None)),
-            row.sp[0],
-            fmt(entry.get("sp", None)),
-            entry.get("peak", "?"),
+            fmt(by_method["rua"]["traverse_seconds"]),
+            cfg.sp[0],
+            fmt(by_method["sp"]["traverse_seconds"]),
+            peak,
         ])
-    print()
-    print(format_table(
+    return format_table(
         ["Ckt", "FF", "States", "BFS time", "Th", "Qual", "PImg",
          "RUA time", "SP Th", "SP time", "Peak nodes"],
         table,
         title="Table 1: Reachability analysis results using BDD "
-              "approximations"))
+              "approximations")
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_reachability(benchmark, jobs, bench_writer):
+    run = benchmark.pedantic(run_engine, args=(jobs,),
+                             rounds=1, iterations=1)
+    assert not run.failures, [o.error for o in run.failures]
+    results = run.results()
+    rows_cfg = rows_for_scale()
+    print()
+    print(f"[{len(run.outcomes)} traversals, jobs={run.jobs}]")
+    print(render(rows_cfg, results))
+    bench_writer("table1", list(results.values()) + task_rows(run),
+                 run)
+    for cfg in rows_cfg:
+        by_method = {m: results[f"{cfg.paper_name}/{m}"]
+                     for m in ("bfs", "rua", "sp")}
+        # High-density traversal must agree with BFS on the reachable
+        # state count whenever BFS finished within its budget.
+        expected = by_method["bfs"]["states"]
+        for method in ("rua", "sp"):
+            states = by_method[method]["states"]
+            if expected is not None:
+                assert states == expected, \
+                    f"{cfg.paper_name}: {method} reached a different " \
+                    f"state count than BFS"
+        if cfg.paper_name == "am2910" and \
+                os.environ.get("REPRO_BENCH_SCALE") == "full":
+            assert by_method["bfs"]["traverse_seconds"] is None, \
+                "full-scale am2910 BFS should exceed its budget"

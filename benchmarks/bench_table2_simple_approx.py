@@ -6,6 +6,13 @@ SP, UA, and RUA, plus wins/ties on density.  Protocol follows the paper:
 UA/RUA run with threshold 0 and quality 1; the RUA result sizes are used
 as the thresholds for HB and SP.
 
+The population is fanned over the experiment engine
+(:func:`repro.harness.engine.run_tasks`) one spec per task — each
+worker rebuilds its slice and runs
+:func:`repro.harness.experiments.simple_approx_rows`; ``--jobs 1``
+runs the same bodies inline and produces identical rows.  Results are
+persisted to ``BENCH_table2.json``.
+
 Run:  pytest benchmarks/bench_table2_simple_approx.py --benchmark-only -s
 """
 
@@ -13,51 +20,40 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.approx import (bdd_under_approx, heavy_branch_subset,
-                               remap_under_approx, short_paths_subset)
-from repro.harness import (Measurement, format_table, geometric_mean,
-                           wins_and_ties)
+from repro.harness import (Measurement, Task, format_table,
+                           geometric_mean, population_specs, run_tasks,
+                           task_rows, wins_and_ties)
+from repro.harness.experiments import SIMPLE_METHODS, simple_approx_rows
 
-METHODS = ("F", "HB", "SP", "UA", "RUA")
+METHODS = SIMPLE_METHODS
 
 
-def cache_summary(population) -> str:
-    """Aggregate computed-table statistics over the population managers."""
-    managers = {id(e.function.manager): e.function.manager
-                for e in population}
-    hits = misses = evictions = 0
-    for m in managers.values():
-        t = m.computed.totals()
-        hits += t.hits
-        misses += t.misses
-        evictions += t.evictions
+def run_engine(scale, jobs):
+    tasks = [Task(spec.name, (spec, scale.min_nodes))
+             for spec in population_specs()]
+    return run_tasks(simple_approx_rows, tasks, jobs=jobs)
+
+
+def as_measurements(func_rows):
+    """Flat trajectory rows -> per-method Measurement dicts."""
+    return [{m: Measurement(nodes=row[f"{m}_nodes"],
+                            minterms=row[f"{m}_minterms"])
+             for m in METHODS} for row in func_rows]
+
+
+def cache_summary(run) -> str:
+    """Aggregate computed-table statistics over the worker managers."""
+    hits = misses = evictions = managers = 0
+    for outcome in run.outcomes:
+        stats = outcome.result["manager_stats"]
+        managers += stats["managers"]
+        hits += stats["cache_hits"]
+        misses += stats["cache_misses"]
+        evictions += stats["cache_evictions"]
     lookups = hits + misses
     rate = hits / lookups if lookups else 0.0
     return (f"[computed table: {lookups} lookups, {rate:.0%} hit rate, "
-            f"{evictions} evictions over {len(managers)} managers]")
-
-
-def run_simple_methods(population):
-    """Apply all simple methods; returns per-function measurements."""
-    rows = []
-    for entry in population:
-        f = entry.function
-        nvars = f.manager.num_vars
-        rua = remap_under_approx(f, threshold=0, quality=1.0)
-        budget = max(1, len(rua))
-        results = {
-            "F": f,
-            "HB": heavy_branch_subset(f, budget),
-            "SP": short_paths_subset(f, budget),
-            "UA": bdd_under_approx(f, threshold=0),
-            "RUA": rua,
-        }
-        for name, g in results.items():
-            assert g <= f, f"{name} broke the subset contract"
-        rows.append({name: Measurement(nodes=len(g),
-                                       minterms=g.sat_count(nvars))
-                     for name, g in results.items()})
-    return rows
+            f"{evictions} evictions over {managers} managers]")
 
 
 def summarize(rows) -> str:
@@ -83,13 +79,18 @@ def summarize(rows) -> str:
 
 
 @pytest.mark.benchmark(group="table2")
-def test_table2_simple_methods(benchmark, population):
-    rows = benchmark.pedantic(run_simple_methods, args=(population,),
-                              rounds=1, iterations=1)
+def test_table2_simple_methods(benchmark, scale, jobs, bench_writer):
+    run = benchmark.pedantic(run_engine, args=(scale, jobs),
+                             rounds=1, iterations=1)
+    assert not run.failures, [o.error for o in run.failures]
+    func_rows = [row for outcome in run.outcomes
+                 for row in outcome.result["rows"]]
+    rows = as_measurements(func_rows)
     print()
-    print(f"[population: {len(population)} functions]")
+    print(f"[population: {len(rows)} functions, jobs={run.jobs}]")
     print(summarize(rows))
-    print(cache_summary(population))
+    print(cache_summary(run))
+    bench_writer("table2", func_rows + task_rows(run), run)
     # Shape assertions from the paper: RUA is the densest simple method
     # on geometric mean and takes the most wins.
     score = wins_and_ties([{k: v for k, v in row.items() if k != "F"}

@@ -6,6 +6,10 @@ in the paper's protocol).  Checked shape properties: C1 never loses to
 RUA, C2 never loses to SP, C1 retains more minterms than RUA, and C2
 uses roughly half the nodes of C1.
 
+Fanned over the experiment engine one population spec per task (see
+:func:`repro.harness.experiments.compound_approx_rows`); results are
+persisted to ``BENCH_table3.json``.
+
 Run:  pytest benchmarks/bench_table3_compound_approx.py --benchmark-only -s
 """
 
@@ -13,33 +17,25 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.approx import (c1, c2, remap_under_approx,
-                               short_paths_subset)
-from repro.harness import (Measurement, format_table, geometric_mean,
-                           wins_and_ties)
+from repro.harness import (Measurement, Task, format_table,
+                           geometric_mean, population_specs, run_tasks,
+                           task_rows, wins_and_ties)
+from repro.harness.experiments import (COMPOUND_METHODS,
+                                       compound_approx_rows)
+
+METHODS = COMPOUND_METHODS
 
 
-def run_compound_methods(population):
-    rows = []
-    for entry in population:
-        f = entry.function
-        nvars = f.manager.num_vars
-        rua = remap_under_approx(f, threshold=0, quality=1.0)
-        sp = short_paths_subset(f, max(1, len(rua)))
-        c1_result = c1(f)
-        c2_result = c2(f, sp_threshold=max(1, len(rua)))
-        for name, g in (("C1", c1_result), ("C2", c2_result)):
-            assert g <= f, f"{name} broke the subset contract"
-        assert c1_result.sat_count(nvars) >= rua.sat_count(nvars)
-        rows.append({
-            "RUA": Measurement(len(rua), rua.sat_count(nvars)),
-            "SP": Measurement(len(sp), sp.sat_count(nvars)),
-            "C1": Measurement(len(c1_result),
-                              c1_result.sat_count(nvars)),
-            "C2": Measurement(len(c2_result),
-                              c2_result.sat_count(nvars)),
-        })
-    return rows
+def run_engine(scale, jobs):
+    tasks = [Task(spec.name, (spec, scale.min_nodes))
+             for spec in population_specs()]
+    return run_tasks(compound_approx_rows, tasks, jobs=jobs)
+
+
+def as_measurements(func_rows):
+    return [{m: Measurement(nodes=row[f"{m}_nodes"],
+                            minterms=row[f"{m}_minterms"])
+             for m in METHODS} for row in func_rows]
 
 
 def summarize(rows) -> str:
@@ -65,12 +61,17 @@ def summarize(rows) -> str:
 
 
 @pytest.mark.benchmark(group="table3")
-def test_table3_compound_methods(benchmark, population):
-    rows = benchmark.pedantic(run_compound_methods, args=(population,),
-                              rounds=1, iterations=1)
+def test_table3_compound_methods(benchmark, scale, jobs, bench_writer):
+    run = benchmark.pedantic(run_engine, args=(scale, jobs),
+                             rounds=1, iterations=1)
+    assert not run.failures, [o.error for o in run.failures]
+    func_rows = [row for outcome in run.outcomes
+                 for row in outcome.result["rows"]]
+    rows = as_measurements(func_rows)
     print()
-    print(f"[population: {len(population)} functions]")
+    print(f"[population: {len(rows)} functions, jobs={run.jobs}]")
     print(summarize(rows))
+    bench_writer("table3", func_rows + task_rows(run), run)
     # Paper shape: C1 never loses to RUA; C2 never loses to SP.
     for row in rows:
         c1_d = row["C1"].minterms * max(1, row["RUA"].nodes)

@@ -4,16 +4,35 @@ Scale control: set ``REPRO_BENCH_SCALE=full`` for population thresholds
 and circuit sizes closer to the paper's (slower); the default ``quick``
 scale finishes the whole benchmark suite in minutes on a laptop.
 EXPERIMENTS.md records results at both scales.
+
+Parallelism: ``--jobs N`` (or ``REPRO_BENCH_JOBS``) fans the table
+benchmarks over the experiment engine's worker pool; ``--jobs 1`` runs
+inline.  Either way the result rows are identical — workers rebuild
+their population slice from the same deterministic specs.
+
+Every table benchmark persists a ``BENCH_<name>.json`` trajectory file
+(see :mod:`repro.harness.trajectory`) into ``REPRO_BENCH_DIR`` (default:
+the current directory) through the ``bench_writer`` fixture.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from pathlib import Path
 
 import pytest
 
-from repro.harness import generate_population
+from repro.harness import (bench_payload, failure_rows,
+                           generate_population, resolve_jobs,
+                           write_bench)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", type=int, default=None,
+        help="worker processes for the table benchmarks "
+             "(default: REPRO_BENCH_JOBS or 1; <=0 means all cores)")
 
 
 @dataclass(frozen=True)
@@ -40,6 +59,28 @@ def scale() -> BenchScale:
     except KeyError:
         raise ValueError(f"REPRO_BENCH_SCALE must be one of "
                          f"{sorted(SCALES)}, got {name!r}")
+
+
+@pytest.fixture(scope="session")
+def jobs(request) -> int:
+    return resolve_jobs(request.config.getoption("--jobs"))
+
+
+@pytest.fixture(scope="session")
+def bench_dir() -> Path:
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+@pytest.fixture(scope="session")
+def bench_writer(scale, jobs, bench_dir):
+    """``write(name, rows, run)`` -> path of ``BENCH_<name>.json``."""
+    def write(name: str, rows: list[dict], run=None) -> Path:
+        payload = bench_payload(
+            name, rows, scale=scale.name, jobs=jobs,
+            failures=failure_rows(run) if run is not None else None,
+            total_seconds=run.total_seconds if run is not None else 0.0)
+        return write_bench(bench_dir / f"BENCH_{name}.json", payload)
+    return write
 
 
 @pytest.fixture(scope="session")

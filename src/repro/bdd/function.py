@@ -277,17 +277,17 @@ class Function:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        """Number of internal nodes in this BDD (``|f|`` in the paper)."""
-        from .counting import bdd_size
+        """Number of internal nodes in this BDD (``|f|`` in the paper).
 
-        return bdd_size(self.node)
+        Memoized per root by the manager (see
+        :meth:`~repro.bdd.manager.Manager.node_size`).
+        """
+        return self.manager.node_size(self.node)
 
     def support(self) -> set[str]:
-        """Set of variables the function depends on."""
-        from .traversal import support_levels
-
+        """Set of variables the function depends on (memoized per root)."""
         return {self.manager.var_at_level(l)
-                for l in support_levels(self.node)}
+                for l in self.manager.node_support_levels(self.node)}
 
     def sat_count(self, nvars: int | None = None) -> int:
         """Number of minterms (``||f||``) over ``nvars`` variables."""

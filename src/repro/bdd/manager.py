@@ -90,6 +90,24 @@ class ManagerStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Plain-data snapshot (JSON-ready, e.g. for BENCH_*.json rows)."""
+        return {
+            "nodes": self.nodes,
+            "peak_nodes": self.peak_nodes,
+            "num_vars": self.num_vars,
+            "cache_size": self.cache_size,
+            "cache_limit": self.cache_limit,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "gc_count": self.gc_count,
+            "gc_pause_total": self.gc_pause_total,
+            "gc_pause_max": self.gc_pause_max,
+            "gc_reclaimed": self.gc_reclaimed,
+            "reorder_count": self.reorder_count,
+        }
+
 
 class Manager:
     """Create and combine BDDs over a growing set of named variables.
@@ -134,6 +152,14 @@ class Manager:
         #: value equality), silently dropping roots when the surviving
         #: duplicate dies — hence the explicit id-keyed weak registry.
         self._functions: dict[int, weakref.ref] = {}
+        #: per-root structural-metric memos (weak keys: an entry dies
+        #: with its root).  Valid between metric safe points — GC and
+        #: variable reordering invalidate them wholesale.
+        self._size_cache: "weakref.WeakKeyDictionary[Node, int]" = \
+            weakref.WeakKeyDictionary()
+        self._support_cache: \
+            "weakref.WeakKeyDictionary[Node, frozenset[int]]" = \
+            weakref.WeakKeyDictionary()
         self._num_nodes = 0
         #: statistics, useful in benchmarks
         self.gc_count = 0
@@ -280,6 +306,45 @@ class Manager:
         return [len(t) for t in self._subtables]
 
     # ------------------------------------------------------------------
+    # Memoized structural metrics
+    # ------------------------------------------------------------------
+
+    def node_size(self, node: Node) -> int:
+        """Memoized ``|f|`` of the function rooted at ``node``.
+
+        Backs :meth:`Function.__len__`; hot loops (image computation,
+        reachability traces) query the size of the same root many times,
+        so the graph walk runs once per root between metric safe points.
+        """
+        size = self._size_cache.get(node)
+        if size is None:
+            from .counting import bdd_size
+
+            size = bdd_size(node)
+            self._size_cache[node] = size
+        return size
+
+    def node_support_levels(self, node: Node) -> frozenset[int]:
+        """Memoized support levels of the function rooted at ``node``."""
+        levels = self._support_cache.get(node)
+        if levels is None:
+            from .traversal import support_levels
+
+            levels = frozenset(support_levels(node))
+            self._support_cache[node] = levels
+        return levels
+
+    def invalidate_metric_caches(self) -> None:
+        """Drop the size/support memos.
+
+        Called at the metric safe points: garbage collection (root
+        identities may be recycled) and variable swaps (levels move, so
+        cached support levels go stale).
+        """
+        self._size_cache.clear()
+        self._support_cache.clear()
+
+    # ------------------------------------------------------------------
     # Cache limit and function registry
     # ------------------------------------------------------------------
 
@@ -365,6 +430,7 @@ class Manager:
         held outside a Function handle is invalidated.
         """
         start = time.perf_counter()
+        self.invalidate_metric_caches()
         marked: set[int] = set()
         stack = self.live_roots()
         while stack:

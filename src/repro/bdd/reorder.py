@@ -31,6 +31,7 @@ def swap_adjacent(manager: Manager, level: int) -> None:
     boolean function afterwards.  Structural reference counts must be
     accurate on entry (see :func:`sift`); dead nodes are reclaimed.
     """
+    manager.invalidate_metric_caches()
     upper = manager._subtables[level]
     lower = manager._subtables[level + 1]
 

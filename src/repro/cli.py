@@ -13,15 +13,20 @@ Commands
 ``decomp <circuit.blif>``
     Two-way decomposition of each output function by the three Table-4
     methods.
+``trajectory <baseline.json> <current.json>``
+    Compare two ``BENCH_*.json`` benchmark trajectory files and exit
+    non-zero on a regression or result mismatch (the CI perf gate).
 
 All commands read BLIF; the benchmark generators can export BLIF via
 ``repro.fsm.blif.write_blif`` for experimentation.
 
 Runtime options shared by every command configure the manager's memory
 policy and observability: ``--cache-limit`` bounds the computed table,
-``--gc-threshold`` arms automatic garbage collection, and ``--stats``
+``--gc-threshold`` arms automatic garbage collection, ``--stats``
 prints the :attr:`~repro.bdd.manager.Manager.stats` snapshot after the
-command body.
+command body, and ``--jobs`` (or ``REPRO_BENCH_JOBS``) fans per-function
+work of ``approx``/``decomp`` over the parallel experiment engine —
+each worker process re-reads the circuit and rebuilds its own BDDs.
 """
 
 from __future__ import annotations
@@ -34,7 +39,9 @@ from .core.approx import UNDER_APPROXIMATORS
 from .core.decomp import DECOMPOSERS, decompose
 from .fsm.blif import read_blif
 from .fsm.encode import encode
+from .harness.engine import Task, resolve_jobs, run_tasks
 from .harness.tables import format_manager_stats, format_table
+from .harness.trajectory import compare_files
 from .reach.bfs import bfs_reachability, count_states
 from .reach.highdensity import high_density_reachability
 from .reach.transition import TransitionRelation
@@ -113,52 +120,154 @@ def _parse_methods(spec: str) -> list[str]:
     return methods
 
 
+def _rebuild_function(payload):
+    """Worker-side rebuild: re-read the circuit, pick one function.
+
+    BDDs cannot cross process boundaries, so each engine worker
+    reconstructs its slice from the (path, kind, name) spec — the same
+    rebuild model the benchmark population uses.
+    """
+    path, kind, name, cache_limit, gc_threshold = payload
+    encoded = encode(read_blif(path))
+    if cache_limit is not None:
+        encoded.manager.set_cache_limit(cache_limit)
+    if gc_threshold is not None:
+        encoded.manager.gc_threshold = gc_threshold
+    if kind == "delta":
+        f = dict(zip(encoded.state_vars, encoded.next_functions))[name]
+    else:
+        f = encoded.output_functions[name]
+    return f
+
+
+def _approx_worker(payload):
+    base, methods, threshold = payload
+    f = _rebuild_function(base)
+    cells = []
+    for method in methods:
+        result = UNDER_APPROXIMATORS[method](f, threshold=threshold)
+        cells.append((len(result), density(result)))
+    return {"f_nodes": len(f), "cells": cells}
+
+
+def _decomp_worker(payload):
+    f = _rebuild_function(payload)
+    cells = []
+    for method in DECOMPOSERS:
+        g, h = decompose(f, method)
+        if not (g & h) == f:
+            raise AssertionError(f"{method} broke f = g*h")
+        cells.append((len(g), len(h)))
+    return {"f_nodes": len(f), "cells": cells}
+
+
+def _fan_out(args, worker, selected, make_payload):
+    """Run per-function tasks through the experiment engine.
+
+    Returns (key -> result, failures).  ``selected`` is a list of
+    (kind, name) pairs; the order of the returned rows follows it.
+    """
+    tasks = [Task(f"{kind}:{name}", make_payload(kind, name))
+             for kind, name in selected]
+    run = run_tasks(worker, tasks, jobs=resolve_jobs(args.jobs))
+    for outcome in run.failures:
+        print(f"repro: task {outcome.key} failed "
+              f"({outcome.status}): {outcome.error}", file=sys.stderr)
+    return run.results(), run.failures
+
+
 def cmd_approx(args) -> int:
     circuit, encoded = _load(args)
     methods = _parse_methods(args.methods)
-    functions = list(zip(encoded.state_vars, encoded.next_functions))
-    functions += list(encoded.output_functions.items())
-    rows = []
-    for name, f in functions:
-        if len(f) < args.min_nodes:
-            continue
-        row = [name, len(f)]
-        for method in methods:
-            result = UNDER_APPROXIMATORS[method](
-                f, threshold=args.threshold)
-            row.append(f"{len(result)}/{density(result):.1f}")
-        rows.append(row)
-    if not rows:
+    functions = [("delta", name, f)
+                 for name, f in zip(encoded.state_vars,
+                                    encoded.next_functions)]
+    functions += [("output", name, f)
+                  for name, f in encoded.output_functions.items()]
+    selected = [(kind, name, f) for kind, name, f in functions
+                if len(f) >= args.min_nodes]
+    if not selected:
         print(f"no function has >= {args.min_nodes} nodes")
         return 1
-    print(format_table(
-        ["function", "|f|"] + [m.upper() for m in methods], rows,
-        title="approximation comparison (nodes/density)"))
+    failures = []
+    if resolve_jobs(args.jobs) > 1:
+        results, failures = _fan_out(
+            args, _approx_worker, [(k, n) for k, n, _ in selected],
+            lambda kind, name: ((args.circuit, kind, name,
+                                 args.cache_limit, args.gc_threshold),
+                                tuple(methods), args.threshold))
+        rows = []
+        for kind, name, f in selected:
+            result = results.get(f"{kind}:{name}")
+            if result is None:
+                continue
+            rows.append([name, result["f_nodes"]]
+                        + [f"{n}/{d:.1f}" for n, d in result["cells"]])
+    else:
+        rows = []
+        for kind, name, f in selected:
+            row = [name, len(f)]
+            for method in methods:
+                result = UNDER_APPROXIMATORS[method](
+                    f, threshold=args.threshold)
+                row.append(f"{len(result)}/{density(result):.1f}")
+            rows.append(row)
+    if rows:
+        print(format_table(
+            ["function", "|f|"] + [m.upper() for m in methods], rows,
+            title="approximation comparison (nodes/density)"))
     _finish(args, encoded)
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_decomp(args) -> int:
     circuit, encoded = _load(args)
-    rows = []
-    for name, f in encoded.output_functions.items():
-        if f.is_constant:
-            continue
-        row = [name, len(f)]
-        for method in DECOMPOSERS:
-            g, h = decompose(f, method)
-            if not (g & h) == f:
-                raise AssertionError(f"{method} broke f = g*h")
-            row.append(f"{len(g)}/{len(h)}")
-        rows.append(row)
-    if not rows:
+    selected = [("output", name, f)
+                for name, f in encoded.output_functions.items()
+                if not f.is_constant]
+    if not selected:
         print("no non-constant outputs to decompose")
         return 1
-    print(format_table(
-        ["output", "|f|"] + [m.capitalize() for m in DECOMPOSERS],
-        rows, title="two-way conjunctive decompositions (|G|/|H|)"))
+    failures = []
+    if resolve_jobs(args.jobs) > 1:
+        results, failures = _fan_out(
+            args, _decomp_worker, [(k, n) for k, n, _ in selected],
+            lambda kind, name: (args.circuit, kind, name,
+                                args.cache_limit, args.gc_threshold))
+        rows = []
+        for kind, name, f in selected:
+            result = results.get(f"{kind}:{name}")
+            if result is None:
+                continue
+            rows.append([name, result["f_nodes"]]
+                        + [f"{g}/{h}" for g, h in result["cells"]])
+    else:
+        rows = []
+        for kind, name, f in selected:
+            row = [name, len(f)]
+            for method in DECOMPOSERS:
+                g, h = decompose(f, method)
+                if not (g & h) == f:
+                    raise AssertionError(f"{method} broke f = g*h")
+                row.append(f"{len(g)}/{len(h)}")
+            rows.append(row)
+    if rows:
+        print(format_table(
+            ["output", "|f|"] + [m.capitalize() for m in DECOMPOSERS],
+            rows, title="two-way conjunctive decompositions (|G|/|H|)"))
     _finish(args, encoded)
-    return 0
+    return 1 if failures else 0
+
+
+def cmd_trajectory(args) -> int:
+    try:
+        report = compare_files(args.baseline, args.current,
+                               tolerance=args.tolerance,
+                               time_floor=args.time_floor)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro: {exc}")
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--gc-threshold", type=int, default=None,
                          help="enable automatic GC above this many live "
                               "nodes (default: disabled)")
+    runtime.add_argument("--jobs", type=int, default=None,
+                         help="worker processes for per-function fan-out "
+                              "(default: REPRO_BENCH_JOBS or 1; <=0 "
+                              "means all cores)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", parents=[runtime],
@@ -209,6 +322,19 @@ def build_parser() -> argparse.ArgumentParser:
                               help="compare decomposition methods")
     p_decomp.add_argument("circuit", help="BLIF file")
     p_decomp.set_defaults(func=cmd_decomp)
+
+    p_traj = sub.add_parser(
+        "trajectory",
+        help="compare two BENCH_*.json benchmark trajectory files")
+    p_traj.add_argument("baseline", help="baseline BENCH_*.json")
+    p_traj.add_argument("current", help="current BENCH_*.json")
+    p_traj.add_argument("--tolerance", type=float, default=1.5,
+                        help="acceptable current/baseline wall-clock "
+                             "ratio (default: 1.5)")
+    p_traj.add_argument("--time-floor", type=float, default=0.05,
+                        help="rows faster than this many baseline "
+                             "seconds never regress (default: 0.05)")
+    p_traj.set_defaults(func=cmd_trajectory)
     return parser
 
 

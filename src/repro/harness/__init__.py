@@ -1,15 +1,55 @@
-"""Experiment harness regenerating the paper's tables."""
+"""Experiment harness regenerating the paper's tables.
 
-from .population import (PopulationEntry, combinational_population,
-                         generate_population, traversal_population)
+Layout:
+
+* :mod:`~repro.harness.population` — the Tables 2-4 function
+  population, addressable as picklable specs or built entries.
+* :mod:`~repro.harness.engine` — the parallel experiment engine
+  (worker pool, per-task timeouts, crash capture, bounded retry).
+* :mod:`~repro.harness.experiments` — the per-task experiment bodies
+  shared by the benchmarks, the CLI, and the determinism tests.
+* :mod:`~repro.harness.trajectory` — persisted ``BENCH_*.json``
+  benchmark results and the trajectory comparator.
+* :mod:`~repro.harness.stats` / :mod:`~repro.harness.tables` —
+  population statistics and fixed-width table rendering.
+"""
+
+from .engine import (EngineRun, Task, TaskOutcome, resolve_jobs,
+                     run_tasks)
+from .population import (EntrySpec, PopulationEntry, build_entries,
+                         combinational_population, combinational_specs,
+                         generate_population, make_circuit,
+                         population_specs, traversal_population,
+                         traversal_specs)
 from .stats import Measurement, denser, geometric_mean, wins_and_ties
 from .tables import format_manager_stats, format_table
+from .trajectory import (bench_payload, compare, compare_files,
+                         failure_rows, load_bench, task_rows,
+                         write_bench)
 
 __all__ = [
     "PopulationEntry",
+    "EntrySpec",
     "generate_population",
     "combinational_population",
     "traversal_population",
+    "population_specs",
+    "combinational_specs",
+    "traversal_specs",
+    "build_entries",
+    "make_circuit",
+    "Task",
+    "TaskOutcome",
+    "EngineRun",
+    "resolve_jobs",
+    "run_tasks",
+    "bench_payload",
+    "write_bench",
+    "load_bench",
+    "compare",
+    "compare_files",
+    "task_rows",
+    "failure_rows",
     "Measurement",
     "geometric_mean",
     "denser",

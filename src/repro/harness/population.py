@@ -16,6 +16,17 @@ Node thresholds scale down relative to the paper (default 300 against
 the paper's 5000) because the substrate is pure Python; the population
 statistics in Tables 2–4 are population-relative, so the comparison
 shape is preserved (EXPERIMENTS.md discusses the scaling).
+
+The population is addressable in two forms:
+
+* **Specs** (:class:`EntrySpec`) — small picklable recipes naming a
+  deterministic generator and its parameters.  Specs are what the
+  parallel experiment engine ships to worker processes: BDD graphs
+  cannot cross process boundaries, so each worker rebuilds its slice of
+  the population from the spec (see :mod:`repro.harness.engine`).
+* **Entries** (:class:`PopulationEntry`) — built functions, produced
+  from a spec by :func:`build_entries` in whichever process runs the
+  experiment.
 """
 
 from __future__ import annotations
@@ -27,8 +38,9 @@ from ..bdd.function import Function
 from ..bdd.manager import Manager
 from ..fsm import encode
 from ..fsm.am2910 import am2910
-from ..fsm.benchmarks import (comm_controller, pipeline_controller,
-                              serial_multiplier, shift_queue)
+from ..fsm.benchmarks import (checksum_memory, comm_controller,
+                              pipeline_controller, serial_multiplier,
+                              shift_queue, token_ring)
 from ..reach import TransitionRelation
 
 
@@ -38,6 +50,46 @@ class PopulationEntry:
 
     name: str
     function: Function
+
+
+@dataclass(frozen=True)
+class EntrySpec:
+    """Picklable recipe for rebuilding a slice of the population.
+
+    ``kind`` selects the builder (see :func:`build_entries`), ``name``
+    uniquely identifies the slice inside a population, and ``params`` is
+    a flat tuple of plain data — the whole object crosses process
+    boundaries by pickling, so it must never hold a ``Function`` or a
+    ``Manager``.  One spec may expand into several entries (a traversal
+    spec yields every sampled snapshot plus the circuit's next-state and
+    output functions).
+    """
+
+    kind: str
+    name: str
+    params: tuple = ()
+
+
+#: Circuit factories addressable from picklable specs, by name.
+CIRCUIT_FACTORIES = {
+    "am2910": am2910,
+    "checksum_memory": checksum_memory,
+    "comm_controller": comm_controller,
+    "pipeline_controller": pipeline_controller,
+    "serial_multiplier": serial_multiplier,
+    "shift_queue": shift_queue,
+    "token_ring": token_ring,
+}
+
+
+def make_circuit(factory: str, args: tuple):
+    """Instantiate a registered circuit factory from spec parameters."""
+    try:
+        make = CIRCUIT_FACTORIES[factory]
+    except KeyError:
+        raise ValueError(f"unknown circuit factory {factory!r}; "
+                         f"known: {sorted(CIRCUIT_FACTORIES)}")
+    return make(*args)
 
 
 def multiplier_bit(manager: Manager, n: int, bit: int) -> Function:
@@ -114,89 +166,135 @@ def random_dnf(manager: Manager, variables: list[Function], terms: int,
     return acc
 
 
-def combinational_population(min_nodes: int = 300,
-                             seed: int = 2024) -> list[PopulationEntry]:
-    """The combinational families, filtered by ``min_nodes``."""
-    rng = random.Random(seed)
-    entries: list[PopulationEntry] = []
-
-    def add(name: str, function: Function) -> None:
-        if len(function) >= min_nodes:
-            entries.append(PopulationEntry(name, function))
-
-    for n, bit in ((6, 6), (6, 7), (7, 7), (7, 8)):
-        manager = Manager()
-        add(f"mult{n}_bit{bit}", multiplier_bit(manager, n, bit))
-    for n in (11, 12, 13):
-        manager = Manager()
-        add(f"hwb{n}", hidden_weighted_bit(manager, n))
-    for n in (12, 14, 16):
-        manager = Manager()
-        add(f"adder_carry{n}", adder_carry(manager, n))
-    for idx in range(8):
-        manager = Manager()
-        variables = manager.add_vars(*[f"r{i}" for i in range(18)])
-        add(f"dnf{idx}",
-            random_dnf(manager, variables, terms=14 + 2 * idx,
-                       width=6, rng=rng))
-    return entries
-
-
 #: Circuits whose traversal snapshots join the population, with the
-#: iteration indices to sample.
+#: iteration indices to sample: (factory name, args, samples).
 _TRAVERSAL_CIRCUITS = (
-    (lambda: pipeline_controller(3, 4), (4, 8, 16)),
-    (lambda: shift_queue(4, 3), (3, 6, 10)),
-    (lambda: shift_queue(5, 3), (4, 8)),
-    (lambda: serial_multiplier(7), (16, 32, 48)),
-    (lambda: comm_controller(10, 2), (2, 3, 4)),
-    (lambda: am2910(4, 3), (2, 3, 4)),
+    ("pipeline_controller", (3, 4), (4, 8, 16)),
+    ("shift_queue", (4, 3), (3, 6, 10)),
+    ("shift_queue", (5, 3), (4, 8)),
+    ("serial_multiplier", (7,), (16, 32, 48)),
+    ("comm_controller", (10, 2), (2, 3, 4)),
+    ("am2910", (4, 3), (2, 3, 4)),
 )
 
 
-def traversal_population(min_nodes: int = 300) -> list[PopulationEntry]:
-    """Reached/frontier snapshots from symbolic traversals.
+def combinational_specs(seed: int = 2024) -> list[EntrySpec]:
+    """Specs of the combinational families (one spec per function)."""
+    specs = [EntrySpec("multiplier", f"mult{n}_bit{bit}", (n, bit))
+             for n, bit in ((6, 6), (6, 7), (7, 7), (7, 8))]
+    specs += [EntrySpec("hwb", f"hwb{n}", (n,)) for n in (11, 12, 13)]
+    specs += [EntrySpec("adder", f"adder_carry{n}", (n,))
+              for n in (12, 14, 16)]
+    # Each DNF draw carries its own derived seed so any slice rebuilds
+    # without replaying the draws before it.
+    specs += [EntrySpec("dnf", f"dnf{idx}",
+                        (18, 14 + 2 * idx, 6, seed * 100003 + idx))
+              for idx in range(8)]
+    return specs
+
+
+def traversal_specs() -> list[EntrySpec]:
+    """Specs of the traversal-snapshot slices (one spec per circuit)."""
+    return [EntrySpec("traversal",
+                      f"trav_{factory}_" + "x".join(map(str, args)),
+                      (factory, args, samples))
+            for factory, args, samples in _TRAVERSAL_CIRCUITS]
+
+
+def population_specs(seed: int = 2024) -> list[EntrySpec]:
+    """Specs of the full Tables 2–4 experiment population."""
+    return combinational_specs(seed=seed) + traversal_specs()
+
+
+def build_entries(spec: EntrySpec,
+                  min_nodes: int = 300) -> list[PopulationEntry]:
+    """Rebuild the population slice a spec describes.
+
+    Deterministic: the same spec yields structurally identical BDDs (and
+    therefore identical node/minterm counts) in any process.  Entries
+    below ``min_nodes`` are filtered out, mirroring the paper's >= 5000
+    threshold.
+    """
+    if spec.kind == "traversal":
+        return _build_traversal(spec, min_nodes)
+    manager = Manager()
+    if spec.kind == "multiplier":
+        n, bit = spec.params
+        function = multiplier_bit(manager, n, bit)
+    elif spec.kind == "hwb":
+        (n,) = spec.params
+        function = hidden_weighted_bit(manager, n)
+    elif spec.kind == "adder":
+        (n,) = spec.params
+        function = adder_carry(manager, n)
+    elif spec.kind == "dnf":
+        nvars, terms, width, seed = spec.params
+        variables = manager.add_vars(*[f"r{i}" for i in range(nvars)])
+        function = random_dnf(manager, variables, terms=terms,
+                              width=width, rng=random.Random(seed))
+    else:
+        raise ValueError(f"unknown population spec kind {spec.kind!r}")
+    if len(function) < min_nodes:
+        return []
+    return [PopulationEntry(spec.name, function)]
+
+
+def _build_traversal(spec: EntrySpec,
+                     min_nodes: int) -> list[PopulationEntry]:
+    """Reached/frontier snapshots from one circuit's symbolic traversal.
 
     These are the BDDs approximation meets in reachability analysis:
     partially explored state sets with mixed regular/irregular
     structure.
     """
+    factory, args, samples = spec.params
+    circuit = make_circuit(factory, tuple(args))
+    encoded = encode(circuit)
+    tr = TransitionRelation(encoded)
+    reached = encoded.initial_states()
+    frontier = reached
+    iteration = 0
     entries: list[PopulationEntry] = []
-    for make, samples in _TRAVERSAL_CIRCUITS:
-        circuit = make()
-        encoded = encode(circuit)
-        tr = TransitionRelation(encoded)
-        reached = encoded.initial_states()
-        frontier = reached
-        iteration = 0
-        while not frontier.is_false and iteration < max(samples):
-            image = tr.image(frontier)
-            frontier = image - reached
-            reached = reached | frontier
-            iteration += 1
-            if iteration in samples:
-                for kind, function in (("reached", reached),
-                                       ("frontier", frontier)):
-                    if len(function) >= min_nodes:
-                        entries.append(PopulationEntry(
-                            f"{circuit.name}_{kind}@{iteration}",
-                            function))
-        # next-state and output functions of the same circuit
-        for name, delta in zip(encoded.state_vars,
-                               encoded.next_functions):
-            if len(delta) >= min_nodes:
-                entries.append(PopulationEntry(
-                    f"{circuit.name}_delta_{name}", delta))
-        for name, out in encoded.output_functions.items():
-            if len(out) >= min_nodes:
-                entries.append(PopulationEntry(
-                    f"{circuit.name}_out_{name}", out))
+    while not frontier.is_false and iteration < max(samples):
+        image = tr.image(frontier)
+        frontier = image - reached
+        reached = reached | frontier
+        iteration += 1
+        if iteration in samples:
+            for kind, function in (("reached", reached),
+                                   ("frontier", frontier)):
+                if len(function) >= min_nodes:
+                    entries.append(PopulationEntry(
+                        f"{circuit.name}_{kind}@{iteration}",
+                        function))
+    # next-state and output functions of the same circuit
+    for name, delta in zip(encoded.state_vars,
+                           encoded.next_functions):
+        if len(delta) >= min_nodes:
+            entries.append(PopulationEntry(
+                f"{circuit.name}_delta_{name}", delta))
+    for name, out in encoded.output_functions.items():
+        if len(out) >= min_nodes:
+            entries.append(PopulationEntry(
+                f"{circuit.name}_out_{name}", out))
     return entries
+
+
+def combinational_population(min_nodes: int = 300,
+                             seed: int = 2024) -> list[PopulationEntry]:
+    """The combinational families, filtered by ``min_nodes``."""
+    return [entry for spec in combinational_specs(seed=seed)
+            for entry in build_entries(spec, min_nodes=min_nodes)]
+
+
+def traversal_population(min_nodes: int = 300) -> list[PopulationEntry]:
+    """Reached/frontier snapshots from symbolic traversals."""
+    return [entry for spec in traversal_specs()
+            for entry in build_entries(spec, min_nodes=min_nodes)]
 
 
 def generate_population(min_nodes: int = 300,
                         seed: int = 2024) -> list[PopulationEntry]:
     """The full experiment population for Tables 2–4."""
-    population = combinational_population(min_nodes=min_nodes, seed=seed)
-    population.extend(traversal_population(min_nodes=min_nodes))
-    return population
+    return [entry for spec in population_specs(seed=seed)
+            for entry in build_entries(spec, min_nodes=min_nodes)]

@@ -61,6 +61,12 @@ class TransitionRelation:
                       for y, delta in zip(encoded.next_vars,
                                           encoded.next_functions)]
         self.clusters = _cluster(partitions, cluster_limit)
+        # Rename pairs are fixed for the relation's lifetime; building
+        # them per image/preimage call showed up in traversal profiles.
+        self._rename_to_present = dict(zip(encoded.next_vars,
+                                           encoded.state_vars))
+        self._rename_to_next = dict(zip(encoded.state_vars,
+                                        encoded.next_vars))
         self._schedule()
 
     def _schedule(self) -> None:
@@ -123,17 +129,16 @@ class TransitionRelation:
             product = product.exists(remaining)
         self.stats.images += 1
         # Rename next-state variables back to present-state.
-        rename = dict(zip(self.encoded.next_vars,
-                          self.encoded.state_vars))
-        rename = {old: new for old, new in rename.items()
-                  if old in product.support()}
+        support = product.support()
+        rename = {old: new for old, new in self._rename_to_present.items()
+                  if old in support}
         return product.rename(rename) if rename else product
 
     def preimage(self, states: Function) -> Function:
         """Backward image: states that can reach ``states`` in one step."""
-        rename = {x: y for x, y in zip(self.encoded.state_vars,
-                                       self.encoded.next_vars)
-                  if x in states.support()}
+        support = states.support()
+        rename = {x: y for x, y in self._rename_to_next.items()
+                  if x in support}
         product = states.rename(rename) if rename else states
         for cluster, quantify in zip(self.clusters,
                                      self.quantify_backward):

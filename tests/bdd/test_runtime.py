@@ -301,3 +301,64 @@ class TestReachabilityByteIdentical:
         # fixpoint (and the kernels inside it) is still in flight.
         assert evictions > 0
         assert bounded == unbounded
+
+
+class TestMetricCaches:
+    """Per-manager weak caches for bdd_size / support_levels."""
+
+    def _build(self):
+        from tests.helpers import fresh_manager
+        manager, (a, b, c, d) = fresh_manager(4)
+        f = (a & b) | (c & ~d)
+        return manager, f
+
+    def test_len_and_support_populate_the_cache(self):
+        manager, f = self._build()
+        assert f.node not in manager._size_cache
+        size = len(f)
+        assert manager._size_cache[f.node] == size
+        support = f.support()
+        assert support == {"x0", "x1", "x2", "x3"}
+        assert f.node in manager._support_cache
+        # Cached answers stay consistent with a fresh walk.
+        from repro.bdd import bdd_size
+        assert len(f) == bdd_size(f.node)
+        assert f.support() == support
+
+    def test_gc_invalidates(self):
+        manager, f = self._build()
+        len(f), f.support()
+        manager.collect_garbage()
+        assert f.node not in manager._size_cache
+        assert f.node not in manager._support_cache
+        # and repopulating still gives the right answer
+        from repro.bdd import bdd_size
+        assert len(f) == bdd_size(f.node)
+
+    def test_reorder_invalidates_and_stays_correct(self):
+        from repro.bdd import bdd_size
+        from repro.bdd.reorder import sift
+
+        manager, f = self._build()
+        before_support = f.support()
+        len(f)
+        sift(manager)
+        # swap_adjacent rewrites nodes in place: the caches were
+        # flushed, so fresh walks and cached walks must agree.
+        assert len(f) == bdd_size(f.node)
+        assert f.support() == before_support
+
+    def test_dead_nodes_do_not_pin_the_cache(self):
+        import gc
+
+        manager, f = self._build()
+        node = f.node
+        len(f)
+        assert node in manager._size_cache
+        del f
+        del node
+        gc.collect()
+        # WeakKeyDictionary: entries vanish with their nodes once the
+        # handles (and the unique-table slots, after GC) let go.
+        manager.collect_garbage()
+        assert len(manager._size_cache) == 0

@@ -1,0 +1,167 @@
+"""BENCH_*.json trajectory files and the regression comparator."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.harness.trajectory import (SCHEMA_VERSION, bench_payload,
+                                      compare, compare_files,
+                                      failure_rows, load_bench,
+                                      task_rows, write_bench)
+
+
+def payload_with(rows, name="t"):
+    return bench_payload(name, rows, scale="quick", jobs=2,
+                         total_seconds=1.0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        rows = [{"key": "a", "nodes": 10, "seconds": 0.5}]
+        payload = bench_payload("table9", rows, scale="quick", jobs=3,
+                                total_seconds=2.5,
+                                failures=[{"key": "b",
+                                           "status": "timeout"}])
+        path = write_bench(tmp_path / "sub" / "BENCH_table9.json",
+                           payload)
+        loaded = load_bench(path)
+        assert loaded["schema"] == SCHEMA_VERSION
+        assert loaded["name"] == "table9"
+        assert loaded["scale"] == "quick"
+        assert loaded["jobs"] == 3
+        assert loaded["rows"] == rows
+        assert loaded["failures"][0]["status"] == "timeout"
+        assert loaded["python"].count(".") == 2
+
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 99, "rows": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bench(path)
+
+    def test_rejects_missing_rows(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION}))
+        with pytest.raises(ValueError, match="rows"):
+            load_bench(path)
+
+
+class TestEngineRowHelpers:
+    def test_task_and_failure_rows(self):
+        from repro.harness.engine import Task, run_tasks
+        from tests.harness.test_engine import raise_on_odd
+
+        run = run_tasks(raise_on_odd, [Task("even", 2), Task("odd", 3)],
+                        jobs=1)
+        rows = task_rows(run)
+        assert [r["key"] for r in rows] == ["task/even", "task/odd"]
+        assert rows[0]["status"] == "ok"
+        assert isinstance(rows[0]["seconds"], float)
+        failures = failure_rows(run)
+        assert len(failures) == 1
+        assert failures[0]["key"] == "odd"
+        assert "odd payload" in failures[0]["error"]
+
+
+class TestCompare:
+    def test_identical_is_ok(self):
+        rows = [{"key": "a", "nodes": 5, "seconds": 1.0}]
+        report = compare(payload_with(rows), payload_with(rows))
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_time_regression(self):
+        base = [{"key": "a", "seconds": 1.0}]
+        cur = [{"key": "a", "seconds": 2.0}]
+        report = compare(payload_with(base), payload_with(cur),
+                         tolerance=1.5)
+        assert not report.ok
+        assert report.regressions[0].ratio == pytest.approx(2.0)
+        assert "REGRESSION" in report.summary()
+
+    def test_tolerance_allows_slack(self):
+        base = [{"key": "a", "seconds": 1.0}]
+        cur = [{"key": "a", "seconds": 1.4}]
+        report = compare(payload_with(base), payload_with(cur),
+                         tolerance=1.5)
+        assert report.ok
+
+    def test_time_floor_suppresses_micro_rows(self):
+        base = [{"key": "a", "seconds": 0.01}]
+        cur = [{"key": "a", "seconds": 10.0}]
+        report = compare(payload_with(base), payload_with(cur),
+                         tolerance=1.5, time_floor=0.05)
+        assert report.ok
+
+    def test_deterministic_mismatch_fails(self):
+        base = [{"key": "a", "nodes": 5, "states": 100}]
+        cur = [{"key": "a", "nodes": 6, "states": 100}]
+        report = compare(payload_with(base), payload_with(cur))
+        assert not report.ok
+        assert report.mismatched[0].mismatches == {"nodes": (5, 6)}
+        assert "MISMATCH" in report.summary()
+
+    def test_speedup_is_not_a_mismatch(self):
+        base = [{"key": "a", "nodes": 5, "seconds": 2.0}]
+        cur = [{"key": "a", "nodes": 5, "seconds": 0.2}]
+        report = compare(payload_with(base), payload_with(cur))
+        assert report.ok
+
+    def test_missing_row_fails_added_does_not(self):
+        base = [{"key": "a", "nodes": 1}, {"key": "b", "nodes": 2}]
+        cur = [{"key": "a", "nodes": 1}, {"key": "c", "nodes": 3}]
+        report = compare(payload_with(base), payload_with(cur))
+        assert report.missing == ["b"]
+        assert report.added == ["c"]
+        assert not report.ok
+
+    def test_floats_and_manager_stats_ignored(self):
+        base = [{"key": "a", "density": 0.5,
+                 "manager_stats": {"nodes": 1}}]
+        cur = [{"key": "a", "density": 0.9,
+                "manager_stats": {"nodes": 999}}]
+        report = compare(payload_with(base), payload_with(cur))
+        assert report.ok
+
+
+class TestCli:
+    def _write(self, tmp_path, name, rows):
+        return str(write_bench(tmp_path / name, payload_with(rows)))
+
+    def test_cli_ok_exit_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json",
+                           [{"key": "a", "nodes": 1, "seconds": 1.0}])
+        cur = self._write(tmp_path, "cur.json",
+                          [{"key": "a", "nodes": 1, "seconds": 1.1}])
+        assert cli_main(["trajectory", base, cur]) == 0
+        assert "status: OK" in capsys.readouterr().out
+
+    def test_cli_regression_exit_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json",
+                           [{"key": "a", "seconds": 1.0}])
+        cur = self._write(tmp_path, "cur.json",
+                          [{"key": "a", "seconds": 9.0}])
+        assert cli_main(["trajectory", base, cur]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_cli_tolerance_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json",
+                           [{"key": "a", "seconds": 1.0}])
+        cur = self._write(tmp_path, "cur.json",
+                          [{"key": "a", "seconds": 9.0}])
+        assert cli_main(["trajectory", base, cur,
+                         "--tolerance", "10"]) == 0
+
+    def test_cli_missing_file_is_systemexit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["trajectory", str(tmp_path / "nope.json"),
+                      str(tmp_path / "nope2.json")])
+
+    def test_compare_files(self, tmp_path):
+        rows = [{"key": "a", "nodes": 2}]
+        base = self._write(tmp_path, "base.json", rows)
+        cur = self._write(tmp_path, "cur.json", rows)
+        assert compare_files(base, cur).ok
