@@ -1,0 +1,35 @@
+"""Static analysis tooling: the BDD-aware lint engine.
+
+``repro.analysis.lint`` is a small AST-based lint engine with a rule
+registry, per-rule severities, ``# repro-lint: disable=RPRxxx``
+suppression comments, and text/JSON reporting.  The rules in
+``repro.analysis.rules`` encode the structural conventions every
+algorithm in this repository depends on — no recursion in kernel
+modules, all node construction through the unique table, registered
+computed-table op tags, no cross-manager node mixing, uniform
+approximator signatures.
+
+The runtime counterpart is the graph sanitizer,
+:meth:`repro.bdd.manager.Manager.debug_check` (see
+:mod:`repro.bdd.sanitize`); ``docs/analysis.md`` documents both halves.
+"""
+
+from __future__ import annotations
+
+from . import rules as _rules  # noqa: F401  (registers the RPR rules)
+from .lint import (RULES, FileContext, Rule, Violation, exit_code,
+                   lint_paths, lint_source, register_rule, render_json,
+                   render_text)
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "FileContext",
+    "Violation",
+    "register_rule",
+    "lint_source",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "exit_code",
+]

@@ -1,0 +1,479 @@
+"""The BDD-specific lint rules (RPR001..RPR005).
+
+Each rule guards a structural convention the algorithms rely on:
+
+RPR001
+    Kernel modules must not use Python recursion — direct or mutual —
+    so every traversal works on 10k-level chain BDDs at CPython's
+    default recursion limit (the PR-2 explicit-stack rewrite).  Detected
+    by per-module call-graph cycle search.  Recursion elsewhere is
+    reported as a warning: it does not gate CI but marks depth-unsafe
+    helpers.
+RPR002
+    ``Node`` objects may only be constructed by the unique table
+    (``manager.py``/``node.py``).  A node built anywhere else bypasses
+    hash-consing and breaks canonicity — the silent-wrong-results
+    failure mode the sanitizer exists for.
+RPR003
+    Computed-table inserts/lookups must use a registered op tag
+    (:data:`repro.bdd.computed.REGISTERED_OPS`), keeping per-op cache
+    statistics meaningful and collisions diagnosable.
+RPR004
+    Raw nodes of one manager must never reach another manager's
+    operations; cross-manager copies go through ``repro.bdd.io.
+    transfer``.  Detected by intra-function provenance tracking.
+RPR005
+    Approximator entry points registered with ``register_approximator``
+    keep the registry's uniform shape: one positional Function, all
+    knobs keyword-only with defaults.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePath
+
+from ..bdd.computed import REGISTERED_OPS
+from .lint import FileContext, Violation, register_rule
+
+#: Modules under the no-recursion contract (PR 2): the BDD kernels and
+#: the approximation/decomposition rebuild passes.
+KERNEL_MODULE_SUFFIXES = (
+    "repro/bdd/operations.py",
+    "repro/bdd/quantify.py",
+    "repro/bdd/restrict.py",
+    "repro/bdd/io.py",
+    "repro/bdd/traversal.py",
+    "repro/core/approx/remap.py",
+    "repro/core/approx/short_paths.py",
+    "repro/core/approx/heavy_branch.py",
+    "repro/core/approx/under_approx.py",
+    "repro/core/approx/minimize.py",
+    "repro/core/approx/compound.py",
+    "repro/core/approx/info.py",
+    "repro/core/decomp/general.py",
+    "repro/core/decomp/cofactor.py",
+    "repro/core/decomp/mcmillan.py",
+    "repro/core/decomp/points.py",
+)
+
+#: Modules allowed to construct Node objects directly: the unique table
+#: itself and the node definition.
+NODE_FACTORY_SUFFIXES = (
+    "repro/bdd/manager.py",
+    "repro/bdd/node.py",
+)
+
+
+def _path_matches(path: str, suffixes: tuple[str, ...]) -> bool:
+    posix = PurePath(path).as_posix()
+    return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+def is_kernel_module(ctx: FileContext) -> bool:
+    """Kernel modules by path — or by an explicit ``kernel`` pragma.
+
+    The pragma (``# repro-lint: kernel`` on any line) lets the rule test
+    corpus exercise kernel-severity behaviour from fixture files that do
+    not live under ``src/repro``.
+    """
+    if _path_matches(ctx.path, KERNEL_MODULE_SUFFIXES):
+        return True
+    return any("# repro-lint: kernel" in line
+               for line in ctx.source.splitlines()[:10])
+
+
+# ----------------------------------------------------------------------
+# RPR001 — no recursion in kernel modules
+# ----------------------------------------------------------------------
+
+class _FunctionInfo:
+    __slots__ = ("qualname", "node", "classname", "enclosing")
+
+    def __init__(self, qualname: str, node: ast.AST,
+                 classname: str | None, enclosing: str) -> None:
+        self.qualname = qualname
+        self.node = node
+        self.classname = classname
+        self.enclosing = enclosing  # qualname prefix ("" at module level)
+
+
+def _collect_functions(tree: ast.Module) -> list[_FunctionInfo]:
+    out: list[_FunctionInfo] = []
+    stack: list[tuple[list[ast.stmt], str, str | None]] = \
+        [(tree.body, "", None)]
+    while stack:
+        body, prefix, classname = stack.pop()
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out.append(_FunctionInfo(prefix + node.name, node,
+                                         classname, prefix))
+                stack.append((node.body, prefix + node.name + ".",
+                              classname))
+            elif isinstance(node, ast.ClassDef):
+                stack.append((node.body, prefix + node.name + ".",
+                              prefix + node.name))
+    return out
+
+
+def _call_edges(functions: list[_FunctionInfo]
+                ) -> dict[str, set[str]]:
+    """Call graph over qualified names, resolved conservatively.
+
+    A ``name(...)`` call matches module-level functions and functions
+    nested inside the caller's own enclosing chain (closures); a
+    ``self.name(...)`` call matches methods of the caller's class.
+    Attribute calls on anything other than ``self`` are *not* matched —
+    they overwhelmingly target other objects, and matching them drowns
+    the signal in false positives.
+    """
+    by_name: dict[str, list[_FunctionInfo]] = {}
+    for info in functions:
+        by_name.setdefault(info.qualname.rsplit(".", 1)[-1],
+                           []).append(info)
+    edges: dict[str, set[str]] = {info.qualname: set()
+                                  for info in functions}
+    for info in functions:
+        caller_scope = info.qualname + "."
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                for target in by_name.get(func.id, ()):
+                    # A bare name can never denote a method (those are
+                    # only reachable through an instance), so skip
+                    # direct class members.
+                    is_method = target.classname is not None \
+                        and target.enclosing == target.classname + "."
+                    visible = not is_method and (
+                        (target.enclosing == ""
+                         and target.classname is None)
+                        or caller_scope.startswith(target.enclosing))
+                    if visible:
+                        edges[info.qualname].add(target.qualname)
+            elif isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id == "self" \
+                    and info.classname is not None:
+                for target in by_name.get(func.attr, ()):
+                    if target.classname == info.classname \
+                            and "." not in target.qualname[
+                                len(target.enclosing):]:
+                        edges[info.qualname].add(target.qualname)
+    return edges
+
+
+def _on_cycle(edges: dict[str, set[str]]) -> dict[str, set[str]]:
+    """Map each function on a call cycle to its cycle members.
+
+    A function is on a cycle iff it can reach itself through at least
+    one call edge; its cycle members are the functions that both reach
+    it and are reached by it (its strongly connected component).
+    """
+    reach: dict[str, set[str]] = {}
+    for start in edges:
+        seen: set[str] = set()
+        stack = list(edges[start])
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(edges.get(current, ()))
+        reach[start] = seen
+    return {start: {other for other in reach[start]
+                    if start in reach.get(other, ())}
+            for start in edges if start in reach[start]}
+
+
+@register_rule(
+    "RPR001", "no-kernel-recursion", "error",
+    "Python recursion (direct or mutual) in a BDD kernel module; "
+    "kernels must use explicit stacks so deep chain BDDs work at the "
+    "default recursion limit.")
+def check_no_kernel_recursion(ctx: FileContext) -> Iterator[Violation]:
+    functions = _collect_functions(ctx.tree)
+    if not functions:
+        return
+    cycles = _on_cycle(_call_edges(functions))
+    if not cycles:
+        return
+    kernel = is_kernel_module(ctx)
+    severity = "error" if kernel else "warning"
+    infos = {info.qualname: info for info in functions}
+    for qualname in sorted(cycles):
+        members = sorted(set(cycles[qualname]) | {qualname})
+        where = "kernel module" if kernel else "module"
+        yield ctx.violation(
+            "RPR001", infos[qualname].node,
+            f"recursive call cycle in {where}: "
+            f"{' -> '.join(members)} (rewrite with an explicit stack)",
+            severity=severity)
+
+
+# ----------------------------------------------------------------------
+# RPR002 — Node construction only through the unique table
+# ----------------------------------------------------------------------
+
+@register_rule(
+    "RPR002", "no-direct-node-construction", "error",
+    "Direct Node(...) construction outside manager.py/node.py bypasses "
+    "the unique table and breaks canonicity; use Manager.mk().")
+def check_no_direct_node(ctx: FileContext) -> Iterator[Violation]:
+    if _path_matches(ctx.path, NODE_FACTORY_SUFFIXES):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        named_node = (isinstance(func, ast.Name) and func.id == "Node") \
+            or (isinstance(func, ast.Attribute) and func.attr == "Node")
+        if named_node:
+            yield ctx.violation(
+                "RPR002", node,
+                "direct Node construction bypasses the unique table; "
+                "use Manager.mk(level, hi, lo)")
+
+
+# ----------------------------------------------------------------------
+# RPR003 — registered computed-table op tags
+# ----------------------------------------------------------------------
+
+def _is_computed_accessor(node: ast.expr) -> bool:
+    """True for ``<expr>.computed.lookup`` / ``<expr>.computed.insert``
+    and for ``self._computed.lookup`` style private aliases."""
+    if not isinstance(node, ast.Attribute):
+        return False
+    if node.attr not in ("lookup", "insert"):
+        return False
+    value = node.value
+    return isinstance(value, ast.Attribute) \
+        and value.attr in ("computed", "_computed")
+
+
+@register_rule(
+    "RPR003", "registered-cache-op-tags", "error",
+    "Computed-table lookup/insert with a literal op tag that is not in "
+    "repro.bdd.computed.REGISTERED_OPS; register the tag so per-op "
+    "cache statistics and the sanitizer recognise it.")
+def check_registered_op_tags(ctx: FileContext) -> Iterator[Violation]:
+    # Aliases like ``cache_get = manager.computed.lookup`` (the kernels'
+    # hot-loop idiom) are resolved file-wide by simple name.
+    aliases: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and _is_computed_accessor(node.value):
+            aliases.add(node.targets[0].id)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        func = node.func
+        is_cache_call = _is_computed_accessor(func) \
+            or (isinstance(func, ast.Name) and func.id in aliases)
+        if not is_cache_call:
+            continue
+        tag = node.args[0]
+        if isinstance(tag, ast.Constant) and isinstance(tag.value, str) \
+                and tag.value not in REGISTERED_OPS:
+            yield ctx.violation(
+                "RPR003", tag,
+                f"computed-table op tag {tag.value!r} is not "
+                f"registered; add it via "
+                f"repro.bdd.computed.register_op()")
+
+
+# ----------------------------------------------------------------------
+# RPR004 — no cross-manager node mixing
+# ----------------------------------------------------------------------
+
+def _walk_skipping_transfer(node: ast.AST) -> Iterator[ast.AST]:
+    """ast.walk, but do not descend into transfer(...) calls."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, ast.Call):
+            func = current.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            if name == "transfer":
+                continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _scopes(tree: ast.Module) -> Iterator[list[ast.AST]]:
+    """Name-resolution scopes: the module body, then each top-level
+    function (with its nested functions — closures share names)."""
+    module_scope: list[ast.AST] = []
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield [node]
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member,
+                              (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield [member]
+        else:
+            module_scope.append(node)
+    if module_scope:
+        yield module_scope
+
+
+def _manager_annotated_params(scope: list[ast.AST]) -> Iterator[str]:
+    for root in scope:
+        for node in ast.walk(root):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in (node.args.posonlyargs + node.args.args
+                            + node.args.kwonlyargs):
+                    annotation = arg.annotation
+                    if isinstance(annotation, ast.Name) \
+                            and annotation.id == "Manager":
+                        yield arg.arg
+                    elif isinstance(annotation, ast.Constant) \
+                            and annotation.value == "Manager":
+                        yield arg.arg
+
+
+@register_rule(
+    "RPR004", "no-cross-manager-mixing", "error",
+    "A node or Function created under one manager is passed into a "
+    "different manager's operation; copy it across with "
+    "repro.bdd.io.transfer first.")
+def check_cross_manager(ctx: FileContext) -> Iterator[Violation]:
+    for scope in _scopes(ctx.tree):
+        yield from _check_scope_cross_manager(ctx, scope)
+
+
+def _scope_walk(scope: list[ast.AST]) -> Iterator[ast.AST]:
+    for root in scope:
+        yield from ast.walk(root)
+
+
+def _check_scope_cross_manager(ctx: FileContext, scope: list[ast.AST]
+                               ) -> Iterator[Violation]:
+    # Per-scope provenance on simple names: which manager variable a
+    # name was created from.  Intentionally simple — reassignments take
+    # the last binding seen; the rule is a tripwire, not a type system.
+    managers: set[str] = set(_manager_annotated_params(scope))
+    home: dict[str, str] = {}
+    for node in _scope_walk(scope):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        created_by: str | None = None
+        if isinstance(value, ast.Call):
+            func = value.func
+            if (isinstance(func, ast.Name) and func.id == "Manager") or \
+                    (isinstance(func, ast.Attribute)
+                     and func.attr == "Manager"):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        managers.add(target.id)
+                continue
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in managers:
+                created_by = func.value.id
+            elif (isinstance(func, ast.Name) and func.id == "Function"
+                  and value.args
+                  and isinstance(value.args[0], ast.Name)
+                  and value.args[0].id in managers):
+                created_by = value.args[0].id
+        elif isinstance(value, ast.Attribute) \
+                and isinstance(value.value, ast.Name) \
+                and value.value.id in managers:
+            created_by = value.value.id  # e.g. f = m.true
+        if created_by is None:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                home[target.id] = created_by
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                for element in target.elts:
+                    if isinstance(element, ast.Name):
+                        home[element.id] = created_by
+
+    def foreign_operands(args: list[ast.expr],
+                         owner: str) -> Iterator[tuple[ast.AST, str]]:
+        for arg in args:
+            for sub in _walk_skipping_transfer(arg):
+                if isinstance(sub, ast.Name) and sub.id in home \
+                        and home[sub.id] != owner:
+                    yield sub, sub.id
+
+    for node in _scope_walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        owner: str | None = None
+        operands: list[ast.expr] = []
+        if isinstance(func, ast.Attribute) \
+                and isinstance(func.value, ast.Name) \
+                and func.value.id in managers:
+            owner = func.value.id
+            operands = list(node.args)
+        elif node.args and isinstance(node.args[0], ast.Name) \
+                and node.args[0].id in managers:
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else ""
+            if name != "transfer":
+                owner = node.args[0].id
+                operands = list(node.args[1:])
+        if owner is None:
+            continue
+        for operand, var in foreign_operands(operands, owner):
+            yield ctx.violation(
+                "RPR004", operand,
+                f"{var!r} belongs to manager {home[var]!r} but is "
+                f"passed into an operation of manager {owner!r}; "
+                f"copy it with io.transfer first")
+
+
+# ----------------------------------------------------------------------
+# RPR005 — uniform approximator signatures
+# ----------------------------------------------------------------------
+
+@register_rule(
+    "RPR005", "approximator-signature", "error",
+    "Approximator entry points must take exactly one positional "
+    "Function and keyword-only knobs with defaults, so the registry "
+    "can drive every method uniformly.")
+def check_approximator_signature(ctx: FileContext) -> Iterator[Violation]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        registered = False
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                func = decorator.func
+                name = func.id if isinstance(func, ast.Name) else \
+                    func.attr if isinstance(func, ast.Attribute) else ""
+                if name == "register_approximator":
+                    registered = True
+        if not registered:
+            continue
+        args = node.args
+        positional = args.posonlyargs + args.args
+        problems: list[str] = []
+        if len(positional) != 1:
+            problems.append(
+                f"takes {len(positional)} positional parameters, "
+                f"expected exactly 1 (the Function)")
+        if args.defaults:
+            problems.append("the positional Function parameter must "
+                            "not have a default")
+        if args.vararg is not None:
+            problems.append("*args is not allowed")
+        if args.kwarg is not None:
+            problems.append("**kwargs is not allowed")
+        for keyword, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is None:
+                problems.append(f"keyword-only parameter "
+                                f"{keyword.arg!r} needs a default")
+        for problem in problems:
+            yield ctx.violation(
+                "RPR005", node,
+                f"approximator {node.name!r}: {problem}")

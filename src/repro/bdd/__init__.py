@@ -12,7 +12,7 @@ counting helpers) is a documented advanced API used by the approximation
 and decomposition algorithms in :mod:`repro.core`.
 """
 
-from .computed import CacheOpStats, ComputedTable
+from .computed import CacheOpStats, ComputedTable, register_op
 from .counting import bdd_size, density, log2int, sat_count, shared_size
 from .dot import to_dot
 from .expr import ExprError, parse
@@ -23,12 +23,16 @@ from .node import TERMINAL_LEVEL, Node
 from .ops_extra import (conjoin_all, disjoin_all, essential_variables,
                         swap_variables)
 from .restrict import constrain, restrict
+from .sanitize import Diagnostic, SanitizerError
 
 __all__ = [
     "Manager",
     "ManagerStats",
     "ComputedTable",
     "CacheOpStats",
+    "register_op",
+    "Diagnostic",
+    "SanitizerError",
     "Function",
     "Node",
     "TERMINAL_LEVEL",

@@ -19,8 +19,36 @@ Every lookup/insert carries an *op tag* (``"and"``, ``"ite"``,
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any, Hashable
+
+#: Canonical op tags.  Every computed-table insert must use a tag from
+#: this registry (lint rule RPR003 checks literal tags statically; the
+#: graph sanitizer checks stored entries at runtime), so per-op cache
+#: statistics stay meaningful and a rogue insert is attributable.
+REGISTERED_OPS: set[str] = {
+    # binary operators (repro.bdd.operations._OP_TABLES)
+    "and", "or", "xor", "xnor", "nand", "nor", "imp", "diff",
+    # unary / ternary kernels
+    "not", "ite", "cof", "vcomp",
+    # containment predicate
+    "leq",
+    # quantification kernels
+    "exists", "forall", "andex",
+    # generalized-cofactor kernels
+    "constrain", "restrict",
+}
+
+
+def register_op(tag: str) -> str:
+    """Register (and return) a computed-table op tag.
+
+    Idempotent; call at import time next to the kernel that uses the
+    tag.  Returns the tag so it can be bound to a module constant.
+    """
+    REGISTERED_OPS.add(tag)
+    return tag
 
 
 @dataclass(frozen=True)
@@ -168,6 +196,25 @@ class ComputedTable:
     def __len__(self) -> int:
         return self._occupied if self._limit is not None \
             else len(self._entries)
+
+    def entries(self) -> Iterator[tuple[str, Hashable, Any]]:
+        """Iterate ``(op, key, result)`` over the stored entries.
+
+        Bounded storage records the op tag per slot; unbounded storage
+        recovers it from the conventional ``(op, ...)`` key shape (a
+        non-conforming key yields ``"?"``).  Used by the graph
+        sanitizer; not a hot path.
+        """
+        if self._limit is None:
+            for key, result in self._entries.items():
+                op = key[0] if isinstance(key, tuple) and key \
+                    and isinstance(key[0], str) else "?"
+                yield op, key, result
+        else:
+            for slot in self._slots:
+                if slot is not None:
+                    key, result, op = slot
+                    yield op, key, result
 
     # ------------------------------------------------------------------
     # Statistics

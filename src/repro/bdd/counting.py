@@ -8,9 +8,13 @@ ranking measure  delta(g) = ||g|| / |g|  (Section 2).
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING
 
 from .node import Node
 from .traversal import collect_nodes, nodes_by_level
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .function import Function
 
 #: Distance value meaning "no path".
 INFINITY = math.inf
@@ -52,7 +56,7 @@ def minterm_count_map(root: Node, nvars: int) -> dict[Node, int]:
     return counts
 
 
-def sat_count(function, nvars: int | None = None) -> int:
+def sat_count(function: Function, nvars: int | None = None) -> int:
     """Exact ``||f||`` over ``nvars`` variables (default: all declared)."""
     manager = function.manager
     root = function.node
@@ -68,7 +72,7 @@ def sat_count(function, nvars: int | None = None) -> int:
     return counts[root] << root.level
 
 
-def density(function, nvars: int | None = None) -> float:
+def density(function: Function, nvars: int | None = None) -> float:
     """The paper's delta(f) = ||f|| / |f| (0.0 for constant FALSE).
 
     Computed in log space so that astronomically large minterm counts do

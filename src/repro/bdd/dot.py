@@ -2,10 +2,16 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
+from .node import Node
 from .traversal import nodes_by_level
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .function import Function
 
-def to_dot(function, name: str = "f") -> str:
+
+def to_dot(function: Function, name: str = "f") -> str:
     """Render a Function as a Graphviz digraph string.
 
     Solid arcs are *then* arcs and dashed arcs are *else* arcs, matching
@@ -14,9 +20,9 @@ def to_dot(function, name: str = "f") -> str:
     manager = function.manager
     root = function.node
     lines = [f"digraph {name} {{", "  rankdir=TB;"]
-    ids: dict = {}
+    ids: dict[Node, str] = {}
 
-    def node_id(node) -> str:
+    def node_id(node: Node) -> str:
         if node not in ids:
             if node.is_terminal:
                 ids[node] = f"t{node.value}"

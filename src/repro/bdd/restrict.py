@@ -21,9 +21,14 @@ interpreter recursion limit.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .manager import Manager
 from .node import Node
 from .quantify import exists_node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .function import Function
 
 # Frame tags of the explicit-stack traversals (same scheme as
 # repro.bdd.operations).
@@ -158,7 +163,7 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
     return values[0]
 
 
-def constrain(f, c):
+def constrain(f: "Function", c: "Function") -> "Function":
     """Function-level constrain; see :func:`constrain_node`."""
     from .function import Function
 
@@ -168,7 +173,7 @@ def constrain(f, c):
     return Function(f.manager, constrain_node(f.manager, f.node, c.node))
 
 
-def restrict(f, c):
+def restrict(f: "Function", c: "Function") -> "Function":
     """Function-level restrict; see :func:`restrict_node`."""
     from .function import Function
 

@@ -1,0 +1,271 @@
+"""The runtime graph sanitizer — a ``Cudd_DebugCheck`` equivalent.
+
+:func:`check_manager` sweeps a manager and verifies every structural
+invariant the algorithms assume:
+
+* **ordering** — levels strictly increase along every arc toward the
+  terminals;
+* **reduction** — no redundant nodes (``lo is hi``);
+* **unique-table consistency** — each node sits in the subtable of its
+  own level under the key matching its child fields, and no two nodes
+  share a ``(level, hi, lo)`` triple (hash-consing canonicity);
+* **dangling arcs** — every child of a table node is a terminal of this
+  manager or itself present in its subtable;
+* **computed-table hygiene** — every cached entry references only live
+  nodes and carries a registered op tag
+  (:data:`~repro.bdd.computed.REGISTERED_OPS`);
+* **bookkeeping** — the node counter matches the subtables, every live
+  GC root is present, and no node's structural reference count is
+  below a fresh parent-arc recount.
+
+Diagnostics are precise (level, repr, counts) so a mutation test — or a
+real regression — pins the corruption to the check that caught it.
+
+Set ``REPRO_SANITIZE=1`` to arm the sanitizer at runtime: every
+garbage collection verifies the surviving graph, and every
+``REPRO_SANITIZE_STRIDE``-th GC safe point (default 50) verifies
+managers up to ``REPRO_SANITIZE_LIMIT`` nodes (default 5000) — full
+sweeps at every safe point, or on big managers, would dominate the
+run.  :class:`SanitizerError` carries the full diagnostic list.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator
+
+from .computed import REGISTERED_OPS
+from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import Manager
+
+#: Safe-point sweeps are skipped above this many live nodes unless
+#: REPRO_SANITIZE_LIMIT overrides it.
+DEFAULT_NODE_LIMIT = 5000
+
+#: Safe points between armed sweeps unless REPRO_SANITIZE_STRIDE
+#: overrides it (1 = sweep at every safe point).
+DEFAULT_STRIDE = 50
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One invariant violation found by the sanitizer."""
+
+    #: machine-readable check name, e.g. ``"order"`` or ``"duplicate"``
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+class SanitizerError(AssertionError):
+    """Raised by ``debug_check`` when the graph is corrupt."""
+
+    def __init__(self, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = diagnostics
+        lines = "\n".join(f"  {d}" for d in diagnostics)
+        super().__init__(
+            f"manager failed debug_check with "
+            f"{len(diagnostics)} diagnostic(s):\n{lines}")
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests auto-armed checking."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+def sanitize_node_limit() -> int:
+    """Node bound for safe-point sweeps (``REPRO_SANITIZE_LIMIT``)."""
+    try:
+        return int(os.environ["REPRO_SANITIZE_LIMIT"])
+    except (KeyError, ValueError):
+        return DEFAULT_NODE_LIMIT
+
+
+def sanitize_stride() -> int:
+    """Safe points between armed sweeps (``REPRO_SANITIZE_STRIDE``).
+
+    1 sweeps at every safe point (maximum precision, maximum cost);
+    the default trades detection latency of a few dozen operations for
+    an overhead small enough to run the whole suite sanitized.
+    """
+    try:
+        return max(1, int(os.environ["REPRO_SANITIZE_STRIDE"]))
+    except (KeyError, ValueError):
+        return DEFAULT_STRIDE
+
+
+def _iter_nodes_in(value: Any) -> Iterator[Node]:
+    """Every Node buried in a (possibly nested) cache key or result."""
+    stack = [value]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, Node):
+            yield item
+        elif isinstance(item, (tuple, list, frozenset, set)):
+            stack.extend(item)
+        elif isinstance(item, dict):
+            stack.extend(item.keys())
+            stack.extend(item.values())
+
+
+def _describe(node: object) -> str:
+    if not isinstance(node, Node):
+        # A corrupt table can hold anything; describe, don't crash.
+        return f"non-node {node!r}"
+    if node.is_terminal:
+        return f"terminal {node.value}"
+    return f"node@{id(node):#x} L{node.level}"
+
+
+def check_manager(manager: "Manager",
+                  check_cache: bool = True) -> list[Diagnostic]:
+    """Run every invariant check; returns the diagnostics (empty: ok)."""
+    out: list[Diagnostic] = []
+    report = out.append
+    zero, one = manager.zero_node, manager.one_node
+    subtables = manager._subtables
+    num_levels = len(subtables)
+
+    # -- terminals -----------------------------------------------------
+    for terminal, value in ((zero, 0), (one, 1)):
+        if terminal.value != value or terminal.hi is not None \
+                or terminal.lo is not None:
+            report(Diagnostic(
+                "terminal",
+                f"terminal {value} corrupted: value={terminal.value!r} "
+                f"hi={terminal.hi!r} lo={terminal.lo!r}"))
+
+    def is_live(node: Node) -> bool:
+        """A terminal of this manager, or present in its subtable."""
+        if node is zero or node is one:
+            return True
+        if node.is_terminal or not 0 <= node.level < num_levels:
+            return False
+        return subtables[node.level].get((node.hi, node.lo)) is node
+
+    # -- unique table --------------------------------------------------
+    count = 0
+    triples: dict[tuple[int, int, int], Node] = {}
+    arcs: dict[Node, int] = {}
+    for level, subtable in enumerate(subtables):
+        for (key_hi, key_lo), node in subtable.items():
+            count += 1
+            where = _describe(node)
+            if node.is_terminal:
+                report(Diagnostic(
+                    "table", f"{where} at level {level}: terminal "
+                    f"stored in the unique table"))
+                continue
+            if node.level != level:
+                report(Diagnostic(
+                    "level-sync",
+                    f"{where} stored in subtable {level} but carries "
+                    f"level {node.level}"))
+            if node.hi is not key_hi or node.lo is not key_lo:
+                report(Diagnostic(
+                    "key-sync",
+                    f"{where}: children ({_describe(node.hi)}, "
+                    f"{_describe(node.lo)}) disagree with its "
+                    f"unique-table key ({_describe(key_hi)}, "
+                    f"{_describe(key_lo)})"))
+            if node.hi is node.lo:
+                report(Diagnostic(
+                    "redundant",
+                    f"{where}: hi and lo are the same node "
+                    f"({_describe(node.hi)}); redundant nodes must be "
+                    f"collapsed by reduction"))
+            for label, child in (("hi", node.hi), ("lo", node.lo)):
+                if child is None:
+                    report(Diagnostic(
+                        "dangling",
+                        f"{where}: {label} child is None"))
+                    continue
+                if not child.is_terminal and child.level <= node.level:
+                    report(Diagnostic(
+                        "order",
+                        f"{where}: {label} child {_describe(child)} "
+                        f"does not lie strictly below level "
+                        f"{node.level}"))
+                if not is_live(child):
+                    report(Diagnostic(
+                        "dangling",
+                        f"{where}: {label} child {_describe(child)} "
+                        f"is not in the unique table"))
+                arcs[child] = arcs.get(child, 0) + 1
+            triple = (node.level, id(node.hi), id(node.lo))
+            other = triples.get(triple)
+            if other is not None and other is not node:
+                report(Diagnostic(
+                    "duplicate",
+                    f"duplicate (level, hi, lo) triple at level "
+                    f"{node.level}: {where} duplicates "
+                    f"{_describe(other)} — hash-consing is broken"))
+            else:
+                triples[triple] = node
+
+    # -- node accounting ----------------------------------------------
+    if count != manager._num_nodes:
+        report(Diagnostic(
+            "count",
+            f"unique table holds {count} nodes but the manager "
+            f"counter says {manager._num_nodes}"))
+
+    # -- reference counts ----------------------------------------------
+    # Structural refs only ever exceed the fresh parent-arc recount
+    # (external Function roots are added on top at GC time), so a ref
+    # below the recount means a decrement was lost or misapplied.
+    for subtable in subtables:
+        for node in subtable.values():
+            expected = arcs.get(node, 0)
+            if node.ref < expected:
+                report(Diagnostic(
+                    "refcount",
+                    f"{_describe(node)}: ref={node.ref} below its "
+                    f"{expected} parent arc(s)"))
+
+    # -- root tracking vs. a fresh reachability sweep -------------------
+    reachable: set[int] = set()
+    stack = list(manager.live_roots())
+    for root in stack:
+        if not is_live(root):
+            report(Diagnostic(
+                "root",
+                f"live Function root {_describe(root)} is not in the "
+                f"unique table — GC root tracking is out of sync"))
+    while stack:
+        node = stack.pop()
+        if node.is_terminal or id(node) in reachable:
+            continue
+        reachable.add(id(node))
+        if node.hi is not None:
+            stack.append(node.hi)
+        if node.lo is not None:
+            stack.append(node.lo)
+    if len(reachable) > count:
+        report(Diagnostic(
+            "root",
+            f"reachability sweep found {len(reachable)} internal "
+            f"nodes but the unique table holds only {count}"))
+
+    # -- computed table ------------------------------------------------
+    if check_cache:
+        for op, key, result in manager.computed.entries():
+            if op != "?" and op not in REGISTERED_OPS:
+                report(Diagnostic(
+                    "cache-op",
+                    f"computed-table entry {key!r} uses unregistered "
+                    f"op tag {op!r}"))
+            for node in _iter_nodes_in((key, result)):
+                if not is_live(node):
+                    report(Diagnostic(
+                        "cache-dangling",
+                        f"computed-table entry for op {op!r} "
+                        f"references {_describe(node)} which is not "
+                        f"in the unique table"))
+                    break
+    return out

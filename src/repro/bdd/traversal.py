@@ -8,8 +8,12 @@ node set of a function, counting internal references (the paper's
 from __future__ import annotations
 
 from collections.abc import Iterator
+from typing import TYPE_CHECKING
 
 from .node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .manager import Manager
 
 
 def collect_nodes(root: Node) -> list[Node]:
@@ -61,7 +65,9 @@ def nodes_by_level(root: Node) -> list[Node]:
     return sorted(collect_nodes(root), key=lambda n: n.level)
 
 
-def iter_paths(root: Node, manager) -> Iterator[tuple[dict[int, bool], int]]:
+def iter_paths(root: Node,
+               manager: "Manager"
+               ) -> Iterator[tuple[dict[int, bool], int]]:
     """Iterate (partial level assignment, terminal value) per BDD path.
 
     Exponential in general; used in tests and on small examples only.

@@ -16,6 +16,14 @@ Commands
 ``trajectory <baseline.json> <current.json>``
     Compare two ``BENCH_*.json`` benchmark trajectory files and exit
     non-zero on a regression or result mismatch (the CI perf gate).
+``lint [paths...]``
+    Run the BDD-aware static rules (:mod:`repro.analysis`) over source
+    trees; exits non-zero on errors (or on any finding with
+    ``--strict``).
+``check <circuit.blif>``
+    Encode the circuit and run the graph sanitizer
+    (:meth:`~repro.bdd.manager.Manager.debug_check`) over the resulting
+    manager; exits non-zero when any invariant is violated.
 
 All commands read BLIF; the benchmark generators can export BLIF via
 ``repro.fsm.blif.write_blif`` for experimentation.
@@ -259,6 +267,39 @@ def cmd_decomp(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_lint(args) -> int:
+    from .analysis import (RULES, exit_code, lint_paths, render_json,
+                           render_text)
+    if args.rules:
+        unknown = [r for r in args.rules if r not in RULES]
+        if unknown:
+            raise SystemExit(f"repro: unknown rules {unknown!r}; "
+                             f"available: {','.join(sorted(RULES))}")
+    violations = lint_paths(args.paths, rules=args.rules)
+    if args.format == "json":
+        print(render_json(violations))
+    else:
+        print(render_text(violations))
+    return exit_code(violations, strict=args.strict)
+
+
+def cmd_check(args) -> int:
+    circuit, encoded = _load(args)
+    manager = encoded.manager
+    diagnostics = manager.debug_check(raise_on_error=False)
+    nodes = len(manager)
+    if diagnostics:
+        for diagnostic in diagnostics:
+            print(f"repro check: {diagnostic}", file=sys.stderr)
+        print(f"FAILED: {len(diagnostics)} invariant violation(s) in "
+              f"{nodes} nodes ({circuit.name})")
+        return 1
+    print(f"OK: {nodes} nodes, "
+          f"{len(encoded.state_vars)} latches ({circuit.name})")
+    _finish(args, encoded)
+    return 0
+
+
 def cmd_trajectory(args) -> int:
     try:
         report = compare_files(args.baseline, args.current,
@@ -322,6 +363,28 @@ def build_parser() -> argparse.ArgumentParser:
                               help="compare decomposition methods")
     p_decomp.add_argument("circuit", help="BLIF file")
     p_decomp.set_defaults(func=cmd_decomp)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the BDD-aware static rules (RPR001..RPR005)")
+    p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directory trees to lint "
+                             "(default: src tests)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_lint.add_argument("--rules", default=None,
+                        type=lambda s: [r.strip() for r in s.split(",")
+                                        if r.strip()],
+                        help="comma-separated rule ids to run "
+                             "(default: all)")
+    p_lint.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings too")
+    p_lint.set_defaults(func=cmd_lint)
+
+    p_check = sub.add_parser(
+        "check", parents=[runtime],
+        help="build BDDs for a circuit and run the graph sanitizer")
+    p_check.add_argument("circuit", help="BLIF file")
+    p_check.set_defaults(func=cmd_check)
 
     p_traj = sub.add_parser(
         "trajectory",

@@ -10,7 +10,7 @@ threshold.
 
 from __future__ import annotations
 
-from ...bdd.counting import (INFINITY, bdd_size, distance_from_root,
+from ...bdd.counting import (bdd_size, distance_from_root,
                              distance_to_one)
 from ...bdd.function import Function
 from ...bdd.traversal import collect_nodes

@@ -12,7 +12,6 @@ cofactors; estimating all cofactor sizes costs ``#vars * |f|``.
 
 from __future__ import annotations
 
-from ...bdd.counting import bdd_size
 from ...bdd.function import Function
 
 

@@ -16,7 +16,6 @@ A per-node cache keeps the construction linear and encourages sharing.
 from __future__ import annotations
 
 from ...bdd.function import Function
-from ...bdd.manager import Manager
 from ...bdd.node import Node
 
 
@@ -42,11 +41,27 @@ def decompose_at_points(f: Function, points: set[Node],
     def ts(node: Node) -> int:
         if node.is_terminal:
             return 0
-        size = tree_size.get(node)
-        if size is None:
-            size = 1 + ts(node.hi) + ts(node.lo)
-            tree_size[node] = size
-        return size
+        # Two-phase explicit stack: expand until both child sizes are
+        # memoized, then fill the parent's entry.
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current.is_terminal or current in tree_size:
+                continue
+            hi, lo = current.hi, current.lo
+            hi_ready = hi.is_terminal or hi in tree_size
+            lo_ready = lo.is_terminal or lo in tree_size
+            if hi_ready and lo_ready:
+                tree_size[current] = 1 \
+                    + (0 if hi.is_terminal else tree_size[hi]) \
+                    + (0 if lo.is_terminal else tree_size[lo])
+            else:
+                stack.append(current)
+                if not hi_ready:
+                    stack.append(hi)
+                if not lo_ready:
+                    stack.append(lo)
+        return tree_size[node]
 
     def at_point(node: Node) -> tuple[Node, Node]:
         """Equation 1 applied locally: (v + f_e, v' + f_t) or the dual."""
@@ -70,20 +85,33 @@ def decompose_at_points(f: Function, points: set[Node],
             key=lambda pair: (max(ts(pair[0]), ts(pair[1])),
                               ts(pair[0]) + ts(pair[1])))
 
-    def decomp(node: Node) -> tuple[Node, Node]:
+    def resolved(node: Node) -> tuple[Node, Node]:
         if node.is_terminal:
             return node, neutral
-        pair = cache.get(node)
-        if pair is not None:
-            return pair
-        if node in points:
-            pair = at_point(node)
-        else:
-            g_t, h_t = decomp(node.hi)
-            g_e, h_e = decomp(node.lo)
-            pair = combine(node.level, g_t, h_t, g_e, h_e)
-        cache[node] = pair
-        return pair
+        return cache[node]
+
+    def decomp(root: Node) -> tuple[Node, Node]:
+        if root.is_terminal:
+            return root, neutral
+        # Two-phase explicit stack: a node is pushed unexpanded, its
+        # children are decomposed first, then the expanded visit
+        # combines (or applies Equation 1 at a decomposition point).
+        stack: list[tuple[Node, bool]] = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if node.is_terminal or node in cache:
+                continue
+            if node in points:
+                cache[node] = at_point(node)
+            elif not expanded:
+                stack.append((node, True))
+                stack.append((node.hi, False))
+                stack.append((node.lo, False))
+            else:
+                g_t, h_t = resolved(node.hi)
+                g_e, h_e = resolved(node.lo)
+                cache[node] = combine(node.level, g_t, h_t, g_e, h_e)
+        return cache[root]
 
     g, h = decomp(f.node)
     return Function(manager, g), Function(manager, h)

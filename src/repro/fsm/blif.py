@@ -115,19 +115,31 @@ def parse_blif(text: str) -> Circuit:
     building: set[str] = set()
 
     def net_of(signal: str) -> Net:
-        if signal in variables:
-            return variables[signal]
-        if signal not in tables:
-            raise BlifError(f"undriven signal {signal!r}")
-        if signal in building:
-            raise BlifError(f"combinational cycle through {signal!r}")
-        building.add(signal)
-        deps, rows = tables[signal]
-        net = _cover_to_net(builder, [net_of(d) for d in deps], rows,
-                            signal)
-        building.discard(signal)
-        variables[signal] = net
-        return net
+        # Two-phase explicit stack (DFS): expand a signal's table
+        # dependencies first, then lower its cover to a gate network.
+        # Seeing a signal unexpanded while it is still `building` means
+        # a dependency loops back to it — a combinational cycle.
+        stack: list[tuple[str, bool]] = [(signal, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current in variables:
+                continue
+            if current not in tables:
+                raise BlifError(f"undriven signal {current!r}")
+            deps, rows = tables[current]
+            if not expanded:
+                if current in building:
+                    raise BlifError(
+                        f"combinational cycle through {current!r}")
+                building.add(current)
+                stack.append((current, True))
+                stack.extend((dep, False) for dep in deps)
+            else:
+                variables[current] = _cover_to_net(
+                    builder, [variables[dep] for dep in deps], rows,
+                    current)
+                building.discard(current)
+        return variables[signal]
 
     for next_signal, out_signal, _ in latches:
         builder.set_next(latch_nets[out_signal], net_of(next_signal))
@@ -179,34 +191,49 @@ def write_blif(circuit: Circuit) -> str:
     counter = [0]
     body = io.StringIO()
 
+    def label_of(net: Net) -> str:
+        return net.name if net.op == "var" else names[net]
+
     def name_of(net: Net) -> str:
-        if net.op == "var":
-            return net.name
-        if net in names:
-            return names[net]
-        if net.op == "const0" or net.op == "const1":
-            label = f"_k{net.op[-1]}"
-            if net not in names:
-                names[net] = label
-                body.write(f".names {label}\n")
-                if net.op == "const1":
-                    body.write("1\n")
-            return label
-        label = f"_g{counter[0]}"
-        counter[0] += 1
-        names[net] = label
-        args = [name_of(a) for a in net.args]
-        if net.op == "not":
-            body.write(f".names {args[0]} {label}\n0 1\n")
-        elif net.op == "and":
-            body.write(f".names {args[0]} {args[1]} {label}\n11 1\n")
-        elif net.op == "or":
-            body.write(f".names {args[0]} {args[1]} {label}\n"
-                       "1- 1\n-1 1\n")
-        else:  # xor
-            body.write(f".names {args[0]} {args[1]} {label}\n"
-                       "10 1\n01 1\n")
-        return label
+        # Two-phase explicit stack: a gate's label is assigned on the
+        # way down (matching the pre-order numbering of the recursive
+        # formulation), its .names table is emitted once every argument
+        # has been written.
+        stack: list[tuple[Net, bool]] = [(net, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if current.op == "var":
+                continue
+            if not expanded:
+                if current in names:
+                    continue
+                if current.op == "const0" or current.op == "const1":
+                    label = f"_k{current.op[-1]}"
+                    names[current] = label
+                    body.write(f".names {label}\n")
+                    if current.op == "const1":
+                        body.write("1\n")
+                    continue
+                names[current] = f"_g{counter[0]}"
+                counter[0] += 1
+                stack.append((current, True))
+                stack.extend((arg, False)
+                             for arg in reversed(current.args))
+            else:
+                label = names[current]
+                args = [label_of(arg) for arg in current.args]
+                if current.op == "not":
+                    body.write(f".names {args[0]} {label}\n0 1\n")
+                elif current.op == "and":
+                    body.write(f".names {args[0]} {args[1]} {label}\n"
+                               "11 1\n")
+                elif current.op == "or":
+                    body.write(f".names {args[0]} {args[1]} {label}\n"
+                               "1- 1\n-1 1\n")
+                else:  # xor
+                    body.write(f".names {args[0]} {args[1]} {label}\n"
+                               "10 1\n01 1\n")
+        return label_of(net)
 
     for latch in circuit.latches:
         next_name = name_of(latch.next_state)

@@ -110,28 +110,38 @@ def eval_net(net: Net, env: dict[str, bool],
     if cache is None:
         cache = {}
 
-    def rec(net: Net) -> bool:
+    def done(net: Net) -> bool | None:
         if net.op == "const0":
             return False
         if net.op == "const1":
             return True
         if net.op == "var":
             return env[net.name]
-        value = cache.get(net)
-        if value is not None:
-            return value
-        if net.op == "not":
-            value = not rec(net.args[0])
-        elif net.op == "and":
-            value = rec(net.args[0]) and rec(net.args[1])
-        elif net.op == "or":
-            value = rec(net.args[0]) or rec(net.args[1])
-        else:  # xor
-            value = rec(net.args[0]) != rec(net.args[1])
-        cache[net] = value
-        return value
+        return cache.get(net)
 
-    return rec(net)
+    # Two-phase explicit stack over the acyclic net DAG: expand until
+    # every argument is evaluated, then apply the gate.
+    stack: list[tuple[Net, bool]] = [(net, False)]
+    while stack:
+        current, expanded = stack.pop()
+        if not expanded:
+            if done(current) is not None:
+                continue
+            stack.append((current, True))
+            stack.extend((arg, False) for arg in current.args)
+        else:
+            values = [done(arg) for arg in current.args]
+            if current.op == "not":
+                cache[current] = not values[0]
+            elif current.op == "and":
+                cache[current] = bool(values[0] and values[1])
+            elif current.op == "or":
+                cache[current] = bool(values[0] or values[1])
+            else:  # xor
+                cache[current] = values[0] != values[1]
+    value = done(net)
+    assert value is not None
+    return value
 
 
 class CircuitBuilder:
@@ -199,16 +209,26 @@ class CircuitBuilder:
 
     # -- gates ---------------------------------------------------------
 
+    def _invert(self, a: Net) -> Net:
+        """Hash-consed negation with local simplifications."""
+        if a.op == "const0":
+            return self.const1
+        if a.op == "const1":
+            return self.const0
+        if a.op == "not":
+            return a.args[0]
+        key = ("not", id(a))
+        net = self._gates.get(key)
+        if net is None:
+            net = Net(self, "not", (a,))
+            self._gates[key] = net
+        return net
+
     def gate(self, op: str, *args: Net) -> Net:
         """Hash-consed gate constructor with local simplifications."""
         if op == "not":
             (a,) = args
-            if a.op == "const0":
-                return self.const1
-            if a.op == "const1":
-                return self.const0
-            if a.op == "not":
-                return a.args[0]
+            return self._invert(a)
         else:
             a, b = args
             if op == "and":
@@ -235,9 +255,9 @@ class CircuitBuilder:
                 if b.op == "const0":
                     return a
                 if a.op == "const1":
-                    return self.gate("not", b)
+                    return self._invert(b)
                 if b.op == "const1":
-                    return self.gate("not", a)
+                    return self._invert(a)
                 if a is b:
                     return self.const0
             if id(a) > id(b):  # commutative normal form

@@ -85,25 +85,39 @@ def encode(circuit: Circuit, manager: Manager | None = None,
 
     cache: dict[Net, Function] = {}
 
-    def build(net: Net) -> Function:
+    def done(net: Net) -> Function | None:
+        """The net's BDD if already derivable, else None."""
         if net.op == "const0":
             return manager.false
         if net.op == "const1":
             return manager.true
         if net.op == "var":
             return manager.var(net.name)
-        function = cache.get(net)
-        if function is not None:
-            return function
-        if net.op == "not":
-            function = ~build(net.args[0])
-        elif net.op == "and":
-            function = build(net.args[0]) & build(net.args[1])
-        elif net.op == "or":
-            function = build(net.args[0]) | build(net.args[1])
-        else:  # xor
-            function = build(net.args[0]) ^ build(net.args[1])
-        cache[net] = function
+        return cache.get(net)
+
+    def build(root: Net) -> Function:
+        # Two-phase explicit stack over the (acyclic, hash-consed) net
+        # DAG: expand until every argument is cached, then combine.
+        stack: list[tuple[Net, bool]] = [(root, False)]
+        while stack:
+            net, expanded = stack.pop()
+            if not expanded:
+                if done(net) is not None:
+                    continue
+                stack.append((net, True))
+                stack.extend((arg, False) for arg in net.args)
+            else:
+                values = [done(arg) for arg in net.args]
+                if net.op == "not":
+                    cache[net] = ~values[0]
+                elif net.op == "and":
+                    cache[net] = values[0] & values[1]
+                elif net.op == "or":
+                    cache[net] = values[0] | values[1]
+                else:  # xor
+                    cache[net] = values[0] ^ values[1]
+        function = done(root)
+        assert function is not None
         return function
 
     next_functions = [build(latch.next_state)

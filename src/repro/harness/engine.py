@@ -38,7 +38,7 @@ import time
 import traceback
 from collections import deque
 from collections.abc import Callable, Iterable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_connections
 
 __all__ = [

@@ -24,7 +24,7 @@ from ..fsm.encode import encode
 from ..reach import (PartialImagePolicy, TransitionRelation,
                      TraversalLimit, bfs_reachability, count_states,
                      high_density_reachability)
-from .population import EntrySpec, build_entries, make_circuit
+from .population import build_entries, make_circuit
 
 __all__ = [
     "SIMPLE_METHODS",

@@ -15,7 +15,7 @@ approximation procedure is applied to it (the paper's "PImg" columns).
 from __future__ import annotations
 
 from collections.abc import Callable
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..bdd.function import Function
 from ..fsm.encode import EncodedCircuit

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..bdd.manager import Manager
 from ..fsm.circuit import Circuit, CircuitBuilder, Net
-from ..fsm.encode import EncodedCircuit, encode
+from ..fsm.encode import encode
 from ..reach.bfs import bfs_reachability
 from ..reach.transition import TransitionRelation
 
@@ -55,7 +54,8 @@ def product_machine(left: Circuit, right: Circuit,
             mapping[latch.output] = net
             latch_nets[latch.name] = net
 
-        def convert(net: Net) -> Net:
+        def done(net: Net) -> Net | None:
+            """The imported copy of ``net`` if derivable, else None."""
             if net.op == "const0":
                 return builder.const0
             if net.op == "const1":
@@ -64,11 +64,24 @@ def product_machine(left: Circuit, right: Circuit,
                 if net.name in inputs:
                     return inputs[net.name]
                 return mapping[net]
-            converted = mapping.get(net)
-            if converted is None:
-                args = tuple(convert(a) for a in net.args)
-                converted = builder.gate(net.op, *args)
-                mapping[net] = converted
+            return mapping.get(net)
+
+        def convert(root: Net) -> Net:
+            # Two-phase explicit stack over the acyclic net DAG:
+            # expand until every argument is mapped, then rebuild.
+            stack: list[tuple[Net, bool]] = [(root, False)]
+            while stack:
+                net, expanded = stack.pop()
+                if not expanded:
+                    if done(net) is not None:
+                        continue
+                    stack.append((net, True))
+                    stack.extend((arg, False) for arg in net.args)
+                else:
+                    args = tuple(done(a) for a in net.args)
+                    mapping[net] = builder.gate(net.op, *args)
+            converted = done(root)
+            assert converted is not None
             return converted
 
         for latch in circuit.latches:

@@ -1,0 +1,41 @@
+"""RPR001 no-trigger: explicit-stack traversal, helper calls, methods."""
+# repro-lint: kernel
+
+
+def walk(root):
+    count = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is None:
+            continue
+        count += 1
+        stack.append(node.hi)
+        stack.append(node.lo)
+    return count
+
+
+def outer(root):
+    return helper(root)
+
+
+def helper(root):
+    return walk(root)
+
+
+class Table:
+    def clear(self):
+        # Attribute call on another object, same method name: no edge.
+        self.entries.clear()
+
+    def size(self):
+        return len(self.entries)
+
+    def stats(self):
+        # Name call shadowing a method name resolves to the import,
+        # not to this class's method.
+        return size(self)
+
+
+def size(table):
+    return table.size()

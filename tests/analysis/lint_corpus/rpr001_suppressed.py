@@ -1,0 +1,6 @@
+"""RPR001 suppressed: bounded recursion with an explicit waiver."""
+# repro-lint: kernel
+
+
+def parse(depth):  # repro-lint: disable=RPR001
+    return 0 if depth == 0 else parse(depth - 1)

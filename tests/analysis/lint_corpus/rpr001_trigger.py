@@ -1,0 +1,16 @@
+"""RPR001 trigger: direct and mutual recursion in a kernel module."""
+# repro-lint: kernel
+
+
+def walk(node):
+    if node is None:
+        return 0
+    return 1 + walk(node.hi) + walk(node.lo)
+
+
+def even(n):
+    return n == 0 or odd(n - 1)
+
+
+def odd(n):
+    return n != 0 and even(n - 1)

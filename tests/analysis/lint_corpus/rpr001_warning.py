@@ -1,0 +1,6 @@
+"""RPR001 no-trigger-as-error: recursion outside a kernel module is
+only a warning."""
+
+
+def factorial(n):
+    return 1 if n <= 1 else n * factorial(n - 1)

@@ -1,0 +1,10 @@
+"""RPR002 no-trigger: nodes go through the unique table."""
+
+
+def build(manager, level, hi, lo):
+    return manager.mk(level, hi, lo)
+
+
+class NodeFactory:
+    # A class merely *named* like the constructor is not a call.
+    pass

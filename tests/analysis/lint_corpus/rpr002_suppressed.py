@@ -1,0 +1,6 @@
+"""RPR002 suppressed: test scaffolding may forge nodes knowingly."""
+from repro.bdd.node import Node
+
+
+def forge(level, hi, lo):
+    return Node(level, hi, lo)  # repro-lint: disable=RPR002

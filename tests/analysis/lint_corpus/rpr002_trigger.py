@@ -1,0 +1,10 @@
+"""RPR002 trigger: direct Node construction outside the factory."""
+from repro.bdd.node import Node
+
+
+def smuggle(level, hi, lo):
+    return Node(level, hi, lo)
+
+
+def smuggle_qualified(node_module, level, hi, lo):
+    return node_module.Node(level, hi, lo)

@@ -1,0 +1,12 @@
+"""RPR003 no-trigger: registered tags, dynamic tags, other lookups."""
+
+
+def kernel(manager, key, op):
+    cached = manager.computed.lookup("and", key)
+    if cached is None:
+        manager.computed.insert("ite", key, 42)
+    # A dynamic (non-literal) tag is out of static reach; the runtime
+    # sanitizer covers it.
+    manager.computed.insert(op, key, 42)
+    # lookup on something that is not a computed table is not checked.
+    return registry.lookup("frobnicate", key)

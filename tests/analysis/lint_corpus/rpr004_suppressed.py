@@ -1,0 +1,9 @@
+"""RPR004 suppressed: deliberate cross-manager probe."""
+from repro.bdd import Manager
+
+
+def probe():
+    m1 = Manager()
+    m2 = Manager()
+    a = m1.add_var("a")
+    return m2.apply("and", a, a)  # repro-lint: disable=RPR004

@@ -1,0 +1,16 @@
+"""RPR004 trigger: nodes of one manager fed to another manager."""
+from repro.bdd import Manager
+
+
+def mix():
+    m1 = Manager()
+    m2 = Manager()
+    a = m1.add_var("a")
+    b = m2.add_var("b")
+    # `a` belongs to m1 but is passed into an m2 operation:
+    return m2.apply("and", a, b)
+
+
+def mix_via_free_function(apply_node, m1: Manager, m2: Manager):
+    f = m1.add_var("x")
+    return apply_node(m2, "and", f, f)

@@ -1,0 +1,12 @@
+"""RPR005 no-trigger: the registry's uniform shape, and free helpers."""
+from repro.core.approx import register_approximator
+
+
+@register_approximator("conforming")
+def conforming(f, *, threshold=0, quality=1.0):
+    return f
+
+
+def unregistered_helper(f, threshold):
+    # Not an approximator entry point; no constraints.
+    return f

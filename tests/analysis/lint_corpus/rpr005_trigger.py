@@ -1,0 +1,22 @@
+"""RPR005 trigger: malformed approximator signatures."""
+from repro.core.approx import register_approximator
+
+
+@register_approximator("two-positional")
+def two_positional(f, threshold):
+    return f
+
+
+@register_approximator("star-args")
+def star_args(f, *args, threshold=0):
+    return f
+
+
+@register_approximator("kw-without-default")
+def kw_without_default(f, *, threshold):
+    return f
+
+
+@register_approximator("defaulted-positional")
+def defaulted_positional(f=None, *, threshold=0):
+    return f

@@ -1,0 +1,140 @@
+"""Engine-level tests: suppressions, walking, rendering, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (RULES, Violation, exit_code, lint_paths,
+                            lint_source, render_json, render_text)
+from repro.analysis.lint import iter_python_files
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+def test_all_rules_registered():
+    assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004",
+                          "RPR005"}
+    for rule in RULES.values():
+        assert rule.severity in ("warning", "error")
+        assert rule.description
+
+
+def test_syntax_error_reported_as_rpr000():
+    violations = lint_source("def broken(:\n", path="bad.py")
+    assert [v.rule for v in violations] == ["RPR000"]
+    assert violations[0].severity == "error"
+    assert exit_code(violations) == 1
+
+
+def test_line_suppression_single_rule():
+    source = (
+        "def f(n):  # repro-lint: disable=RPR001\n"
+        "    return f(n - 1)\n"
+    )
+    assert lint_source(source) == []
+    # The same source without the comment does trigger.
+    assert "RPR001" in rule_ids(lint_source(source.replace(
+        "  # repro-lint: disable=RPR001", "")))
+
+
+def test_line_suppression_multiple_rules():
+    source = (
+        "def f(n):  # repro-lint: disable=RPR001, RPR005\n"
+        "    return f(n - 1)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_bare_disable_suppresses_everything():
+    source = (
+        "def f(n):  # repro-lint: disable\n"
+        "    return f(n - 1)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_file_level_suppression():
+    source = (
+        "# repro-lint: disable-file=RPR001\n"
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+        "def g(n):\n"
+        "    return g(n - 1)\n"
+    )
+    assert lint_source(source) == []
+
+
+def test_unrelated_suppression_does_not_hide():
+    source = (
+        "def f(n):  # repro-lint: disable=RPR002\n"
+        "    return f(n - 1)\n"
+    )
+    assert "RPR001" in rule_ids(lint_source(source))
+
+
+def test_rule_selection():
+    source = (
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+    )
+    assert lint_source(source, rules=["RPR002"]) == []
+    assert rule_ids(lint_source(source, rules=["RPR001"])) == {"RPR001"}
+
+
+def test_directory_walk_skips_corpus():
+    files = list(iter_python_files([str(Path(__file__).parent)]))
+    assert not any("lint_corpus" in str(f) for f in files)
+    assert any(f.name == "test_lint_engine.py" for f in files)
+
+
+def test_explicit_file_bypasses_excludes():
+    fixture = CORPUS / "rpr001_trigger.py"
+    files = list(iter_python_files([str(fixture)]))
+    assert files == [fixture]
+    assert "RPR001" in rule_ids(lint_paths([str(fixture)]))
+
+
+def test_render_text_format():
+    violations = [Violation(rule="RPR001", severity="error",
+                            path="x.py", line=3, col=4, message="boom")]
+    text = render_text(violations)
+    assert "x.py:3:4: error RPR001 boom" in text
+    assert "1 error(s), 0 warning(s)" in text
+
+
+def test_render_json_format():
+    violations = [Violation(rule="RPR002", severity="warning",
+                            path="y.py", line=1, col=0, message="m")]
+    payload = json.loads(render_json(violations))
+    assert payload["errors"] == 0
+    assert payload["warnings"] == 1
+    assert payload["violations"][0]["rule"] == "RPR002"
+    assert payload["violations"][0]["line"] == 1
+
+
+def test_exit_code_strict_promotes_warnings():
+    warning = [Violation(rule="RPR001", severity="warning", path="z.py",
+                         line=1, col=0, message="m")]
+    assert exit_code(warning) == 0
+    assert exit_code(warning, strict=True) == 1
+    assert exit_code([]) == 0
+    assert exit_code([], strict=True) == 0
+
+
+def test_violations_sorted_and_located():
+    source = (
+        "def b(n):\n"
+        "    return b(n - 1)\n"
+        "\n"
+        "def a(n):\n"
+        "    return a(n - 1)\n"
+    )
+    violations = lint_source(source, path="mod.py")
+    lines = [v.line for v in violations]
+    assert lines == sorted(lines)
+    assert all(v.path == "mod.py" for v in violations)

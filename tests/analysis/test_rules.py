@@ -1,0 +1,138 @@
+"""Rule corpus tests: every fixture triggers (or stays silent) exactly
+as designed, and the CLI exit codes agree."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "lint_corpus"
+
+
+def lint_fixture(name: str):
+    return lint_paths([str(CORPUS / name)])
+
+
+def rule_ids(violations) -> set[str]:
+    return {v.rule for v in violations}
+
+
+# -- trigger fixtures --------------------------------------------------
+
+@pytest.mark.parametrize("fixture,rule,count", [
+    ("rpr001_trigger.py", "RPR001", 3),   # walk, even, odd
+    ("rpr002_trigger.py", "RPR002", 2),   # Name call + Attribute call
+    ("rpr003_trigger.py", "RPR003", 4),   # direct + aliased, get + put
+    ("rpr004_trigger.py", "RPR004", 3),   # method call + both foreign
+                                          # operands of the free call
+    ("rpr005_trigger.py", "RPR005", 4),   # one per malformed signature
+])
+def test_trigger_fixture(fixture, rule, count):
+    violations = [v for v in lint_fixture(fixture) if v.rule == rule]
+    assert len(violations) == count, \
+        f"{fixture}: expected {count} {rule} findings, got " \
+        f"{[(v.line, v.message) for v in violations]}"
+    for violation in violations:
+        assert violation.line > 0
+        assert rule in violation.message or violation.message
+
+
+def test_kernel_pragma_escalates_to_error():
+    violations = lint_fixture("rpr001_trigger.py")
+    assert violations and all(v.severity == "error" for v in violations)
+
+
+def test_non_kernel_recursion_is_warning():
+    violations = lint_fixture("rpr001_warning.py")
+    assert rule_ids(violations) == {"RPR001"}
+    assert all(v.severity == "warning" for v in violations)
+
+
+def test_mutual_recursion_message_names_cycle():
+    violations = lint_fixture("rpr001_trigger.py")
+    mutual = [v for v in violations if "even" in v.message]
+    assert mutual
+    assert any("even -> odd" in v.message for v in mutual)
+
+
+# -- no-trigger fixtures -----------------------------------------------
+
+@pytest.mark.parametrize("fixture", [
+    "rpr001_ok.py",
+    "rpr002_ok.py",
+    "rpr003_ok.py",
+    "rpr004_ok.py",
+    "rpr005_ok.py",
+])
+def test_ok_fixture_is_clean(fixture):
+    violations = lint_fixture(fixture)
+    assert violations == [], \
+        f"{fixture}: unexpected {[(v.rule, v.line, v.message) for v in violations]}"
+
+
+# -- suppression fixtures ----------------------------------------------
+
+@pytest.mark.parametrize("fixture", [
+    "rpr001_suppressed.py",
+    "rpr002_suppressed.py",
+    "rpr003_suppressed.py",
+    "rpr004_suppressed.py",
+    "rpr005_suppressed.py",
+])
+def test_suppressed_fixture_is_clean(fixture):
+    assert lint_fixture(fixture) == []
+
+
+# -- the repository itself is clean ------------------------------------
+
+def test_repository_lints_clean():
+    root = Path(__file__).resolve().parents[2]
+    violations = lint_paths([str(root / "src"), str(root / "tests")])
+    assert violations == [], \
+        [(v.path, v.line, v.rule) for v in violations]
+
+
+# -- CLI integration ---------------------------------------------------
+
+def test_cli_lint_clean_tree_exits_zero(capsys):
+    root = Path(__file__).resolve().parents[2]
+    code = main(["lint", str(root / "src" / "repro" / "analysis")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_cli_lint_trigger_fixture_exits_nonzero(capsys):
+    code = main(["lint", str(CORPUS / "rpr002_trigger.py")])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RPR002" in out
+    assert "rpr002_trigger.py:6" in out
+
+
+def test_cli_lint_strict_promotes_warnings(capsys):
+    fixture = str(CORPUS / "rpr001_warning.py")
+    assert main(["lint", fixture]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--strict", fixture]) == 1
+
+
+def test_cli_lint_json_output(capsys):
+    import json
+    code = main(["lint", "--format", "json",
+                 str(CORPUS / "rpr005_trigger.py")])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["errors"] == 4
+    assert {v["rule"] for v in payload["violations"]} == {"RPR005"}
+
+
+def test_cli_lint_rule_selection(capsys):
+    fixture = str(CORPUS / "rpr001_trigger.py")
+    assert main(["lint", "--rules", "RPR002", fixture]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--rules", "RPR001", fixture]) == 1

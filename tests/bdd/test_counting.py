@@ -6,11 +6,11 @@ import math
 
 import pytest
 
-from repro.bdd import Manager, density, log2int, sat_count, shared_size
+from repro.bdd import Manager, density, log2int, shared_size
 from repro.bdd.counting import (distance_from_root, distance_to_one,
                                 height_map, minterm_count_map, path_count)
 
-from ..helpers import fresh_manager, random_function, truth_table
+from ..helpers import fresh_manager, truth_table
 
 
 class TestSatCount:

@@ -7,7 +7,7 @@ import pytest
 from repro.bdd import (Manager, dump, dumps_many, load, loads_many,
                        transfer)
 
-from ..helpers import fresh_manager, random_function
+from ..helpers import fresh_manager
 
 
 class TestDumpLoad:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.bdd import TERMINAL_LEVEL, Manager, Node
+from repro.bdd import TERMINAL_LEVEL, Manager
 
 
 class TestNode:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bdd.operations import apply_node, ite_node, leq_node
+from repro.bdd.operations import apply_node, leq_node
 
 from ..helpers import assert_equal_semantics, fresh_manager, truth_table
 

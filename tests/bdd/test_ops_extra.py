@@ -7,7 +7,7 @@ import pytest
 from repro.bdd import (Manager, conjoin_all, disjoin_all,
                        essential_variables, swap_variables)
 
-from ..helpers import fresh_manager, random_function
+from ..helpers import fresh_manager
 
 
 class TestNary:

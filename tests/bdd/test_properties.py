@@ -38,7 +38,9 @@ def exprs(depth: int = 4):
     return st.recursive(leaves, extend, max_leaves=12)
 
 
-def build(manager: Manager, expr) -> "Function":
+# Recursion depth is bounded by the hypothesis strategy's max_leaves,
+# not by BDD size.
+def build(manager: Manager, expr) -> "Function":  # repro-lint: disable=RPR001
     op = expr[0]
     if op == "var":
         return manager.var(expr[1])
@@ -55,7 +57,7 @@ def build(manager: Manager, expr) -> "Function":
     return a ^ b
 
 
-def evaluate(expr, env) -> bool:
+def evaluate(expr, env) -> bool:  # repro-lint: disable=RPR001
     op = expr[0]
     if op == "var":
         return env[expr[1]]

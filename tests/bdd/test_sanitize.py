@@ -1,0 +1,200 @@
+"""Mutation tests: the graph sanitizer must catch seeded corruptions.
+
+Each test corrupts one structural invariant of an otherwise healthy
+manager and asserts that ``debug_check`` reports a diagnostic from the
+matching check — the precision the CUDD ``Cudd_DebugCheck`` analogue
+promises.  Everything here carries ``no_sanitize``: the autouse
+teardown sweep would (correctly) blow up on the corpses these tests
+leave behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import Manager, SanitizerError
+from repro.bdd.node import Node
+from repro.bdd.sanitize import check_manager
+
+from ..helpers import fresh_manager
+
+pytestmark = pytest.mark.no_sanitize
+
+
+def build_sample():
+    manager, variables = fresh_manager(6)
+    a, b, c, d = variables[:4]
+    f = (a & b) | (c ^ d)
+    g = a.ite(b | c, ~d)
+    return manager, [f, g]
+
+
+def checks_of(manager) -> set[str]:
+    return {d.check for d in manager.debug_check(raise_on_error=False)}
+
+
+def internal_nodes(manager):
+    return [node for subtable in manager._subtables
+            for node in subtable.values()]
+
+
+def test_clean_manager_passes():
+    manager, _ = build_sample()
+    assert manager.debug_check() == []
+
+
+def test_clean_manager_passes_after_gc():
+    manager, functions = build_sample()
+    del functions
+    manager.collect_garbage()
+    assert manager.debug_check() == []
+
+
+def test_swapped_children_detected():
+    manager, _ = build_sample()
+    victim = max(internal_nodes(manager), key=lambda n: n.level)
+    victim.hi, victim.lo = victim.lo, victim.hi
+    found = checks_of(manager)
+    assert "key-sync" in found
+
+
+def test_redundant_node_detected():
+    manager, _ = build_sample()
+    victim = next(n for n in internal_nodes(manager)
+                  if not n.hi.is_terminal)
+    victim.lo = victim.hi
+    assert "redundant" in checks_of(manager)
+
+
+def test_ordering_violation_detected():
+    manager, _ = build_sample()
+    # Lift a node's level above one of its children.
+    victim = next(n for n in internal_nodes(manager)
+                  if not n.hi.is_terminal)
+    victim.level = victim.hi.level + 1
+    found = checks_of(manager)
+    assert "order" in found
+    assert "level-sync" in found  # it also sits in the wrong subtable
+
+
+def test_duplicate_triple_detected():
+    manager, _ = build_sample()
+    victim = internal_nodes(manager)[0]
+    # A second node with the same (level, hi, lo), smuggled into the
+    # subtable under a different key — duplicates break hash-consing.
+    clone = Node(victim.level, victim.hi, victim.lo)  # repro-lint: disable=RPR002
+    manager._subtables[victim.level][("dup", id(clone))] = clone
+    manager._num_nodes += 1
+    found = checks_of(manager)
+    assert "duplicate" in found
+    assert "key-sync" in found  # the smuggled key cannot match either
+
+
+def test_dangling_child_detected():
+    manager, _ = build_sample()
+    victim = next(n for n in internal_nodes(manager)
+                  if not n.lo.is_terminal)
+    # Point lo at a node that is not in any subtable.
+    orphan = Node(victim.lo.level, manager.one_node,  # repro-lint: disable=RPR002
+                  manager.zero_node)
+    victim.lo = orphan
+    assert "dangling" in checks_of(manager)
+
+
+def test_node_count_mismatch_detected():
+    manager, _ = build_sample()
+    manager._num_nodes += 3
+    assert "count" in checks_of(manager)
+
+
+def test_lost_refcount_detected():
+    manager, _ = build_sample()
+    victim = next(n for n in internal_nodes(manager)
+                  if not n.hi.is_terminal)
+    victim.hi.ref = 0
+    assert "refcount" in checks_of(manager)
+
+
+def test_stale_root_detected():
+    manager, functions = build_sample()
+    # Remove a root's node from the unique table behind the GC's back.
+    node = functions[0].node
+    assert not node.is_terminal
+    del manager._subtables[node.level][(node.hi, node.lo)]
+    manager._num_nodes -= 1
+    assert "root" in checks_of(manager)
+
+
+def test_dangling_cache_entry_detected():
+    manager, _ = build_sample()
+    ghost = Node(0, manager.one_node, manager.zero_node)  # repro-lint: disable=RPR002
+    manager.computed.insert("and", ("and", id(ghost)), ghost)
+    found = checks_of(manager)
+    assert "cache-dangling" in found
+    # The cache check can be disabled independently.
+    diagnostics = manager.debug_check(raise_on_error=False,
+                                      check_cache=False)
+    assert "cache-dangling" not in {d.check for d in diagnostics}
+
+
+def test_unregistered_cache_op_detected():
+    manager, _ = build_sample()
+    manager.computed.insert("frobnicate",  # repro-lint: disable=RPR003
+                            ("frobnicate", 1), manager.one_node)
+    assert "cache-op" in checks_of(manager)
+
+
+def test_debug_check_raises_with_diagnostics():
+    manager, _ = build_sample()
+    victim = internal_nodes(manager)[0]
+    victim.hi, victim.lo = victim.lo, victim.hi
+    with pytest.raises(SanitizerError) as excinfo:
+        manager.debug_check()
+    assert excinfo.value.diagnostics
+    assert "key-sync" in str(excinfo.value)
+
+
+def test_check_manager_is_pure():
+    """check_manager never mutates the graph it inspects."""
+    manager, _ = build_sample()
+    before = manager.stats.nodes
+    assert check_manager(manager) == []
+    assert manager.stats.nodes == before
+    assert manager.debug_check() == []
+
+
+def test_sanitize_env_arming(monkeypatch):
+    """REPRO_SANITIZE=1 makes GC raise on a corrupted graph."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    manager = Manager()
+    variables = [manager.add_var(f"x{i}") for i in range(4)]
+    f = variables[0] & variables[1]  # noqa: F841 - kept live
+    victim = next(n for subtable in manager._subtables
+                  for n in subtable.values())
+    victim.hi, victim.lo = victim.lo, victim.hi
+    with pytest.raises(SanitizerError):
+        manager.collect_garbage()
+
+
+def test_sanitize_env_safe_point(monkeypatch):
+    """Safe points sweep small managers when armed."""
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    monkeypatch.setenv("REPRO_SANITIZE_STRIDE", "1")
+    manager = Manager()
+    variables = [manager.add_var(f"x{i}") for i in range(4)]
+    victim = next(n for subtable in manager._subtables
+                  for n in subtable.values())
+    victim.hi, victim.lo = victim.lo, victim.hi
+    with pytest.raises(SanitizerError):
+        variables[2] & variables[3]
+
+
+def test_sanitize_env_disabled(monkeypatch):
+    """Without the env var, operations tolerate a corrupt graph."""
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    manager = Manager()
+    variables = [manager.add_var(f"x{i}") for i in range(4)]
+    victim = next(n for subtable in manager._subtables
+                  for n in subtable.values())
+    victim.hi, victim.lo = victim.lo, victim.hi
+    variables[2] & variables[3]  # no sweep, no raise

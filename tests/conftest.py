@@ -1,14 +1,66 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures, including the auto-armed graph sanitizer.
+
+Every test that builds a small manager (up to ``SANITIZE_NODE_CAP``
+live nodes) gets a free :meth:`~repro.bdd.manager.Manager.debug_check`
+sweep at teardown: ``Manager.__init__`` is wrapped for the duration of
+each test to track the instances it creates, and each surviving tracked
+manager is verified after the test body finishes.  Apply the
+``no_sanitize`` marker to opt a test out (e.g. tests that corrupt a
+manager on purpose).
+"""
 
 from __future__ import annotations
 
 import random
+import weakref
 
 import pytest
 
 from repro.bdd import Manager
 
 from .helpers import fresh_manager, random_function
+
+#: Managers above this many live nodes are skipped by the teardown
+#: sweep — full verification is linear in the graph, and huge stress
+#: managers would dominate suite wall-clock.
+SANITIZE_NODE_CAP = 5000
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_small_managers(request):
+    """Run debug_check over every small manager a test created."""
+    if request.node.get_closest_marker("no_sanitize"):
+        yield
+        return
+    tracked: list[weakref.ref[Manager]] = []
+    original_init = Manager.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        tracked.append(weakref.ref(self))
+
+    Manager.__init__ = tracking_init
+    try:
+        yield
+    finally:
+        Manager.__init__ = original_init
+    for ref in tracked:
+        manager = ref()
+        if manager is not None and len(manager) <= SANITIZE_NODE_CAP:
+            manager.debug_check()
+
+
+@pytest.fixture
+def sanitized_manager():
+    """A fresh 8-variable manager, debug_check-ed on teardown.
+
+    Unlike the autouse sweep this fixture verifies unconditionally —
+    use it when a test should fail loudly if it corrupts the graph,
+    regardless of size.
+    """
+    manager, variables = fresh_manager(8)
+    yield manager, variables
+    manager.debug_check()
 
 
 @pytest.fixture

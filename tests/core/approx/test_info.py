@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from repro.bdd import Manager
 from repro.core.approx.info import (analyze, child_flow, full_count,
                                     nodes_saved)
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bdd import Manager
 from repro.core.approx import safe_minimize
 from repro.core.approx.minimize import minimize_with_dont_cares
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bdd import Manager
 from repro.bdd.function import Function
@@ -10,7 +9,7 @@ from repro.core.approx import remap_over_approx, remap_under_approx
 from repro.core.approx.info import analyze
 from repro.core.approx.remap import build_result, mark_nodes
 
-from ...helpers import fresh_manager, random_function
+from ...helpers import fresh_manager
 
 
 class TestContract:

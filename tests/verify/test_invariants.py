@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.approx import remap_under_approx
 from repro.fsm import encode
