@@ -6,6 +6,9 @@ Public entry points:
 * :class:`Function` — operator-overloaded handles on BDDs.
 * :func:`constrain`, :func:`restrict` — generalized cofactors.
 * :mod:`repro.bdd.counting` — minterm counts, density, path profiles.
+* :mod:`repro.bdd.governor` — resource budgets (nodes, steps, wall
+  clock) with abortable kernels and clean unwind; armed through
+  :meth:`Manager.with_budget`.
 
 The raw-node layer (``manager.mk``, ``function.node``, the traversal and
 counting helpers) is a documented advanced API used by the approximation
@@ -17,6 +20,8 @@ from .counting import bdd_size, density, log2int, sat_count, shared_size
 from .dot import to_dot
 from .expr import ExprError, parse
 from .function import Function
+from .governor import (Budget, BudgetExceeded, DeadlineExceeded, Governor,
+                       InjectedAbort, ResourceError)
 from .io import dump, dumps_many, load, loads_many, transfer
 from .manager import Manager, ManagerStats
 from .node import TERMINAL_LEVEL, Node
@@ -33,6 +38,12 @@ __all__ = [
     "register_op",
     "Diagnostic",
     "SanitizerError",
+    "Budget",
+    "Governor",
+    "ResourceError",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "InjectedAbort",
     "Function",
     "Node",
     "TERMINAL_LEVEL",

@@ -39,6 +39,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .computed import CacheOpStats, ComputedTable
+from .governor import Budget, Governor
 from .node import Node, TERMINAL_LEVEL
 from .sanitize import (Diagnostic, SanitizerError, check_manager,
                        sanitize_enabled, sanitize_node_limit,
@@ -75,6 +76,22 @@ class ManagerStats:
     gc_reclaimed: int = 0
     #: variable reorderings run
     reorder_count: int = 0
+    #: governor aborts per op tag (budget/deadline/injected)
+    aborts: dict[str, int] = field(default_factory=dict)
+    #: degradation-ladder rungs taken, per kind (gc/subset/reorder/exact)
+    degradations: dict[str, int] = field(default_factory=dict)
+    #: highest live-node count observed while a budget was armed
+    budget_peak_nodes: int = 0
+    #: highest step count observed inside one armed budget window
+    budget_peak_steps: int = 0
+
+    @property
+    def total_aborts(self) -> int:
+        return sum(self.aborts.values())
+
+    @property
+    def total_degradations(self) -> int:
+        return sum(self.degradations.values())
 
     @property
     def cache_hits(self) -> int:
@@ -109,6 +126,10 @@ class ManagerStats:
             "gc_pause_max": self.gc_pause_max,
             "gc_reclaimed": self.gc_reclaimed,
             "reorder_count": self.reorder_count,
+            "aborts": dict(self.aborts),
+            "degradations": dict(self.degradations),
+            "budget_peak_nodes": self.budget_peak_nodes,
+            "budget_peak_steps": self.budget_peak_steps,
         }
 
 
@@ -172,6 +193,12 @@ class Manager:
         self._gc_pause_max = 0.0
         self._gc_reclaimed = 0
         self._gc_defer = 0
+        #: governor aborts per op tag, recorded by Governor.checkpoint
+        self._abort_counts: dict[str, int] = {}
+        #: degradation-ladder rungs taken, per kind
+        self._degradations: dict[str, int] = {}
+        #: per-manager resource governor (budgets, deadline, injection)
+        self.governor = Governor(self)
         # Safe points elapsed since the last REPRO_SANITIZE sweep.
         self._sanitize_tick = 0
         self._gc_threshold = gc_threshold
@@ -430,14 +457,54 @@ class Manager:
 
         Advanced API for algorithms that keep raw :class:`Node` refs
         across Function-level operations; nests freely.  A collection
-        postponed by the deferral runs at the next safe point after the
-        outermost block exits.
+        postponed by the deferral runs when the outermost block exits —
+        also when the body raises, so an aborted algorithm cannot leave
+        the manager with GC permanently wedged off.
         """
         self._gc_defer += 1
         try:
             yield self
         finally:
             self._gc_defer -= 1
+            if not self._gc_defer:
+                # The exit of the outermost deferral is a safe point:
+                # the raw nodes the block protected are out of scope (or
+                # rooted in Function handles by now).  Run the postponed
+                # collection rather than waiting for the next operation.
+                self.safe_point()
+
+    @contextmanager
+    def with_budget(self, *, node_budget: int | None = None,
+                    step_budget: int | None = None,
+                    deadline: float | None = None) -> "Iterator[Manager]":
+        """Enforce resource budgets on all kernels inside the block.
+
+        ``node_budget`` bounds live + fresh unique-table nodes,
+        ``step_budget`` bounds kernel loop steps inside the block, and
+        ``deadline`` is wall-clock seconds from entry.  A kernel that
+        trips a bound raises :class:`~repro.bdd.governor.BudgetExceeded`
+        or :class:`~repro.bdd.governor.DeadlineExceeded` and unwinds
+        cleanly — the manager stays consistent (``debug_check`` passes)
+        and the aborted operation can be re-run, under a larger budget
+        or none.  Nests: the inner budget wins while its block is
+        active; the outer one is restored on exit, body raising or not.
+        """
+        token = self.governor.arm(Budget(node_budget=node_budget,
+                                         step_budget=step_budget,
+                                         deadline=deadline))
+        try:
+            yield self
+        finally:
+            self.governor.restore(token)
+
+    def record_degradation(self, kind: str) -> None:
+        """Count a degradation-ladder rung taken on this manager.
+
+        ``kind`` names the rung (``gc``, ``subset``, ``reorder``,
+        ``exact``); the counters surface in :attr:`stats` and in
+        benchmark trajectory rows.
+        """
+        self._degradations[kind] = self._degradations.get(kind, 0) + 1
 
     def collect_garbage(self) -> int:
         """Remove nodes unreachable from live Function handles.
@@ -519,6 +586,10 @@ class Manager:
             gc_pause_max=self._gc_pause_max,
             gc_reclaimed=self._gc_reclaimed,
             reorder_count=self.reorder_count,
+            aborts=dict(self._abort_counts),
+            degradations=dict(self._degradations),
+            budget_peak_nodes=self.governor.budget_peak_nodes,
+            budget_peak_steps=self.governor.budget_peak_steps,
         )
 
     def reset_stats(self) -> None:
@@ -530,6 +601,9 @@ class Manager:
         self._gc_pause_total = 0.0
         self._gc_pause_max = 0.0
         self._gc_reclaimed = 0
+        self._abort_counts.clear()
+        self._degradations.clear()
+        self.governor.reset_stats()
 
     # ------------------------------------------------------------------
     # Convenience forwarding (implemented in sibling modules)

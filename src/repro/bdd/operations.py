@@ -21,11 +21,18 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .governor import CHECK_STRIDE
 from .manager import Manager
 from .node import Node
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .computed import ComputedTable
+
+#: Strided-checkpoint mask: kernels tally loop iterations in a local
+#: counter and call the governor checkpoint when ``ticks & _MASK == 0``
+#: (every CHECK_STRIDE-th iteration; the stride is a power of two so the
+#: hot-loop test is a single AND).
+_MASK = CHECK_STRIDE - 1
 
 #: Truth tables of the supported binary operators, as
 #: (op(0,0), op(0,1), op(1,0), op(1,1)).
@@ -75,12 +82,17 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
     mk = manager.mk
 
     commutative = op in _COMMUTATIVE
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, g)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("apply")
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f, g = frame[1], frame[2]
@@ -147,11 +159,17 @@ def not_node(manager: Manager, f: Node) -> Node:
     cache_put = manager.computed.insert
     mk = manager.mk
 
+    check = manager.governor.checkpoint
+    ticks = 0
+
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("not")
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]
@@ -187,11 +205,17 @@ def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
     cache_put = manager.computed.insert
     mk = manager.mk
 
+    check = manager.governor.checkpoint
+    ticks = 0
+
     stack: list[tuple] = [(_EXPAND, f, g, h)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("ite")
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f, g, h = frame[1], frame[2], frame[3]
@@ -271,12 +295,17 @@ def leq_node(manager: Manager, f: Node, g: Node,
     if cache is None:
         cache = _ManagerLeqCache(manager.computed)
     cache_get = cache.get
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, g)]
     push = stack.append
     values: list[bool] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("leq")
         frame = stack.pop()
         tag = frame[0]
         if tag == _EXPAND:
@@ -322,11 +351,17 @@ def cofactor_node(manager: Manager, f: Node,
     cache_put = manager.computed.insert
     mk = manager.mk
 
+    check = manager.governor.checkpoint
+    ticks = 0
+
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("cof")
         frame = stack.pop()
         tag = frame[0]
         if tag == _EXPAND:
@@ -379,11 +414,17 @@ def vector_compose_node(manager: Manager, f: Node,
     cache_put = manager.computed.insert
     mk = manager.mk
 
+    check = manager.governor.checkpoint
+    ticks = 0
+
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("vcomp")
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]

@@ -15,9 +15,13 @@ deep BDDs never hits the interpreter recursion limit.
 
 from __future__ import annotations
 
+from .governor import CHECK_STRIDE
 from .manager import Manager
 from .node import Node
 from .operations import apply_node
+
+# Strided-checkpoint mask (see repro.bdd.operations).
+_MASK = CHECK_STRIDE - 1
 
 # Frame tags of the explicit-stack traversals (same scheme as
 # repro.bdd.operations; see docs/algorithms.md, "Iterative kernels").
@@ -46,12 +50,17 @@ def _quantify(manager: Manager, f: Node, levels: frozenset[int],
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
     mk = manager.mk
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check(tag)
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]
@@ -89,12 +98,17 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
     mk = manager.mk
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, g)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("andex")
         frame = stack.pop()
         tag = frame[0]
         if tag == _EXPAND:

@@ -23,9 +23,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from .governor import CHECK_STRIDE
 from .manager import Manager
 from .node import Node
 from .quantify import exists_node
+
+# Strided-checkpoint mask (see repro.bdd.operations).
+_MASK = CHECK_STRIDE - 1
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .function import Function
@@ -41,12 +45,17 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
     mk = manager.mk
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, c)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("constrain")
         frame = stack.pop()
         tag = frame[0]
         if tag == _EXPAND:
@@ -106,12 +115,17 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
     mk = manager.mk
+    check = manager.governor.checkpoint
+    ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, c)]
     push = stack.append
     values: list[Node] = []
     emit = values.append
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("restrict")
         frame = stack.pop()
         tag = frame[0]
         if tag == _EXPAND:

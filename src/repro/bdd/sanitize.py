@@ -12,8 +12,10 @@ invariant the algorithms assume:
 * **dangling arcs** — every child of a table node is a terminal of this
   manager or itself present in its subtable;
 * **computed-table hygiene** — every cached entry references only live
-  nodes and carries a registered op tag
-  (:data:`~repro.bdd.computed.REGISTERED_OPS`);
+  nodes, carries a registered op tag
+  (:data:`~repro.bdd.computed.REGISTERED_OPS`), and holds a completed
+  result (never ``None`` — kernels must not leave in-progress markers
+  behind, in particular not across a governor abort);
 * **bookkeeping** — the node counter matches the subtables, every live
   GC root is present, and no node's structural reference count is
   below a fresh parent-arc recount.
@@ -255,6 +257,14 @@ def check_manager(manager: "Manager",
     # -- computed table ------------------------------------------------
     if check_cache:
         for op, key, result in manager.computed.entries():
+            if result is None:
+                # lookup() signals a miss with None, so a None result is
+                # unreachable garbage — and the signature of a kernel
+                # that parked an in-progress marker and aborted.
+                report(Diagnostic(
+                    "cache-incomplete",
+                    f"computed-table entry for op {op!r} key {key!r} "
+                    f"holds None instead of a completed result"))
             if op != "?" and op not in REGISTERED_OPS:
                 report(Diagnostic(
                     "cache-op",

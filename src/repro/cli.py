@@ -35,14 +35,24 @@ prints the :attr:`~repro.bdd.manager.Manager.stats` snapshot after the
 command body, and ``--jobs`` (or ``REPRO_BENCH_JOBS``) fans per-function
 work of ``approx``/``decomp`` over the parallel experiment engine —
 each worker process re-reads the circuit and rebuilds its own BDDs.
+
+Resource governor options (also shared): ``--node-budget``,
+``--step-budget`` and ``--deadline`` arm a :class:`~repro.bdd.governor.
+Budget` on the manager for the whole command; a kernel crossing a
+budget aborts cleanly and the command exits with status 3.  ``reach``
+additionally accepts ``--on-blowup raise|subset|retry-reorder`` to
+degrade blowing-up image computations through the
+:mod:`repro.reach.degrade` escalation ladder instead of failing.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 
 from .bdd.counting import density
+from .bdd.governor import Budget, ResourceError
 from .core.approx import UNDER_APPROXIMATORS
 from .core.decomp import DECOMPOSERS, decompose
 from .fsm.blif import read_blif
@@ -51,6 +61,7 @@ from .harness.engine import Task, resolve_jobs, run_tasks
 from .harness.tables import format_manager_stats, format_table
 from .harness.trajectory import compare_files
 from .reach.bfs import bfs_reachability, count_states
+from .reach.degrade import ON_BLOWUP_MODES
 from .reach.highdensity import high_density_reachability
 from .reach.transition import TransitionRelation
 
@@ -65,6 +76,13 @@ def _load(args):
             manager.set_cache_limit(args.cache_limit)
         if getattr(args, "gc_threshold", None) is not None:
             manager.gc_threshold = args.gc_threshold
+        budget = Budget(node_budget=getattr(args, "node_budget", None),
+                        step_budget=getattr(args, "step_budget", None),
+                        deadline=getattr(args, "deadline", None))
+        if not budget.unbounded:
+            # Armed for the process lifetime: CLI commands are one-shot,
+            # so there is no enclosing scope to restore the budget to.
+            manager.governor.arm(budget)
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
     return circuit, encoded
@@ -94,16 +112,25 @@ def cmd_info(args) -> int:
 
 def cmd_reach(args) -> int:
     circuit, encoded = _load(args)
-    tr = TransitionRelation(encoded, cluster_limit=args.cluster_limit)
-    init = encoded.initial_states()
+    # Under a degradation policy the budget governs the traversal: the
+    # escalation ladder has no recovery for an abort during setup
+    # (clustering, initial states), so setup runs unbudgeted.
+    setup = nullcontext() if args.on_blowup == "raise" \
+        else encoded.manager.governor.suspended()
+    with setup:
+        tr = TransitionRelation(encoded,
+                                cluster_limit=args.cluster_limit)
+        init = encoded.initial_states()
     if args.method == "bfs":
         result = bfs_reachability(tr, init,
-                                  max_iterations=args.max_iterations)
+                                  max_iterations=args.max_iterations,
+                                  on_blowup=args.on_blowup)
     else:
         subset = UNDER_APPROXIMATORS[args.method]
         result = high_density_reachability(
             tr, init, subset, threshold=args.threshold,
-            max_iterations=args.max_iterations)
+            max_iterations=args.max_iterations,
+            on_blowup=args.on_blowup)
     states = count_states(result.reached, encoded.state_vars)
     print(f"method:     {args.method}")
     print(f"iterations: {result.iterations}")
@@ -111,6 +138,10 @@ def cmd_reach(args) -> int:
     print(f"states:     {states}")
     print(f"|reached|:  {len(result.reached)} nodes")
     print(f"time:       {result.seconds:.2f}s")
+    stats = encoded.manager.stats
+    if stats.total_aborts or stats.total_degradations:
+        print(f"governor:   {stats.total_aborts} abort(s), "
+              f"{stats.total_degradations} degradation(s)")
     _finish(args, encoded)
     return 0
 
@@ -135,12 +166,16 @@ def _rebuild_function(payload):
     reconstructs its slice from the (path, kind, name) spec — the same
     rebuild model the benchmark population uses.
     """
-    path, kind, name, cache_limit, gc_threshold = payload
+    path, kind, name, cache_limit, gc_threshold, node_budget, \
+        step_budget = payload
     encoded = encode(read_blif(path))
     if cache_limit is not None:
         encoded.manager.set_cache_limit(cache_limit)
     if gc_threshold is not None:
         encoded.manager.gc_threshold = gc_threshold
+    budget = Budget(node_budget=node_budget, step_budget=step_budget)
+    if not budget.unbounded:
+        encoded.manager.governor.arm(budget)
     if kind == "delta":
         f = dict(zip(encoded.state_vars, encoded.next_functions))[name]
     else:
@@ -202,7 +237,8 @@ def cmd_approx(args) -> int:
         results, failures = _fan_out(
             args, _approx_worker, [(k, n) for k, n, _ in selected],
             lambda kind, name: ((args.circuit, kind, name,
-                                 args.cache_limit, args.gc_threshold),
+                                 args.cache_limit, args.gc_threshold,
+                                 args.node_budget, args.step_budget),
                                 tuple(methods), args.threshold))
         rows = []
         for kind, name, f in selected:
@@ -241,7 +277,8 @@ def cmd_decomp(args) -> int:
         results, failures = _fan_out(
             args, _decomp_worker, [(k, n) for k, n, _ in selected],
             lambda kind, name: (args.circuit, kind, name,
-                                args.cache_limit, args.gc_threshold))
+                                args.cache_limit, args.gc_threshold,
+                                args.node_budget, args.step_budget))
         rows = []
         for kind, name, f in selected:
             result = results.get(f"{kind}:{name}")
@@ -330,6 +367,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes for per-function fan-out "
                               "(default: REPRO_BENCH_JOBS or 1; <=0 "
                               "means all cores)")
+    runtime.add_argument("--node-budget", type=int, default=None,
+                         help="abort any kernel once the manager holds "
+                              "more live nodes than this (default: "
+                              "unbounded)")
+    runtime.add_argument("--step-budget", type=int, default=None,
+                         help="abort after this many kernel operation "
+                              "steps (default: unbounded)")
+    runtime.add_argument("--deadline", type=float, default=None,
+                         help="wall-clock budget in seconds for the "
+                              "whole command's kernel work (default: "
+                              "unbounded)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_info = sub.add_parser("info", parents=[runtime],
@@ -346,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="subsetting threshold (high-density)")
     p_reach.add_argument("--max-iterations", type=int, default=None)
     p_reach.add_argument("--cluster-limit", type=int, default=2500)
+    p_reach.add_argument("--on-blowup", default="raise",
+                         choices=list(ON_BLOWUP_MODES),
+                         help="reaction to governor aborts during the "
+                              "traversal: fail (raise), degrade to "
+                              "subsetted images (subset), or sift then "
+                              "retry (retry-reorder)")
     p_reach.set_defaults(func=cmd_reach)
 
     p_approx = sub.add_parser("approx", parents=[runtime],
@@ -365,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_decomp.set_defaults(func=cmd_decomp)
 
     p_lint = sub.add_parser(
-        "lint", help="run the BDD-aware static rules (RPR001..RPR005)")
+        "lint", help="run the BDD-aware static rules (RPR001..RPR006)")
     p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directory trees to lint "
                              "(default: src tests)")
@@ -403,7 +457,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ResourceError as exc:
+        # A governor abort escaped the command body (no --on-blowup
+        # degradation applies, e.g. `approx --node-budget`).  The
+        # kernels unwound cleanly; report the budget and exit 3 so
+        # scripts can tell "over budget" from ordinary failures.
+        print(f"repro: resource budget exhausted: {exc}",
+              file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

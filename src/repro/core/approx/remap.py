@@ -24,9 +24,13 @@ from dataclasses import dataclass
 from fractions import Fraction
 
 from ...bdd.function import Function
+from ...bdd.governor import CHECK_STRIDE
 from ...bdd.manager import Manager
 from ...bdd.node import Node
 from ...bdd.operations import leq_node
+
+# Strided governor-checkpoint mask (see repro.bdd.operations).
+_MASK = CHECK_STRIDE - 1
 from .info import (REPLACE_GRANDCHILD, REPLACE_REMAP, REPLACE_ZERO,
                    ApproxInfo, add_flow, analyze, apply_death, child_flow,
                    nodes_saved)
@@ -114,7 +118,12 @@ def mark_nodes(manager: Manager, root: Node, info: ApproxInfo,
     info.flow[root] = 1 << root.level
     enqueue(root)
     done = False
+    check = manager.governor.checkpoint
+    ticks = 0
     while queue:
+        ticks += 1
+        if not ticks & _MASK:
+            check("remap")
         _, _, node = heapq.heappop(queue)
         if node in info.dead:
             continue
@@ -270,9 +279,14 @@ def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
     status_of = info.status
     zero = manager.zero_node
 
+    check = manager.governor.checkpoint
+    ticks = 0
     stack: list[tuple[int, Node]] = [(0, root)]
     values: list[Node] = []
     while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("remap")
         flag, node = stack.pop()
         if flag == 0:
             if node.is_terminal:

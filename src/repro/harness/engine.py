@@ -22,7 +22,13 @@ parent
   sentinel), and
 * grants a **bounded retry** (``retries`` extra attempts) before the
   row is marked failed; the failing payload's key stays in the result
-  set either way, so a sweep never silently drops rows.
+  set either way, so a sweep never silently drops rows, and
+* records in-process **governor aborts**
+  (:class:`~repro.bdd.governor.ResourceError`: node/step budget or
+  deadline exceeded inside a kernel) as typed ``budget`` failure rows
+  *without* retrying — a deterministic blow-up re-runs identically, so
+  retries would only burn the bounded attempts that crash/timeout rows
+  need.
 
 Concurrency is selected with ``jobs`` (or the ``REPRO_BENCH_JOBS``
 environment variable, see :func:`resolve_jobs`).  With ``jobs=1`` and no
@@ -41,6 +47,8 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 from multiprocessing.connection import wait as _wait_connections
 
+from ..bdd.governor import ResourceError
+
 __all__ = [
     "Task",
     "TaskOutcome",
@@ -54,6 +62,9 @@ OK = "ok"
 ERROR = "error"
 TIMEOUT = "timeout"
 CRASHED = "crashed"
+#: An in-process governor abort (BudgetExceeded/DeadlineExceeded).
+#: Deterministic, so never retried — see `run_tasks`.
+BUDGET = "budget"
 
 
 @dataclass(frozen=True)
@@ -163,7 +174,10 @@ def run_tasks(worker: Callable[[object], object],
         enforceable.
     retries:
         Extra attempts granted to a failing task before its row is
-        marked failed.
+        marked failed.  Budget rows (a governor
+        :class:`~repro.bdd.governor.ResourceError` escaping the worker)
+        are exempt: the abort is deterministic, so the row settles as
+        ``budget`` on the first attempt.
     start_method:
         Multiprocessing start method; default prefers ``fork`` (workers
         inherit the parent's imported modules, so worker callables
@@ -195,6 +209,13 @@ def _run_inline(worker, task: Task, retries: int) -> TaskOutcome:
         begin = time.perf_counter()
         try:
             result = worker(task.payload)
+        except ResourceError as exc:
+            # Deterministic in-process abort: re-running would blow the
+            # same budget again, so settle without consuming retries.
+            return TaskOutcome(
+                key=task.key, status=BUDGET,
+                seconds=time.perf_counter() - begin, attempts=attempt,
+                error=_format_exception(exc))
         except Exception as exc:
             outcome = TaskOutcome(
                 key=task.key, status=ERROR,
@@ -229,6 +250,9 @@ def _worker_main(worker, conn) -> None:
         try:
             result = worker(item)
             message = (OK, result, time.perf_counter() - begin, None)
+        except ResourceError as exc:
+            message = (BUDGET, None, time.perf_counter() - begin,
+                       _format_exception(exc))
         except BaseException as exc:
             message = (ERROR, None, time.perf_counter() - begin,
                        _format_exception(exc))
@@ -315,10 +339,15 @@ def _run_pool(worker, tasks: Sequence[Task], *, jobs: int,
 
     def settle(w: _Worker, status: str, *, result=None, seconds=None,
                error=None) -> None:
-        """Record one attempt's outcome, or requeue it for a retry."""
+        """Record one attempt's outcome, or requeue it for a retry.
+
+        Budget rows never requeue: a governor abort is deterministic
+        (same payload, same budget, same abort), unlike the transient
+        failures — crash, timeout — the bounded retry exists for.
+        """
         index, attempt = w.index, w.attempt
         w.index = None
-        if status != OK and attempt <= retries:
+        if status not in (OK, BUDGET) and attempt <= retries:
             pending.append((index, attempt + 1))
             return
         outcomes[index] = TaskOutcome(

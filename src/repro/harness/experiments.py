@@ -16,6 +16,8 @@ paths share one implementation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from ..bdd.counting import shared_size
 from ..core.approx import (bdd_under_approx, c1, c2, heavy_branch_subset,
                            remap_under_approx, short_paths_subset)
@@ -52,7 +54,8 @@ def _aggregate_stats(entries) -> dict:
     """Merge the manager snapshots behind a slice into one plain dict."""
     merged = {"managers": 0, "nodes": 0, "peak_nodes": 0,
               "cache_hits": 0, "cache_misses": 0, "cache_evictions": 0,
-              "gc_count": 0, "gc_reclaimed": 0, "gc_pause_total": 0.0}
+              "gc_count": 0, "gc_reclaimed": 0, "gc_pause_total": 0.0,
+              "aborts": 0, "degradations": 0}
     for manager in _entry_managers(entries).values():
         stats = manager.stats
         merged["managers"] += 1
@@ -64,6 +67,8 @@ def _aggregate_stats(entries) -> dict:
         merged["gc_count"] += stats.gc_count
         merged["gc_reclaimed"] += stats.gc_reclaimed
         merged["gc_pause_total"] += stats.gc_pause_total
+        merged["aborts"] += stats.total_aborts
+        merged["degradations"] += stats.total_degradations
     return merged
 
 
@@ -180,11 +185,20 @@ def reachability_row(payload) -> dict:
     ``deadline``
         wall-clock budget in seconds for the traversal itself (a BFS
         run over budget reports ``traverse_seconds: None`` — the
-        paper's ">2 weeks" entries — instead of failing the task).
+        paper's ">2 weeks" entries — instead of failing the task),
+    ``node_budget``, ``step_budget``
+        optional governor budgets armed (``Manager.with_budget``)
+        around the traversal,
+    ``on_blowup``
+        reaction to governor aborts (default ``"raise"``, in which case
+        the abort escapes and the engine records a typed ``budget``
+        failure row; ``"subset"``/``"retry-reorder"`` degrade through
+        the escalation ladder and the row completes normally).
 
     The row's ``traverse_seconds`` is the paper-table number; the
     engine separately reports whole-task seconds including the circuit
-    rebuild.
+    rebuild.  ``aborts``/``degradations`` count governor events during
+    the run (0 on unbudgeted runs).
     """
     circuit = make_circuit(payload["factory"], tuple(payload["args"]))
     encoded = encode(circuit)
@@ -198,14 +212,27 @@ def reachability_row(payload) -> dict:
         "ff": circuit.num_latches,
     }
     deadline = payload.get("deadline")
+    on_blowup = payload.get("on_blowup", "raise")
+    node_budget = payload.get("node_budget")
+    step_budget = payload.get("step_budget")
+    if node_budget is None and step_budget is None:
+        budget = nullcontext()
+    else:
+        budget = encoded.manager.with_budget(node_budget=node_budget,
+                                             step_budget=step_budget)
     if method == "bfs":
         try:
-            result = bfs_reachability(tr, init, deadline=deadline)
+            with budget:
+                result = bfs_reachability(tr, init, deadline=deadline,
+                                          on_blowup=on_blowup)
         except TraversalLimit:
+            stats = encoded.manager.stats
             row.update(states=None, traverse_seconds=None,
                        iterations=None, complete=False,
-                       peak_nodes=encoded.manager.stats.peak_nodes,
-                       manager_stats=encoded.manager.stats.as_dict())
+                       peak_nodes=stats.peak_nodes,
+                       aborts=stats.total_aborts,
+                       degradations=stats.total_degradations,
+                       manager_stats=stats.as_dict())
             return row
     else:
         threshold = payload.get("threshold", 0)
@@ -225,16 +252,20 @@ def reachability_row(payload) -> dict:
             policy = PartialImagePolicy(subset=subset,
                                         trigger=pimg[0],
                                         threshold=pimg[1])
-        result = high_density_reachability(
-            tr, init, subset, threshold=threshold, partial=policy,
-            deadline=deadline)
+        with budget:
+            result = high_density_reachability(
+                tr, init, subset, threshold=threshold, partial=policy,
+                deadline=deadline, on_blowup=on_blowup)
+    stats = encoded.manager.stats
     row.update(
         states=count_states(result.reached, encoded.state_vars),
         traverse_seconds=round(result.seconds, 3),
         iterations=result.iterations,
         complete=bool(result.complete),
         reached_nodes=len(result.reached),
-        peak_nodes=encoded.manager.stats.peak_nodes,
-        manager_stats=encoded.manager.stats.as_dict(),
+        peak_nodes=stats.peak_nodes,
+        aborts=stats.total_aborts,
+        degradations=stats.total_degradations,
+        manager_stats=stats.as_dict(),
     )
     return row

@@ -38,7 +38,7 @@ def format_manager_stats(stats) -> str:
     cache = format_table(["op", "hits", "misses", "evict", "rate"],
                          rows, title="computed table")
     limit = "unbounded" if stats.cache_limit is None else stats.cache_limit
-    summary = "\n".join([
+    lines = [
         f"cache entries:   {stats.cache_size} (limit: {limit})",
         f"live nodes:      {stats.nodes} (peak: {stats.peak_nodes})",
         f"gc:              {stats.gc_count} runs, "
@@ -46,8 +46,13 @@ def format_manager_stats(stats) -> str:
         f"{stats.gc_pause_total * 1e3:.1f}ms total "
         f"({stats.gc_pause_max * 1e3:.1f}ms max pause)",
         f"reorders:        {stats.reorder_count}",
-    ])
-    return cache + "\n" + summary
+    ]
+    aborts = getattr(stats, "total_aborts", 0)
+    degradations = getattr(stats, "total_degradations", 0)
+    if aborts or degradations:
+        lines.append(f"governor:        {aborts} aborts, "
+                     f"{degradations} degradations")
+    return cache + "\n" + "\n".join(lines)
 
 
 def _fmt(value: object) -> str:

@@ -31,6 +31,10 @@ int / str / bool / None fields
     Deterministic results (node counts, minterm counts, state counts,
     statuses).  Compared for exact equality — any difference is a
     *mismatch* and fails the comparison.
+``aborts`` / ``degradations``
+    Optional governor counters (a schema-compatible addition): compared
+    exactly when both files carry them, skipped against baselines
+    written before the fields existed.
 other floats and nested objects
     Informational (timings inside manager stats etc.); ignored by the
     comparator.
@@ -159,6 +163,12 @@ def failure_rows(run) -> list[dict]:
 #: Row fields never compared (metadata and known-noisy values).
 _IGNORED_FIELDS = frozenset({"seconds", "manager_stats"})
 
+#: Optional row fields: compared exactly when both sides carry them,
+#: skipped when either side predates the field.  Lets newer runs add
+#: counters (governor aborts, degradation events) without invalidating
+#: every committed baseline.
+_OPTIONAL_FIELDS = frozenset({"aborts", "degradations"})
+
 
 @dataclass
 class RowDelta:
@@ -263,6 +273,9 @@ def compare(baseline: dict, current: dict, *, tolerance: float = 1.5,
                     cur_s > tolerance * base_s
         for name in sorted(set(base) | set(cur)):
             if name == "key" or name in _IGNORED_FIELDS:
+                continue
+            if name in _OPTIONAL_FIELDS and (name not in base
+                                             or name not in cur):
                 continue
             base_v, cur_v = base.get(name), cur.get(name)
             if not (_comparable(base_v) and _comparable(cur_v)):

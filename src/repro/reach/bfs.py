@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 
 from ..bdd.function import Function
 from ..bdd.manager import ManagerStats
+from .degrade import Subsetter, governed_image, shield, validate_on_blowup
 from .transition import TransitionRelation
 
 
@@ -43,21 +44,53 @@ def count_states(reached: Function, state_vars: list[str]) -> int:
 def bfs_reachability(tr: TransitionRelation, init: Function,
                      max_iterations: int | None = None,
                      node_limit: int | None = None,
-                     deadline: float | None = None) -> ReachResult:
+                     deadline: float | None = None, *,
+                     on_blowup: str = "raise",
+                     subset: Subsetter | None = None,
+                     subset_threshold: int = 0) -> ReachResult:
     """Classic breadth-first fixpoint: reached = lfp(init | image).
 
     Raises :class:`TraversalLimit` if a frontier or the reached set
     exceeds ``node_limit`` nodes or the wall-clock ``deadline`` (in
     seconds) passes — the stand-in for the paper's memory-exhausted and
     ">2 weeks" entries.
+
+    ``on_blowup`` selects the reaction to a *governor* abort (armed via
+    :meth:`Manager.with_budget`): ``"raise"`` (default) propagates it;
+    ``"subset"``/``"retry-reorder"`` climb the escalation ladder of
+    :mod:`repro.reach.degrade` — a budget-busting image retries on a
+    dense under-approximation of the frontier (``subset``, default RUA,
+    at ``subset_threshold``).  Frontiers degraded that way may miss
+    successors, so before accepting a fixpoint the traversal runs exact
+    recovery images of the reached set; the final reached set is exact
+    either way.
     """
+    validate_on_blowup(on_blowup)
     start = time.perf_counter()
     reached = init
     frontier = init
     iterations = 0
+    degraded = False
     size_trace: list[int] = [len(reached)]
     frontier_trace: list[int] = [len(frontier)]
-    while not frontier.is_false:
+    while True:
+        if frontier.is_false:
+            if not degraded:
+                break
+            # Subsetted frontiers may have missed successors: confirm
+            # the fixpoint with an exact image of the reached set
+            # (allow_subset=False — approximating the recovery image
+            # could falsely conclude convergence).
+            image, _ = governed_image(tr, reached, on_blowup=on_blowup,
+                                      allow_subset=False)
+            with shield(reached, on_blowup):
+                frontier = image - reached
+                if frontier.is_false:
+                    break
+                reached = reached | frontier
+            degraded = False
+            size_trace.append(len(reached))
+            frontier_trace.append(len(frontier))
         if max_iterations is not None and iterations >= max_iterations:
             return ReachResult(reached=reached, iterations=iterations,
                                size_trace=size_trace,
@@ -65,9 +98,14 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                                seconds=time.perf_counter() - start,
                                complete=False,
                                manager_stats=reached.manager.stats)
-        image = tr.image(frontier)
-        frontier = image - reached
-        reached = reached | frontier
+        image, exact = governed_image(tr, frontier, on_blowup=on_blowup,
+                                      subset=subset,
+                                      threshold=subset_threshold)
+        if not exact:
+            degraded = True
+        with shield(frontier, on_blowup):
+            frontier = image - reached
+            reached = reached | frontier
         iterations += 1
         size_trace.append(len(reached))
         frontier_trace.append(len(frontier))

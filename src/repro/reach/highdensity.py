@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from ..bdd.counting import density
 from ..bdd.function import Function
 from .bfs import ReachResult, TraversalLimit
+from .degrade import governed_image, shield, validate_on_blowup
 from .transition import PartialImagePolicy, TransitionRelation
 
 #: An under-approximation procedure fn(f, *, threshold=0) -> subset of
@@ -48,7 +49,8 @@ def high_density_reachability(
         partial: PartialImagePolicy | None = None,
         max_iterations: int | None = None,
         node_limit: int | None = None,
-        deadline: float | None = None) -> HighDensityResult:
+        deadline: float | None = None,
+        on_blowup: str = "raise") -> HighDensityResult:
     """High-density traversal computing the exact reachable set.
 
     Parameters
@@ -61,7 +63,15 @@ def high_density_reachability(
         Size threshold handed to ``subset`` (the paper's "Th" column).
     partial:
         Optional partial-image subsetting policy (the "PImg" column).
+    on_blowup:
+        Reaction to governor aborts (budgets armed via
+        :meth:`Manager.with_budget`): ``"raise"`` propagates them;
+        ``"subset"``/``"retry-reorder"`` degrade blowing-up images
+        through the :mod:`repro.reach.degrade` escalation ladder using
+        this traversal's own ``subset``/``threshold``.  Recovery images
+        never subset, so the final reached set stays exact.
     """
+    validate_on_blowup(on_blowup)
     start = time.perf_counter()
     reached = init
     new = init
@@ -74,27 +84,35 @@ def high_density_reachability(
     while True:
         if new.is_false:
             # Dense frontiers dried out: recover dropped states with one
-            # exact image of the reached set.
-            image = tr.image(reached)
-            new = image - reached
-            if new.is_false:
-                break
-            recoveries += 1
-            reached = reached | new
+            # exact image of the reached set (never subsetted — an
+            # approximate recovery image could falsely conclude the
+            # fixpoint was reached).
+            image, _ = governed_image(tr, reached, on_blowup=on_blowup,
+                                      allow_subset=False)
+            with shield(reached, on_blowup):
+                new = image - reached
+                if new.is_false:
+                    break
+                recoveries += 1
+                reached = reached | new
         if max_iterations is not None and iterations >= max_iterations:
             return _result(reached, iterations, size_trace,
                            frontier_trace, densities, recoveries,
                            start, complete=False)
-        frontier = subset(new, threshold=threshold)
+        with shield(new, on_blowup):
+            frontier = subset(new, threshold=threshold)
         if frontier.is_false:
             # Degenerate subset: fall back to the full new set so the
             # traversal always makes progress.
             frontier = new
         frontier_trace.append(len(frontier))
         densities.append(density(frontier))
-        image = tr.image(frontier, partial=partial)
-        new = image - reached
-        reached = reached | new
+        image, _exact = governed_image(tr, frontier, on_blowup=on_blowup,
+                                       subset=subset, threshold=threshold,
+                                       partial=partial)
+        with shield(frontier, on_blowup):
+            new = image - reached
+            reached = reached | new
         iterations += 1
         size_trace.append(len(reached))
         if node_limit is not None and \

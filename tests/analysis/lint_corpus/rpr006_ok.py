@@ -1,0 +1,28 @@
+"""RPR006 no-trigger: checkpointed loops, aliased and direct."""
+# repro-lint: governed
+
+_MASK = 63
+
+
+def mark(manager, root):
+    check = manager.governor.checkpoint
+    ticks = 0
+    stack = [root]
+    seen = set()
+    while stack:
+        ticks += 1
+        if not ticks & _MASK:
+            check("mark")
+        seen.add(stack.pop())
+    return seen
+
+
+def drain(manager, work):
+    ticks = 0
+    total = 0
+    while work:
+        ticks += 1
+        if not ticks & _MASK:
+            manager.governor.checkpoint("drain")
+        total += work.pop()
+    return total

@@ -1,0 +1,8 @@
+"""RPR006 suppressed: a deliberately unabortable bounded loop."""
+# repro-lint: governed
+
+
+def pop_all(manager, work):
+    while work:  # repro-lint: disable=RPR006
+        work.pop()
+    return work

@@ -1,0 +1,20 @@
+"""RPR006 trigger: governed kernel loops without a checkpoint."""
+# repro-lint: governed
+
+
+def mark(manager, root):
+    stack = [root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+    return seen
+
+
+def drain(manager, work):
+    total = 0
+    while work:
+        total += work.pop()
+    return total

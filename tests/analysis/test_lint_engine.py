@@ -18,7 +18,7 @@ def rule_ids(violations) -> set[str]:
 
 def test_all_rules_registered():
     assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004",
-                          "RPR005"}
+                          "RPR005", "RPR006"}
     for rule in RULES.values():
         assert rule.severity in ("warning", "error")
         assert rule.description

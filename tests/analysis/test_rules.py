@@ -30,6 +30,7 @@ def rule_ids(violations) -> set[str]:
     ("rpr004_trigger.py", "RPR004", 3),   # method call + both foreign
                                           # operands of the free call
     ("rpr005_trigger.py", "RPR005", 4),   # one per malformed signature
+    ("rpr006_trigger.py", "RPR006", 2),   # both uncheckpointed loops
 ])
 def test_trigger_fixture(fixture, rule, count):
     violations = [v for v in lint_fixture(fixture) if v.rule == rule]
@@ -67,6 +68,7 @@ def test_mutual_recursion_message_names_cycle():
     "rpr003_ok.py",
     "rpr004_ok.py",
     "rpr005_ok.py",
+    "rpr006_ok.py",
 ])
 def test_ok_fixture_is_clean(fixture):
     violations = lint_fixture(fixture)
@@ -82,6 +84,7 @@ def test_ok_fixture_is_clean(fixture):
     "rpr003_suppressed.py",
     "rpr004_suppressed.py",
     "rpr005_suppressed.py",
+    "rpr006_suppressed.py",
 ])
 def test_suppressed_fixture_is_clean(fixture):
     assert lint_fixture(fixture) == []

@@ -137,6 +137,15 @@ def test_dangling_cache_entry_detected():
     assert "cache-dangling" not in {d.check for d in diagnostics}
 
 
+def test_incomplete_cache_entry_detected():
+    # A None result is the signature of a kernel that parked an
+    # in-progress marker and aborted — the clean-unwind contract
+    # (docs/robustness.md) forbids it surviving a governor abort.
+    manager, _ = build_sample()
+    manager.computed.insert("and", ("and", 1, 2), None)
+    assert "cache-incomplete" in checks_of(manager)
+
+
 def test_unregistered_cache_op_detected():
     manager, _ = build_sample()
     manager.computed.insert("frobnicate",  # repro-lint: disable=RPR003

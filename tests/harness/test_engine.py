@@ -7,8 +7,9 @@ import time
 
 import pytest
 
-from repro.harness.engine import (CRASHED, ERROR, OK, TIMEOUT, Task,
-                                  resolve_jobs, run_tasks)
+from repro.bdd import Budget, BudgetExceeded, Manager
+from repro.harness.engine import (BUDGET, CRASHED, ERROR, OK, TIMEOUT,
+                                  Task, resolve_jobs, run_tasks)
 from repro.harness.experiments import (reachability_row,
                                        simple_approx_rows)
 from repro.harness.population import EntrySpec
@@ -49,6 +50,22 @@ def succeed_after_flag(payload):
     with open(flag, "w") as fh:
         fh.write("attempted")
     raise RuntimeError("first attempt fails")
+
+
+def blow_budget(payload):
+    """Records the attempt in a sentinel file, then blows a real
+    governor budget inside a kernel.  The "ok" payload succeeds."""
+    if payload == "ok":
+        return "ok"
+    with open(payload, "a") as fh:
+        fh.write("attempt\n")
+    manager = Manager()
+    xs = manager.add_vars(*[f"x{i}" for i in range(48)])
+    f = xs[0]
+    manager.governor.arm(Budget(step_budget=1))
+    for i in range(1, 48):
+        f = f ^ xs[i]          # enough kernel steps to hit a checkpoint
+    return "unreachable"
 
 
 class TestResolveJobs:
@@ -147,6 +164,42 @@ class TestFaultIsolation:
         outcome = run.outcomes[0]
         assert outcome.status == ERROR
         assert outcome.attempts == 3
+
+
+class TestBudgetOutcome:
+    """Governor aborts are deterministic and must never be retried."""
+
+    def test_direct_worker_raises(self, tmp_path):
+        # The worker really does blow a kernel budget (sanity check
+        # that the engine tests below exercise the real path).
+        with pytest.raises(BudgetExceeded):
+            blow_budget(str(tmp_path / "flag"))
+
+    def test_inline_budget_not_retried(self, tmp_path):
+        flag = tmp_path / "flag"
+        run = run_tasks(blow_budget, [Task("t", str(flag))], jobs=1,
+                        retries=3)
+        outcome = run.outcomes[0]
+        assert outcome.status == BUDGET
+        assert outcome.attempts == 1
+        assert "step budget" in outcome.error
+        # The sentinel proves the worker ran exactly once.
+        assert flag.read_text() == "attempt\n"
+        assert run.failures == [outcome]
+
+    def test_pool_budget_not_retried(self, tmp_path):
+        flag = tmp_path / "flag"
+        run = run_tasks(blow_budget,
+                        [Task("t", str(flag)), Task("ok", "ok")],
+                        jobs=2, retries=3)
+        by_key = {o.key: o for o in run.outcomes}
+        assert by_key["t"].status == BUDGET
+        assert by_key["t"].attempts == 1
+        assert "step budget" in by_key["t"].error
+        assert flag.read_text() == "attempt\n"
+        # A budget abort is an ordinary failure for siblings: the other
+        # task still completes.
+        assert by_key["ok"].status == OK
 
 
 def crash_or_square(payload):

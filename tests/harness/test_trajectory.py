@@ -118,6 +118,22 @@ class TestCompare:
         assert report.added == ["c"]
         assert not report.ok
 
+    def test_optional_governor_counters_skipped_when_absent(self):
+        # Baselines written before the governor existed carry no
+        # aborts/degradations fields; rows with the counters must still
+        # compare clean against them — in either direction.
+        old = [{"key": "a", "nodes": 5}]
+        new = [{"key": "a", "nodes": 5, "aborts": 3, "degradations": 1}]
+        assert compare(payload_with(old), payload_with(new)).ok
+        assert compare(payload_with(new), payload_with(old)).ok
+
+    def test_optional_governor_counters_compared_when_present(self):
+        base = [{"key": "a", "aborts": 0, "degradations": 0}]
+        cur = [{"key": "a", "aborts": 2, "degradations": 0}]
+        report = compare(payload_with(base), payload_with(cur))
+        assert not report.ok
+        assert report.mismatched[0].mismatches == {"aborts": (0, 2)}
+
     def test_floats_and_manager_stats_ignored(self):
         base = [{"key": "a", "density": 0.5,
                  "manager_stats": {"nodes": 1}}]
