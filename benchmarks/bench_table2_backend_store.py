@@ -1,0 +1,145 @@
+"""Table 2 companion: ObjectStore vs ArrayStore on store workloads.
+
+Times the same two store-level workloads on both node-store backends
+and records the array-over-object speedup:
+
+``chain-10k``
+    a 10,000-level single-path chain — the deep, sparse shape from the
+    stress suite — built bottom-up and then put through repeated
+    whole-graph reclamation cycles against an offset garbage chain.
+``dense-dnf``
+    a wide 22-variable random structure (~30k nodes) with layered
+    garbage regrown over the survivors between collection cycles.
+
+Both workloads drive the public :class:`~repro.bdd.backend.NodeStore`
+surface only (``add_level`` / ``mk`` / ``collect``), i.e. exactly the
+boundary the pluggable-backend API defines: bulk allocation,
+unique-table hits, and mark/sweep reclamation.  The flat store's win
+comes from its columnar layout — GC sweeps the ``array('q')`` columns
+with zero-copy numpy scans instead of walking per-node Python objects
+(see ``docs/backends.md``).
+
+Rows land in ``BENCH_table2_backends.json``; the committed copy under
+``benchmarks/`` is the CI baseline.  Node counts are exact-compared
+across runs (and asserted equal across backends in-process), wall
+clocks are ratio-gated, and the recorded ``speedup`` float is
+informational.
+
+Run:  pytest benchmarks/bench_table2_backend_store.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.bdd.arraystore import VECTOR_SWEEP
+from repro.bdd.backend import create_store
+
+CHAIN_LEVELS = 10_000
+CHAIN_GC_ROUNDS = 12
+DNF_VARS = 22
+DNF_WIDTH = 3_000
+DNF_GC_ROUNDS = 10
+DNF_SEED = 7
+#: best-of runs per (workload, backend) pair
+REPS = 3
+#: acceptance floor for the array-over-object speedup
+MIN_SPEEDUP = 1.3
+
+
+def chain_workload(backend: str) -> int:
+    store = create_store(backend)
+    for i in range(CHAIN_LEVELS):
+        store.add_level(i)
+    node = store.one
+    for level in reversed(range(CHAIN_LEVELS)):
+        node = store.mk(level, node, store.zero)
+    roots = [node]
+    for round_ in range(CHAIN_GC_ROUNDS):
+        # Churn: an offset chain sharing no nodes with the kept one.
+        g = store.zero
+        for level in reversed(range(round_ % 7, CHAIN_LEVELS, 2)):
+            g = store.mk(level, store.one, g)
+        store.collect(roots)
+    return store.num_nodes
+
+
+def dnf_workload(backend: str) -> int:
+    store = create_store(backend)
+    for i in range(DNF_VARS):
+        store.add_level(i)
+    rng = random.Random(DNF_SEED)
+    level_of = store.level_of
+
+    def grow(pool, per_level):
+        for level in reversed(range(DNF_VARS)):
+            below = [p for p in pool if level_of(p) > level]
+            fresh = []
+            for _ in range(min(per_level, 3 * len(below))):
+                hi = rng.choice(below)
+                lo = rng.choice(below)
+                if hi != lo:
+                    fresh.append(store.mk(level, hi, lo))
+            pool = fresh + pool[:200]
+        return pool
+
+    roots = grow([store.zero, store.one], DNF_WIDTH)[:100]
+    for _ in range(DNF_GC_ROUNDS):
+        grow(list(roots), DNF_WIDTH // 4)  # garbage over the survivors
+        store.collect(roots)
+    return store.num_nodes
+
+
+WORKLOADS = (("chain-10k", chain_workload), ("dense-dnf", dnf_workload))
+
+
+def timed(workload, backend: str) -> tuple[float, int]:
+    best, nodes = float("inf"), 0
+    for _ in range(REPS):
+        start = time.perf_counter()
+        nodes = workload(backend)
+        best = min(best, time.perf_counter() - start)
+    return best, nodes
+
+
+def run_all() -> dict:
+    return {name: {backend: timed(fn, backend)
+                   for backend in ("object", "array")}
+            for name, fn in WORKLOADS}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_backend_store(benchmark, bench_writer):
+    if not VECTOR_SWEEP:
+        pytest.skip("numpy unavailable: the array store falls back to "
+                    "the portable GC sweep and the speedup claim does "
+                    "not apply")
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows, speedups = [], {}
+    print()
+    for name, per_backend in results.items():
+        obj_seconds, obj_nodes = per_backend["object"]
+        arr_seconds, arr_nodes = per_backend["array"]
+        assert obj_nodes == arr_nodes, \
+            f"{name}: backends disagree on surviving nodes"
+        speedups[name] = obj_seconds / arr_seconds
+        rows.append({"key": f"{name}/object", "backend": "object",
+                     "nodes": obj_nodes,
+                     "seconds": round(obj_seconds, 3)})
+        rows.append({"key": f"{name}/array", "backend": "array",
+                     "nodes": arr_nodes,
+                     "seconds": round(arr_seconds, 3),
+                     "speedup": round(speedups[name], 2)})
+        print(f"{name}: object={obj_seconds:.3f}s "
+              f"array={arr_seconds:.3f}s "
+              f"speedup={speedups[name]:.2f}x")
+    # Persist before asserting so a dip still leaves a trajectory to
+    # diagnose from.
+    bench_writer("table2_backends", rows)
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, \
+            f"{name}: array store only {speedup:.2f}x faster " \
+            f"(need >= {MIN_SPEEDUP}x)"

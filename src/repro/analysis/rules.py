@@ -11,9 +11,13 @@ RPR001
     helpers.
 RPR002
     ``Node`` objects may only be constructed by the unique table
-    (``manager.py``/``node.py``).  A node built anywhere else bypasses
-    hash-consing and breaks canonicity — the silent-wrong-results
-    failure mode the sanitizer exists for.
+    (the node-store modules ``backend.py``/``node.py``, plus
+    ``manager.py``).  A node built anywhere else bypasses hash-consing
+    and breaks canonicity — the silent-wrong-results failure mode the
+    sanitizer exists for.  The same applies to the node-store backends
+    themselves: ``ObjectStore``/``ArrayStore`` must be created through
+    :func:`repro.bdd.backend.create_store` (or ``Manager(backend=...)``)
+    so the registry stays the single construction point.
 RPR003
     Computed-table inserts/lookups must use a registered op tag
     (:data:`repro.bdd.computed.REGISTERED_OPS`), keeping per-op cache
@@ -65,11 +69,19 @@ KERNEL_MODULE_SUFFIXES = (
 )
 
 #: Modules allowed to construct Node objects directly: the unique table
-#: itself and the node definition.
+#: implementations and the node definition.
 NODE_FACTORY_SUFFIXES = (
     "repro/bdd/manager.py",
     "repro/bdd/node.py",
+    "repro/bdd/backend.py",
+    "repro/bdd/arraystore.py",
 )
+
+#: Node-store classes that must only be constructed by the backend
+#: registry (:func:`repro.bdd.backend.create_store`); a store built
+#: anywhere else escapes backend selection and the Manager's
+#: bookkeeping.
+STORE_CLASS_NAMES = ("ObjectStore", "ArrayStore")
 
 
 def _path_matches(path: str, suffixes: tuple[str, ...]) -> bool:
@@ -225,8 +237,10 @@ def check_no_kernel_recursion(ctx: FileContext) -> Iterator[Violation]:
 
 @register_rule(
     "RPR002", "no-direct-node-construction", "error",
-    "Direct Node(...) construction outside manager.py/node.py bypasses "
-    "the unique table and breaks canonicity; use Manager.mk().")
+    "Direct Node(...) construction outside the node-store modules "
+    "bypasses the unique table and breaks canonicity (use "
+    "Manager.mk()); direct ObjectStore/ArrayStore construction "
+    "bypasses the backend registry (use create_store()).")
 def check_no_direct_node(ctx: FileContext) -> Iterator[Violation]:
     if _path_matches(ctx.path, NODE_FACTORY_SUFFIXES):
         return
@@ -234,13 +248,19 @@ def check_no_direct_node(ctx: FileContext) -> Iterator[Violation]:
         if not isinstance(node, ast.Call):
             continue
         func = node.func
-        named_node = (isinstance(func, ast.Name) and func.id == "Node") \
-            or (isinstance(func, ast.Attribute) and func.attr == "Node")
-        if named_node:
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        if name == "Node":
             yield ctx.violation(
                 "RPR002", node,
                 "direct Node construction bypasses the unique table; "
                 "use Manager.mk(level, hi, lo)")
+        elif name in STORE_CLASS_NAMES:
+            yield ctx.violation(
+                "RPR002", node,
+                f"direct {name} construction bypasses the backend "
+                f"registry; use repro.bdd.backend.create_store() or "
+                f"Manager(backend=...)")
 
 
 # ----------------------------------------------------------------------

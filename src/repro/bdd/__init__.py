@@ -11,10 +11,16 @@ Public entry points:
   :meth:`Manager.with_budget`.
 
 The raw-node layer (``manager.mk``, ``function.node``, the traversal and
-counting helpers) is a documented advanced API used by the approximation
-and decomposition algorithms in :mod:`repro.core`.
+counting helpers) is an *internal* advanced API used by the
+approximation and decomposition algorithms in :mod:`repro.core`.  It
+manipulates opaque node handles owned by the manager's node store —
+see :mod:`repro.bdd.backend` (``docs/backends.md``) for the store
+protocol and the available backends (``object`` and ``array``).
 """
 
+from .arraystore import ArrayStore
+from .backend import (BACKENDS, DEFAULT_BACKEND, NodeStore, ObjectStore,
+                      create_store, resolve_backend)
 from .computed import CacheOpStats, ComputedTable, register_op
 from .counting import bdd_size, density, log2int, sat_count, shared_size
 from .dot import to_dot
@@ -33,6 +39,13 @@ from .sanitize import Diagnostic, SanitizerError
 __all__ = [
     "Manager",
     "ManagerStats",
+    "NodeStore",
+    "ObjectStore",
+    "ArrayStore",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "create_store",
+    "resolve_backend",
     "ComputedTable",
     "CacheOpStats",
     "register_op",

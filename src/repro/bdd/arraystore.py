@@ -1,0 +1,428 @@
+"""Flat array-backed node store: struct-of-arrays over ``array('q')``.
+
+Handles are plain ``int`` node ids.  Ids 0 and 1 are the FALSE/TRUE
+terminals; internal nodes start at id 2.  The four node fields live in
+parallel signed 64-bit columns::
+
+    _level[id]   physical level (TERMINAL_LEVEL for terminals,
+                 FREE_LEVEL for recycled slots)
+    _hi[id]      id of the hi child (-1 for terminals)
+    _lo[id]      id of the lo child (-1 for terminals)
+    _ref[id]     structural reference count
+
+The unique table is one ``dict[int, int]`` per level mapping the packed
+child pair ``(hi << 32) | lo`` to the node id — Python dicts hash small
+ints essentially for free, which stands in for the open-addressed table
+of a C implementation while keeping collision handling out of our
+hands.  The packing assumes ids stay below 2**32 (4 billion nodes —
+far past what this interpreter-bound code can hold in memory).
+
+Swept slots go on a free list and are recycled by later ``mk`` calls,
+so the columns never need compaction.  Recycling is sound because the
+manager clears the computed table and metric caches at every point a
+slot can be freed (garbage collection and adjacent-level swaps); a
+stale id can therefore never be confused with its new occupant.  Freed
+slots carry the ``FREE_LEVEL`` sentinel, so dereferencing a stale
+handle fails the ``mk`` level check instead of silently mixing nodes.
+
+Compared with :class:`~repro.bdd.backend.ObjectStore` this trades
+per-node Python objects (56+ bytes, pointer chasing, refcount traffic
+on every access) for 32 bytes across four C arrays and int arithmetic
+— see ``docs/backends.md`` for the measured difference.  When numpy is
+importable, garbage collection additionally sweeps the columns with
+zero-copy vectorized scans (``_sweep_vectorized``); a pure-Python
+fallback keeps the store dependency-free.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Callable, Iterable, Iterator
+from functools import partial
+from operator import gt
+from typing import Any
+
+from .backend import NodeStore
+from .node import TERMINAL_LEVEL
+
+try:  # Optional: vectorized GC sweep over the columns (see collect).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None  # type: ignore[assignment]
+
+__all__ = ["ArrayStore", "FREE_LEVEL", "VECTOR_SWEEP"]
+
+#: Level sentinel stored in recycled slots; no valid level is negative,
+#: so any structural check on a stale handle fails fast.
+FREE_LEVEL = -1
+
+#: True when garbage collection uses the numpy column scans; False on
+#: interpreters without numpy (the portable sweep takes over).
+VECTOR_SWEEP = _np is not None
+
+_LO_MASK = (1 << 32) - 1
+
+
+class ArrayStore(NodeStore):
+    """Struct-of-arrays node store with integer handles."""
+
+    name = "array"
+    # Cache keys mix node ids with op tags and plain ints (levels,
+    # frozensets of levels); the store cannot tell which ints are
+    # handles, so the sanitizer's cache-liveness sweep is skipped.
+    # Sound because the computed table is cleared wholesale whenever
+    # ids can be recycled.
+    checks_cache_liveness = False
+
+    def __init__(self) -> None:
+        self.zero = 0
+        self.one = 1
+        self._level = array("q", (TERMINAL_LEVEL, TERMINAL_LEVEL))
+        self._hi = array("q", (-1, -1))
+        self._lo = array("q", (-1, -1))
+        # Terminals are permanent: one artificial reference each.
+        self._ref = array("q", (1, 1))
+        #: tables[level] maps (hi << 32) | lo -> node id
+        self._tables: list[dict[int, int]] = []
+        self._free: list[int] = []
+        self._count = 0
+        self._peak = 0
+        # Hot accessors: bound C-level array subscript (stable across
+        # appends — the array object itself never changes).
+        self.level_of = self._level.__getitem__
+        self.hi_of = self._hi.__getitem__
+        self.lo_of = self._lo.__getitem__
+        self.ref_of = self._ref.__getitem__
+        # partial(gt, 2)(h) == (2 > h): terminal test without a Python
+        # frame, and a TypeError (not a silent truthy NotImplemented)
+        # on a non-int handle.
+        self.is_terminal = partial(gt, 2)
+        self.key_of = int
+
+    # -- node construction and lookup ----------------------------------
+
+    def mk(self, level: int, hi: int, lo: int) -> int:
+        if hi == lo:
+            return hi
+        table = self._tables[level]
+        key = (hi << 32) | lo
+        node = table.get(key, -1)
+        if node >= 0:
+            # A hit implies valid children: a live node's children are
+            # below its level by construction and kept live by the ref
+            # counts, so the level check below could never fire here —
+            # skipping it keeps the hot path to one dict probe.
+            return node
+        levels = self._level
+        if levels[hi] <= level or levels[lo] <= level:
+            raise ValueError("children must be below the node level")
+        if self._free:
+            node = self._free.pop()
+            levels[node] = level
+            self._hi[node] = hi
+            self._lo[node] = lo
+            self._ref[node] = 0
+        else:
+            node = len(levels)
+            levels.append(level)
+            self._hi.append(hi)
+            self._lo.append(lo)
+            self._ref.append(0)
+        self._ref[hi] += 1
+        self._ref[lo] += 1
+        table[key] = node
+        self._count += 1
+        if self._count > self._peak:
+            self._peak = self._count
+        return node
+
+    def find(self, level: int, hi: int, lo: int) -> int | None:
+        if hi == lo:
+            return hi
+        return self._tables[level].get((hi << 32) | lo)
+
+    def value_of(self, handle: int) -> int | None:
+        return handle if handle < 2 else None
+
+    # -- size accounting -----------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._count
+
+    @property
+    def peak_nodes(self) -> int:
+        return self._peak
+
+    @property
+    def num_levels(self) -> int:
+        return len(self._tables)
+
+    def level_sizes(self) -> list[int]:
+        return [len(t) for t in self._tables]
+
+    def add_level(self, level: int) -> None:
+        self._tables.insert(level, {})
+
+    # -- iteration -----------------------------------------------------
+
+    def iter_nodes(self) -> Iterator[int]:
+        for table in self._tables:
+            yield from table.values()
+
+    def iter_table(self) -> Iterator[tuple[int, int, int, int]]:
+        for level, table in enumerate(self._tables):
+            for key, node in table.items():
+                yield level, key >> 32, key & _LO_MASK, node
+
+    def is_live(self, handle: Any) -> bool:
+        if not isinstance(handle, int) \
+                or not 0 <= handle < len(self._level):
+            return False
+        if handle < 2:
+            return True
+        level = self._level[handle]
+        if not 0 <= level < len(self._tables):
+            return False
+        key = (self._hi[handle] << 32) | self._lo[handle]
+        return self._tables[level].get(key, -1) == handle
+
+    # -- garbage collection and reordering -----------------------------
+
+    def collect(self, roots: Iterable[int]) -> int:
+        roots = list(roots)
+        hi_col, lo_col = self._hi, self._lo
+        # Dense int ids let the mark set be a flat byte map — O(1)
+        # unhashed probes, no per-entry allocation.  Object stores
+        # cannot do this; it is one of the structural wins of the flat
+        # layout (docs/backends.md).
+        marked = bytearray(len(self._level))
+        stack = [root for root in roots if root >= 2]
+        while stack:
+            node = stack.pop()
+            if marked[node]:
+                continue
+            marked[node] = 1
+            hi = hi_col[node]
+            if hi >= 2 and not marked[hi]:
+                stack.append(hi)
+            lo = lo_col[node]
+            if lo >= 2 and not marked[lo]:
+                stack.append(lo)
+        if _np is not None:
+            reclaimed = self._sweep_vectorized(marked, roots)
+        else:
+            reclaimed = self._sweep_portable(marked)
+            self._recount_refs(roots)
+        self._count -= reclaimed
+        return reclaimed
+
+    def _sweep_vectorized(self, marked: bytearray,
+                          roots: list[int]) -> int:
+        """Dead-slot sweep and ref recount as C-speed column scans.
+
+        ``numpy.frombuffer`` gives zero-copy int64 views over the
+        ``array('q')`` columns, so finding dead slots is one boolean
+        scan and the reference recount is two ``bincount`` histograms —
+        both proportional work that an object graph has to do one
+        attribute access at a time.  The views are function-local:
+        nothing appends to the columns while they exist (appending
+        would raise ``BufferError`` on an exporting array).
+        """
+        n = len(self._level)
+        level_np = _np.frombuffer(self._level, dtype=_np.int64)
+        hi_np = _np.frombuffer(self._hi, dtype=_np.int64)
+        lo_np = _np.frombuffer(self._lo, dtype=_np.int64)
+        ref_np = _np.frombuffer(self._ref, dtype=_np.int64)
+        live = level_np >= 0  # terminals carry TERMINAL_LEVEL >= 0
+        live[:2] = False
+        marked_np = _np.frombuffer(marked, dtype=_np.uint8) != 0
+        dead_ids = _np.nonzero(live & ~marked_np)[0]
+        survivors = _np.nonzero(live & marked_np)[0]
+        levels, hi_col, lo_col = self._level, self._hi, self._lo
+        tables = self._tables
+        for node in dead_ids.tolist():
+            # Packed keys are arbitrary-precision Python ints; rebuild
+            # them outside numpy so an id past 2**31 cannot wrap the
+            # signed-64-bit shift.
+            del tables[levels[node]][(hi_col[node] << 32)
+                                     | lo_col[node]]
+        level_np[dead_ids] = FREE_LEVEL
+        self._free.extend(dead_ids.tolist())
+        counts = _np.bincount(hi_np[survivors], minlength=n)
+        counts += _np.bincount(lo_np[survivors], minlength=n)
+        ref_np[:] = counts
+        ref = self._ref
+        for root in roots:
+            ref[root] += 1
+        ref[0] += 1
+        ref[1] += 1
+        return len(dead_ids)
+
+    def _sweep_portable(self, marked: bytearray) -> int:
+        """Pure-Python dead-slot sweep (no-numpy fallback)."""
+        reclaimed = 0
+        levels = self._level
+        free = self._free
+        for table in self._tables:
+            dead = [key for key, node in table.items()
+                    if not marked[node]]
+            for key in dead:
+                node = table.pop(key)
+                levels[node] = FREE_LEVEL
+                free.append(node)
+                reclaimed += 1
+        return reclaimed
+
+    def _recount_refs(self, roots: list[int]) -> None:
+        """Recompute structural reference counts from scratch."""
+        ref = self._ref
+        # Zero the whole column in one C-level copy (a memset, in
+        # effect) instead of a Python loop over every slot.
+        ref[:] = array("q", bytes(ref.itemsize * len(ref)))
+        hi_col, lo_col = self._hi, self._lo
+        for table in self._tables:
+            for node in table.values():
+                ref[hi_col[node]] += 1
+                ref[lo_col[node]] += 1
+        for root in roots:
+            ref[root] += 1
+        ref[0] += 1
+        ref[1] += 1
+
+    def swap_adjacent(self, level: int) -> None:
+        upper = self._tables[level]
+        lower = self._tables[level + 1]
+        levels, hi_col, lo_col, ref = \
+            self._level, self._hi, self._lo, self._ref
+
+        # Phase 1: classify the upper-level nodes before touching
+        # anything.
+        dependent: list[tuple[int, ...]] = []
+        independent: list[int] = []
+        for node in list(upper.values()):
+            hi, lo = hi_col[node], lo_col[node]
+            if levels[hi] == level + 1 or levels[lo] == level + 1:
+                if levels[hi] == level + 1:
+                    f11, f10 = hi_col[hi], lo_col[hi]
+                else:
+                    f11 = f10 = hi
+                if levels[lo] == level + 1:
+                    f01, f00 = hi_col[lo], lo_col[lo]
+                else:
+                    f01 = f00 = lo
+                dependent.append((node, hi, lo, f11, f10, f01, f00))
+            else:
+                independent.append(node)
+
+        # Phase 2: relabel.  Lower-level nodes rise to `level`;
+        # independent upper nodes sink to `level + 1`.  Table keys are
+        # child pairs, unchanged by relabelling.
+        risen = list(lower.values())
+        upper.clear()
+        lower.clear()
+        for node in risen:
+            levels[node] = level
+            upper[(hi_col[node] << 32) | lo_col[node]] = node
+        for node in independent:
+            levels[node] = level + 1
+            lower[(hi_col[node] << 32) | lo_col[node]] = node
+
+        # Phase 3: rewrite dependent nodes in place.
+        maybe_dead: list[int] = []
+        for node, old_hi, old_lo, f11, f10, f01, f00 in dependent:
+            new_hi = self.mk(level + 1, f11, f01)
+            new_lo = self.mk(level + 1, f10, f00)
+            ref[new_hi] += 1
+            ref[new_lo] += 1
+            ref[old_hi] -= 1
+            ref[old_lo] -= 1
+            maybe_dead.append(old_hi)
+            maybe_dead.append(old_lo)
+            hi_col[node] = new_hi
+            lo_col[node] = new_lo
+            upper[(new_hi << 32) | new_lo] = node
+
+        # Phase 4: reclaim nodes orphaned by the rewrites.
+        for node in maybe_dead:
+            self._reclaim(node)
+
+    def _reclaim(self, node: int) -> None:
+        """Free ``node`` and recursively its orphaned descendants."""
+        levels, hi_col, lo_col, ref = \
+            self._level, self._hi, self._lo, self._ref
+        stack = [node]
+        while stack:
+            node = stack.pop()
+            if node < 2 or ref[node]:
+                continue
+            level = levels[node]
+            if level < 0:
+                # Already reclaimed via another parent.
+                continue
+            table = self._tables[level]
+            key = (hi_col[node] << 32) | lo_col[node]
+            if table.get(key, -1) != node:
+                continue
+            del table[key]
+            self._count -= 1
+            levels[node] = FREE_LEVEL
+            self._free.append(node)
+            hi, lo = hi_col[node], lo_col[node]
+            ref[hi] -= 1
+            ref[lo] -= 1
+            stack.append(hi)
+            stack.append(lo)
+
+    # -- sanitizer support ---------------------------------------------
+
+    def describe(self, handle: object) -> str:
+        if not isinstance(handle, int):
+            return f"non-handle {handle!r}"
+        if handle < 2:
+            return f"terminal {handle}"
+        if 0 <= handle < len(self._level):
+            return f"id {handle} L{self._level[handle]}"
+        return f"id {handle} (out of range)"
+
+    def check(self, report: Callable[[str, str], None]) -> None:
+        n = len(self._level)
+        if not len(self._hi) == len(self._lo) == len(self._ref) == n:
+            report("table",
+                   f"column length mismatch: level={n} "
+                   f"hi={len(self._hi)} lo={len(self._lo)} "
+                   f"ref={len(self._ref)}")
+            return
+        for terminal in (0, 1):
+            if self._level[terminal] != TERMINAL_LEVEL \
+                    or self._hi[terminal] != -1 \
+                    or self._lo[terminal] != -1:
+                report("terminal",
+                       f"terminal {terminal} corrupted: "
+                       f"level={self._level[terminal]} "
+                       f"hi={self._hi[terminal]} "
+                       f"lo={self._lo[terminal]}")
+        for slot in self._free:
+            if not 2 <= slot < n:
+                report("table", f"free-list id {slot} out of range")
+            elif self._level[slot] != FREE_LEVEL:
+                report("table",
+                       f"free-list id {slot} has live level "
+                       f"{self._level[slot]}")
+        # Every allocated slot is either a terminal, free, or in the
+        # unique table at its recorded level.
+        in_free = set(self._free)
+        for slot in range(2, n):
+            if self._level[slot] == FREE_LEVEL:
+                if slot not in in_free:
+                    report("table",
+                           f"id {slot} freed but not on the free list")
+            elif not self.is_live(slot):
+                report("table",
+                       f"id {slot} allocated but absent from the "
+                       f"unique table")
+
+    def cache_handles(self, value: Any) -> Iterator[int]:
+        # Integer handles are indistinguishable from other ints inside
+        # cache keys; see ``checks_cache_liveness``.
+        return iter(())

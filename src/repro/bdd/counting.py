@@ -3,37 +3,42 @@
 Minterm counts are exact Python integers (the paper's experiments report
 counts around 1e45, far beyond doubles).  ``density`` is the paper's
 ranking measure  delta(g) = ||g|| / |g|  (Section 2).
+
+Node-level functions take the node store first and manipulate opaque
+handles; the Function-level entry points (:func:`sat_count`,
+:func:`density`) keep their original signatures.
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
-from .node import Node
 from .traversal import collect_nodes, nodes_by_level
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backend import NodeStore
     from .function import Function
 
 #: Distance value meaning "no path".
 INFINITY = math.inf
 
 
-def bdd_size(root: Node) -> int:
+def bdd_size(store: "NodeStore", root: Any) -> int:
     """Number of internal nodes — the paper's ``|f|``."""
-    return len(collect_nodes(root))
+    return len(collect_nodes(store, root))
 
 
-def shared_size(roots: list[Node]) -> int:
+def shared_size(store: "NodeStore", roots: list[Any]) -> int:
     """Number of distinct internal nodes among several functions."""
-    seen: set[Node] = set()
+    seen: set[Any] = set()
     for root in roots:
-        seen.update(collect_nodes(root))
+        seen.update(collect_nodes(store, root))
     return len(seen)
 
 
-def minterm_count_map(root: Node, nvars: int) -> dict[Node, int]:
+def minterm_count_map(store: "NodeStore", root: Any,
+                      nvars: int) -> dict[Any, int]:
     """Exact minterm count of the function rooted at each node.
 
     The count at node ``v`` is over the variables at levels
@@ -42,37 +47,45 @@ def minterm_count_map(root: Node, nvars: int) -> dict[Node, int]:
     *analyze* pass records.  Terminals count over zero variables:
     ONE -> 1, ZERO -> 0.
     """
-    counts: dict[Node, int] = {}
+    is_term = store.is_terminal
+    level_of = store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    value_of = store.value_of
+    counts: dict[Any, int] = {}
 
-    def eff_level(node: Node) -> int:
-        return nvars if node.is_terminal else node.level
+    def eff_level(node: Any) -> int:
+        return nvars if is_term(node) else level_of(node)
 
-    for node in reversed(nodes_by_level(root)):
-        hi, lo = node.hi, node.lo
-        hi_count = hi.value if hi.is_terminal else counts[hi]
-        lo_count = lo.value if lo.is_terminal else counts[lo]
-        counts[node] = (hi_count << (eff_level(hi) - node.level - 1)) \
-            + (lo_count << (eff_level(lo) - node.level - 1))
+    for node in reversed(nodes_by_level(store, root)):
+        hi, lo = hi_of(node), lo_of(node)
+        hi_count = value_of(hi) if is_term(hi) else counts[hi]
+        lo_count = value_of(lo) if is_term(lo) else counts[lo]
+        level = level_of(node)
+        counts[node] = (hi_count << (eff_level(hi) - level - 1)) \
+            + (lo_count << (eff_level(lo) - level - 1))
     return counts
 
 
-def sat_count(function: Function, nvars: int | None = None) -> int:
+def sat_count(function: "Function", nvars: int | None = None) -> int:
     """Exact ``||f||`` over ``nvars`` variables (default: all declared)."""
     manager = function.manager
+    store = manager.store
     root = function.node
     if nvars is None:
         nvars = manager.num_vars
-    if root.is_terminal:
-        return root.value << nvars
-    support_max = max(n.level for n in collect_nodes(root))
+    if store.is_terminal(root):
+        return store.value_of(root) << nvars
+    level_of = store.level_of
+    support_max = max(level_of(n)
+                      for n in collect_nodes(store, root))
     if nvars <= support_max:
         raise ValueError(
             f"nvars={nvars} smaller than support (level {support_max})")
-    counts = minterm_count_map(root, nvars)
-    return counts[root] << root.level
+    counts = minterm_count_map(store, root, nvars)
+    return counts[root] << level_of(root)
 
 
-def density(function: Function, nvars: int | None = None) -> float:
+def density(function: "Function", nvars: int | None = None) -> float:
     """The paper's delta(f) = ||f|| / |f| (0.0 for constant FALSE).
 
     Computed in log space so that astronomically large minterm counts do
@@ -98,17 +111,18 @@ def log2int(n: int) -> float:
     return math.log2(n >> shift) + shift
 
 
-def distance_from_root(root: Node) -> dict[Node, int]:
+def distance_from_root(store: "NodeStore", root: Any) -> dict[Any, int]:
     """Shortest number of arcs from the root to each reachable node.
 
     Terminals included.  The root has distance 0.
     """
-    dist: dict[Node, int] = {root: 0}
-    for node in nodes_by_level(root):
+    hi_of, lo_of = store.hi_of, store.lo_of
+    dist: dict[Any, int] = {root: 0}
+    for node in nodes_by_level(store, root):
         if node not in dist:
             continue
         d = dist[node] + 1
-        for child in (node.hi, node.lo):
+        for child in (hi_of(node), lo_of(node)):
             if dist.get(child, INFINITY) > d:
                 dist[child] = d
     # nodes_by_level excludes terminals but their distances were set by
@@ -116,52 +130,59 @@ def distance_from_root(root: Node) -> dict[Node, int]:
     return dist
 
 
-def distance_to_one(root: Node, one: Node) -> dict[Node, float]:
+def distance_to_one(store: "NodeStore", root: Any) -> dict[Any, float]:
     """Shortest number of arcs from each node to the ONE terminal.
 
     Nodes with no path to ONE map to :data:`INFINITY`.
     """
-    dist: dict[Node, float] = {}
+    one = store.one
+    is_term = store.is_terminal
+    hi_of, lo_of = store.hi_of, store.lo_of
+    dist: dict[Any, float] = {}
 
-    def get(node: Node) -> float:
-        if node is one:
+    def get(node: Any) -> float:
+        if node == one:
             return 0
-        if node.is_terminal:
+        if is_term(node):
             return INFINITY
         return dist[node]
 
-    for node in reversed(nodes_by_level(root)):
-        dist[node] = 1 + min(get(node.hi), get(node.lo))
+    for node in reversed(nodes_by_level(store, root)):
+        dist[node] = 1 + min(get(hi_of(node)), get(lo_of(node)))
     dist[root] = get(root)
     return dist
 
 
-def height_map(root: Node) -> dict[Node, int]:
+def height_map(store: "NodeStore", root: Any) -> dict[Any, int]:
     """Longest number of arcs from each node down to a terminal.
 
     The paper's *Band* decomposition-point selector uses the distance of
     a node from the constants; we use the longest distance, which tracks
     how much function remains below the node.
     """
-    heights: dict[Node, int] = {}
+    is_term = store.is_terminal
+    hi_of, lo_of = store.hi_of, store.lo_of
+    heights: dict[Any, int] = {}
 
-    def get(node: Node) -> int:
-        return 0 if node.is_terminal else heights[node]
+    def get(node: Any) -> int:
+        return 0 if is_term(node) else heights[node]
 
-    for node in reversed(nodes_by_level(root)):
-        heights[node] = 1 + max(get(node.hi), get(node.lo))
+    for node in reversed(nodes_by_level(store, root)):
+        heights[node] = 1 + max(get(hi_of(node)), get(lo_of(node)))
     return heights
 
 
-def path_count(root: Node) -> int:
+def path_count(store: "NodeStore", root: Any) -> int:
     """Number of root-to-terminal paths (both terminals)."""
-    if root.is_terminal:
+    is_term = store.is_terminal
+    hi_of, lo_of = store.hi_of, store.lo_of
+    if is_term(root):
         return 1
-    counts: dict[Node, int] = {}
+    counts: dict[Any, int] = {}
 
-    def get(node: Node) -> int:
-        return 1 if node.is_terminal else counts[node]
+    def get(node: Any) -> int:
+        return 1 if is_term(node) else counts[node]
 
-    for node in reversed(nodes_by_level(root)):
-        counts[node] = get(node.hi) + get(node.lo)
+    for node in reversed(nodes_by_level(store, root)):
+        counts[node] = get(hi_of(node)) + get(lo_of(node))
     return counts[root]

@@ -1,22 +1,25 @@
 """Function handles: the user-facing face of a BDD.
 
-A :class:`Function` pairs a manager with a root node and registers itself
-as a garbage-collection root.  It overloads the Python boolean operators,
-so formulas read naturally::
+A :class:`Function` pairs a manager with a root *handle* in the
+manager's node store and registers itself as a garbage-collection root.
+It overloads the Python boolean operators, so formulas read naturally::
 
     f = (a & b) | ~c
     g = f ^ a
 
-Handles referring to the same manager compare equal iff their root nodes
-are identical — which, by canonicity, means the functions are equal.
+Handles referring to the same manager compare equal iff their root
+handles are equal — which, by canonicity, means the functions are
+equal.  The root handle's concrete type is backend-defined (a ``Node``
+object on the object store, an ``int`` id on the array store); code
+below never touches node fields directly, only the store's accessors.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
+from typing import Any
 
 from .manager import Manager
-from .node import Node
 
 
 class Function:
@@ -24,7 +27,7 @@ class Function:
 
     __slots__ = ("manager", "node", "__weakref__")
 
-    def __init__(self, manager: Manager, node: Node) -> None:
+    def __init__(self, manager: Manager, node: Any) -> None:
         self.manager = manager
         self.node = node
         manager.register(self)
@@ -33,50 +36,61 @@ class Function:
     # Identity and predicates
     # ------------------------------------------------------------------
 
+    @property
+    def handle(self) -> Any:
+        """The root handle in the manager's node store (internal API).
+
+        Preferred, backend-neutral spelling of :attr:`node`; inspect it
+        through ``function.manager.store``'s accessors.
+        """
+        return self.node
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Function):
             return NotImplemented
-        return self.manager is other.manager and self.node is other.node
+        return self.manager is other.manager and self.node == other.node
 
     def __ne__(self, other: object) -> bool:
         eq = self.__eq__(other)
         return NotImplemented if eq is NotImplemented else not eq
 
     def __hash__(self) -> int:
-        return hash((id(self.manager), id(self.node)))
+        return hash((id(self.manager),
+                     self.manager.store.key_of(self.node)))
 
     @property
     def is_true(self) -> bool:
         """True iff this is the constant TRUE."""
-        return self.node is self.manager.one_node
+        return self.node == self.manager.store.one
 
     @property
     def is_false(self) -> bool:
         """True iff this is the constant FALSE."""
-        return self.node is self.manager.zero_node
+        return self.node == self.manager.store.zero
 
     @property
     def is_constant(self) -> bool:
         """True iff this is TRUE or FALSE."""
-        return self.node.is_terminal
+        return self.manager.store.is_terminal(self.node)
 
     @property
     def var(self) -> str:
         """Name of the top variable (raises on constants)."""
         if self.is_constant:
             raise ValueError("constant function has no top variable")
-        return self.manager.var_at_level(self.node.level)
+        return self.manager.var_at_level(
+            self.manager.store.level_of(self.node))
 
     @property
     def level(self) -> int:
         """Level of the top variable (terminal level for constants)."""
-        return self.node.level
+        return self.manager.store.level_of(self.node)
 
     # ------------------------------------------------------------------
     # Boolean connectives
     # ------------------------------------------------------------------
 
-    def _wrap(self, node: Node) -> "Function":
+    def _wrap(self, node: Any) -> "Function":
         return Function(self.manager, node)
 
     def _coerce(self, other: "Function | bool") -> "Function":
@@ -193,14 +207,14 @@ class Function:
         """Positive cofactor with respect to the top variable."""
         if self.is_constant:
             return self
-        return self._wrap(self.node.hi)
+        return self._wrap(self.manager.store.hi_of(self.node))
 
     @property
     def lo(self) -> "Function":
         """Negative cofactor with respect to the top variable."""
         if self.is_constant:
             return self
-        return self._wrap(self.node.lo)
+        return self._wrap(self.manager.store.lo_of(self.node))
 
     def cofactor(self, assignment: dict[str, bool]) -> "Function":
         """Restrict variables to constants."""
@@ -227,19 +241,51 @@ class Function:
                         for old, new in mapping.items()}
         return self.compose(substitution)
 
+    def swap_variables(self, pairs: dict[str, str]) -> "Function":
+        """Exchange variable pairs simultaneously (x<->y renaming).
+
+        Unlike :meth:`rename`, which maps old names to new ones one-way
+        (and rejects collisions implicitly), this swaps both directions
+        — the operation used to move a set between present- and
+        next-state variables.
+        """
+        substitution: dict[str, Function] = {}
+        for a, b in pairs.items():
+            substitution[a] = self.manager.var(b)
+            substitution[b] = self.manager.var(a)
+        return self.compose(substitution)
+
+    def essential_variables(self) -> dict[str, bool]:
+        """Variables with a forced polarity: x is essential-positive
+        when f implies x (and dually).  Useful for preprocessing care
+        sets."""
+        out: dict[str, bool] = {}
+        if self.is_false:
+            return out
+        for name in self.support():
+            if self.cofactor({name: False}).is_false:
+                out[name] = True
+            elif self.cofactor({name: True}).is_false:
+                out[name] = False
+        return out
+
     def __call__(self, **assignment: bool) -> bool:
         """Evaluate under a (complete-on-support) assignment."""
+        store = self.manager.store
+        is_term = store.is_terminal
+        level_of = store.level_of
+        hi_of, lo_of = store.hi_of, store.lo_of
         node = self.node
         levels = {self.manager.level_of_var(n): v
                   for n, v in assignment.items()}
-        while not node.is_terminal:
+        while not is_term(node):
             try:
-                value = levels[node.level]
+                value = levels[level_of(node)]
             except KeyError:
-                name = self.manager.var_at_level(node.level)
+                name = self.manager.var_at_level(level_of(node))
                 raise ValueError(f"assignment misses variable {name!r}")
-            node = node.hi if value else node.lo
-        return bool(node.value)
+            node = hi_of(node) if value else lo_of(node)
+        return bool(store.value_of(node))
 
     # ------------------------------------------------------------------
     # Quantification
@@ -303,18 +349,24 @@ class Function:
 
     def pick_one(self) -> dict[str, bool] | None:
         """Some satisfying assignment over the support, or None."""
+        store = self.manager.store
+        zero = store.zero
+        is_term = store.is_terminal
+        level_of = store.level_of
+        hi_of, lo_of = store.hi_of, store.lo_of
         node = self.node
-        if node is self.manager.zero_node:
+        if node == zero:
             return None
         out: dict[str, bool] = {}
-        while not node.is_terminal:
-            name = self.manager.var_at_level(node.level)
-            if node.hi is not self.manager.zero_node:
+        while not is_term(node):
+            name = self.manager.var_at_level(level_of(node))
+            hi = hi_of(node)
+            if hi != zero:
                 out[name] = True
-                node = node.hi
+                node = hi
             else:
                 out[name] = False
-                node = node.lo
+                node = lo_of(node)
         return out
 
     def iter_minterms(self, names: Iterable[str] | None = None
@@ -325,7 +377,10 @@ class Function:
         on small functions (tests, examples).
         """
         manager = self.manager
-        zero, one = manager.zero_node, manager.one_node
+        store = manager.store
+        zero, one = store.zero, store.one
+        level_of = store.level_of
+        hi_of, lo_of = store.hi_of, store.lo_of
         if names is None:
             names = sorted(self.support(), key=manager.level_of_var)
         else:
@@ -335,10 +390,10 @@ class Function:
         total = len(order)
 
         root = self.node
-        if root is zero:
+        if root == zero:
             return
         if total == 0:
-            if root is not one:
+            if root != one:
                 raise ValueError(
                     "function depends on variables outside names")
             yield {}
@@ -358,15 +413,15 @@ class Function:
                 stack.pop()
                 partial.pop(name, None)
                 continue
-            if node.level == level:
-                child = node.hi if value else node.lo
+            if not store.is_terminal(node) and level_of(node) == level:
+                child = hi_of(node) if value else lo_of(node)
             else:
                 child = node
             partial[name] = value
-            if child is zero:
+            if child == zero:
                 continue
             if idx + 1 == total:
-                if child is not one:
+                if child != one:
                     raise ValueError(
                         "function depends on variables outside names")
                 yield dict(partial)

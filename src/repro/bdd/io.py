@@ -6,16 +6,18 @@ line per node in a bottom-up order, ``index variable hi lo`` with
 Variables are stored by *name*, so a dump can be loaded into a manager
 with a different variable order (the BDD is rebuilt with ITE).
 
-``transfer`` copies a function into another manager directly.
+``transfer`` copies a function into another manager directly.  Both
+managers may use different node-store backends — everything goes
+through store accessors and opaque handles.
 """
 
 from __future__ import annotations
 
 import io
+from typing import Any
 
 from .function import Function
 from .manager import Manager
-from .node import Node
 from .operations import ite_node
 from .traversal import nodes_by_level
 
@@ -25,16 +27,19 @@ FORMAT_HEADER = "repro-bdd 1"
 def dump(function: Function) -> str:
     """Serialize one function to the textual node-list format."""
     manager = function.manager
+    store = manager.store
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    key_of = store.key_of
     lines = [FORMAT_HEADER]
-    index: dict[Node, int] = {manager.zero_node: 0,
-                              manager.one_node: 1}
-    ordered = list(reversed(nodes_by_level(function.node)))
+    index: dict[Any, int] = {key_of(store.zero): 0,
+                             key_of(store.one): 1}
+    ordered = list(reversed(nodes_by_level(store, function.node)))
     for position, node in enumerate(ordered, start=2):
-        index[node] = position
-        name = manager.var_at_level(node.level)
-        lines.append(f"{position} {name} {index[node.hi]} "
-                     f"{index[node.lo]}")
-    lines.append(f"root {index[function.node]}")
+        index[key_of(node)] = position
+        name = manager.var_at_level(level_of(node))
+        lines.append(f"{position} {name} {index[key_of(hi_of(node))]} "
+                     f"{index[key_of(lo_of(node))]}")
+    lines.append(f"root {index[key_of(function.node)]}")
     return "\n".join(lines) + "\n"
 
 
@@ -49,23 +54,26 @@ def load(manager: Manager, text: str,
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines or lines[0] != FORMAT_HEADER:
         raise ValueError("not a repro-bdd dump")
-    nodes: dict[int, Node] = {0: manager.zero_node, 1: manager.one_node}
-    root: Node | None = None
+    store = manager.store
+    nodes: dict[int, Any] = {0: store.zero, 1: store.one}
+    root: Any = None
+    found_root = False
     for line in lines[1:]:
         parts = line.split()
         if parts[0] == "root":
             root = nodes[int(parts[1])]
+            found_root = True
             break
         position, name, hi_index, lo_index = parts
         if name not in manager._var_to_level:
             if not declare:
                 raise ValueError(f"unknown variable {name!r}")
             manager.add_var(name)
-        var = manager.var_node(name)
+        var = manager.var_handle(name)
         hi = nodes[int(hi_index)]
         lo = nodes[int(lo_index)]
         nodes[int(position)] = ite_node(manager, var, hi, lo)
-    if root is None:
+    if not found_root:
         raise ValueError("dump has no root line")
     return Function(manager, root)
 
@@ -100,40 +108,42 @@ def transfer(function: Function, target: Manager,
     source = function.manager
     if source is target:
         return function
-    cache: dict[Node, Node] = {}
+    src = source.store
+    level_of, hi_of, lo_of = src.level_of, src.hi_of, src.lo_of
+    key_of = src.key_of
+    cache: dict[Any, Any] = {}
 
     # Explicit post-order walk (no recursion): expand frames (flag 0)
     # copy leaves or queue the children; rebuild frames (flag 1) pop the
     # two copied children off the value stack and re-canonicalize via
     # ITE in the target order.
-    stack: list[tuple[int, Node]] = [(0, function.node)]
-    values: list[Node] = []
+    stack: list[tuple[int, Any]] = [(0, function.node)]
+    values: list[Any] = []
     while stack:
         flag, node = stack.pop()
         if flag == 0:
-            if node is source.zero_node:
+            if node == src.zero:
                 values.append(target.zero_node)
                 continue
-            if node is source.one_node:
+            if node == src.one:
                 values.append(target.one_node)
                 continue
-            result = cache.get(node)
-            if result is not None:
-                values.append(result)
+            if key_of(node) in cache:
+                values.append(cache[key_of(node)])
                 continue
-            name = source.var_at_level(node.level)
+            name = source.var_at_level(level_of(node))
             if name not in target._var_to_level:
                 if not declare:
                     raise ValueError(f"unknown variable {name!r}")
                 target.add_var(name)
             stack.append((1, node))
-            stack.append((0, node.lo))
-            stack.append((0, node.hi))
+            stack.append((0, lo_of(node)))
+            stack.append((0, hi_of(node)))
         else:
             lo = values.pop()
             hi = values.pop()
-            var = target.var_node(source.var_at_level(node.level))
+            var = target.var_handle(source.var_at_level(level_of(node)))
             result = ite_node(target, var, hi, lo)
-            cache[node] = result
+            cache[key_of(node)] = result
             values.append(result)
     return Function(target, values[0])

@@ -1,15 +1,24 @@
-"""The BDD manager: unique table, computed table, variables, GC.
+"""The BDD manager: variables, computed table, GC, over a node store.
 
-The manager owns every node it ever created.  Canonicity is enforced by
-hash-consing through per-level *subtables* (``dict`` keyed by the child
-pair), exactly like CUDD's unique table; per-level subtables make the
-adjacent-level swap of dynamic reordering straightforward.
+The manager owns the semantic state — variable names and order, the
+computed table, Function-handle roots, statistics, the governor — and
+delegates the physical node graph to a pluggable *node store* backend
+(:mod:`repro.bdd.backend`).  Canonicity is enforced by hash-consing in
+the store's unique table, exactly like CUDD's; per-level subtables make
+the adjacent-level swap of dynamic reordering straightforward.
 
-Reference counting is *structural*: ``node.ref`` counts parent arcs plus
-external references.  Normal operation only ever increments; decrements
-happen during :meth:`Manager.collect_garbage` (which recomputes counts
-from live :class:`~repro.bdd.function.Function` handles) and during
-variable swaps (which maintain them incrementally).
+Two stores ship: the reference ``ObjectStore`` (one
+:class:`~repro.bdd.node.Node` object per BDD node, handles are the
+nodes) and the flat ``ArrayStore`` (``array('q')`` columns, handles are
+int ids).  ``Manager(backend="array")``, the ``REPRO_BACKEND``
+environment variable, or the ``--backend`` CLI flag select one; every
+algorithm goes through the store's accessors and works on both.
+
+Reference counting is *structural*: a node's count tracks parent arcs
+plus external references.  Normal operation only ever increments;
+decrements happen during :meth:`Manager.collect_garbage` (which
+recomputes counts from live :class:`~repro.bdd.function.Function`
+handles) and during variable swaps (which maintain them incrementally).
 
 Memory management is CUDD-style and opt-in:
 
@@ -19,9 +28,9 @@ Memory management is CUDD-style and opt-in:
 * ``gc_threshold`` arms *automatic garbage collection*: when the node
   count crosses the threshold, the next **safe point** — the entry of a
   Function-level operation, never inside a kernel traversal holding raw
-  :class:`~repro.bdd.node.Node` references — runs
-  :meth:`collect_garbage`.  Code that holds raw nodes across
-  Function-level calls can suspend collection with :meth:`defer_gc`.
+  node handles — runs :meth:`collect_garbage`.  Code that holds raw
+  handles across Function-level calls can suspend collection with
+  :meth:`defer_gc`.
 
 :attr:`Manager.stats` snapshots per-operation cache hits/misses/
 evictions, GC count/pauses/reclaimed nodes, peak live nodes, and the
@@ -37,10 +46,11 @@ import weakref
 from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Any
 
+from .backend import NodeStore, create_store
 from .computed import CacheOpStats, ComputedTable
 from .governor import Budget, Governor
-from .node import Node, TERMINAL_LEVEL
 from .sanitize import (Diagnostic, SanitizerError, check_manager,
                        sanitize_enabled, sanitize_node_limit,
                        sanitize_stride)
@@ -84,6 +94,8 @@ class ManagerStats:
     budget_peak_nodes: int = 0
     #: highest step count observed inside one armed budget window
     budget_peak_steps: int = 0
+    #: node-store backend the manager runs on ("object", "array", ...)
+    backend: str = "object"
 
     @property
     def total_aborts(self) -> int:
@@ -130,6 +142,7 @@ class ManagerStats:
             "degradations": dict(self.degradations),
             "budget_peak_nodes": self.budget_peak_nodes,
             "budget_peak_steps": self.budget_peak_steps,
+            "backend": self.backend,
         }
 
 
@@ -147,6 +160,10 @@ class Manager:
         collection then runs at the next safe point.  None (default)
         disables automatic GC — :meth:`collect_garbage` stays available
         for explicit calls.
+    backend:
+        Node-store backend name (``"object"`` or ``"array"``); None
+        (default) defers to the ``REPRO_BACKEND`` environment variable
+        and then to ``"object"``.  See :mod:`repro.bdd.backend`.
 
     Example
     -------
@@ -159,14 +176,10 @@ class Manager:
 
     def __init__(self, vars: Iterable[str] = (), *,
                  cache_limit: int | None = None,
-                 gc_threshold: int | None = None) -> None:
-        self.zero_node = Node(TERMINAL_LEVEL, None, None, value=0)
-        self.one_node = Node(TERMINAL_LEVEL, None, None, value=1)
-        # Terminals must never be collected.
-        self.zero_node.ref = 1
-        self.one_node.ref = 1
-        #: subtables[level] maps (hi, lo) -> Node
-        self._subtables: list[dict[tuple[Node, Node], Node]] = []
+                 gc_threshold: int | None = None,
+                 backend: str | None = None) -> None:
+        #: the node-store backend owning the physical node graph
+        self.store: NodeStore = create_store(backend)
         self._level_to_var: list[str] = []
         self._var_to_level: dict[str, int] = {}
         #: computed table shared by every memoized operation
@@ -176,19 +189,15 @@ class Manager:
         #: value equality), silently dropping roots when the surviving
         #: duplicate dies — hence the explicit id-keyed weak registry.
         self._functions: dict[int, weakref.ref] = {}
-        #: per-root structural-metric memos (weak keys: an entry dies
-        #: with its root).  Valid between metric safe points — GC and
-        #: variable reordering invalidate them wholesale.
-        self._size_cache: "weakref.WeakKeyDictionary[Node, int]" = \
-            weakref.WeakKeyDictionary()
-        self._support_cache: \
-            "weakref.WeakKeyDictionary[Node, frozenset[int]]" = \
-            weakref.WeakKeyDictionary()
-        self._num_nodes = 0
+        #: per-root structural-metric memos, keyed by handle.  Valid
+        #: between metric safe points — GC and variable reordering
+        #: invalidate them wholesale (which also caps their growth:
+        #: plain dicts, since int handles cannot be weakly referenced).
+        self._size_cache: dict[Any, int] = {}
+        self._support_cache: dict[Any, frozenset[int]] = {}
         #: statistics, useful in benchmarks
         self.gc_count = 0
         self.reorder_count = 0
-        self._peak_nodes = 0
         self._gc_pause_total = 0.0
         self._gc_pause_max = 0.0
         self._gc_reclaimed = 0
@@ -208,6 +217,53 @@ class Manager:
         self._gc_trigger = gc_threshold
         for name in vars:
             self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """Name of the active node-store backend."""
+        return self.store.name
+
+    @property
+    def zero_node(self) -> Any:
+        """Handle of the FALSE terminal (internal node-level API)."""
+        return self.store.zero
+
+    @property
+    def one_node(self) -> Any:
+        """Handle of the TRUE terminal (internal node-level API)."""
+        return self.store.one
+
+    @property
+    def _num_nodes(self) -> int:
+        return self.store._count
+
+    @_num_nodes.setter
+    def _num_nodes(self, value: int) -> None:
+        # Writable for the sanitizer's corruption tests, which skew the
+        # count on purpose.
+        self.store._count = value
+
+    @property
+    def _peak_nodes(self) -> int:
+        return self.store._peak
+
+    @_peak_nodes.setter
+    def _peak_nodes(self, value: int) -> None:
+        self.store._peak = value
+
+    @property
+    def _subtables(self):
+        """The ObjectStore's per-level unique tables.
+
+        Object-backend-only escape hatch for tests that inspect or
+        corrupt the raw tables; the array backend has no equivalent
+        attribute.
+        """
+        return self.store._subtables
 
     # ------------------------------------------------------------------
     # Variable management
@@ -237,22 +293,22 @@ class Manager:
             raise ValueError(f"variable {name!r} already declared")
         if level is None:
             level = len(self._level_to_var)
-        if level != len(self._level_to_var) and self._num_nodes:
+        if level != len(self._level_to_var) and self.store.num_nodes:
             raise ValueError("cannot insert a variable above existing nodes")
         if level == len(self._level_to_var):
             # Appending at the bottom shifts nothing: O(1) instead of
             # rebuilding the name map (declaring n variables one by one
             # would otherwise cost O(n^2)).
             self._level_to_var.append(name)
-            self._subtables.append({})
+            self.store.add_level(level)
             self._var_to_level[name] = level
         else:
             self._level_to_var.insert(level, name)
-            self._subtables.insert(level, {})
+            self.store.add_level(level)
             self._var_to_level = {
                 v: i for i, v in enumerate(self._level_to_var)
             }
-        node = self.mk(level, self.one_node, self.zero_node)
+        node = self.store.mk(level, self.store.one, self.store.zero)
         return Function(self, node)
 
     def add_vars(self, *names: str) -> "list[Function]":
@@ -264,7 +320,8 @@ class Manager:
         from .function import Function
 
         level = self._var_to_level[name]
-        return Function(self, self.mk(level, self.one_node, self.zero_node))
+        return Function(self, self.store.mk(level, self.store.one,
+                                            self.store.zero))
 
     def var_at_level(self, level: int) -> str:
         """Name of the variable currently at ``level``."""
@@ -274,38 +331,32 @@ class Manager:
         """Current level of variable ``name``."""
         return self._var_to_level[name]
 
-    def var_node(self, name: str) -> Node:
-        """Raw projection node of ``name`` (advanced API)."""
-        return self.mk(self._var_to_level[name], self.one_node,
-                       self.zero_node)
+    def var_handle(self, name: str) -> Any:
+        """Raw projection handle of ``name`` (internal node-level API).
+
+        The handle type is backend-defined (a ``Node`` on the object
+        store, an ``int`` id on the array store); use the store's
+        accessors to inspect it.
+        """
+        return self.store.mk(self._var_to_level[name], self.store.one,
+                             self.store.zero)
+
+    def var_node(self, name: str) -> Any:
+        """Deprecated spelling of :meth:`var_handle`."""
+        return self.var_handle(name)
 
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
 
-    def mk(self, level: int, hi: Node, lo: Node) -> Node:
+    def mk(self, level: int, hi: Any, lo: Any) -> Any:
         """Find-or-create the reduced node ``(level, hi, lo)``.
 
-        Applies the ROBDD reduction rule (``hi is lo`` collapses), so the
+        Applies the ROBDD reduction rule (``hi == lo`` collapses), so the
         result canonically represents ``var(level)·hi + var(level)'·lo``.
         Children must live strictly below ``level``.
         """
-        if hi is lo:
-            return hi
-        if hi.level <= level or lo.level <= level:
-            raise ValueError("children must be below the node level")
-        subtable = self._subtables[level]
-        key = (hi, lo)
-        node = subtable.get(key)
-        if node is None:
-            node = Node(level, hi, lo)
-            hi.ref += 1
-            lo.ref += 1
-            subtable[key] = node
-            self._num_nodes += 1
-            if self._num_nodes > self._peak_nodes:
-                self._peak_nodes = self._num_nodes
-        return node
+        return self.store.mk(level, hi, lo)
 
     # ------------------------------------------------------------------
     # Constants as handles
@@ -316,14 +367,14 @@ class Manager:
         """The constant TRUE function."""
         from .function import Function
 
-        return Function(self, self.one_node)
+        return Function(self, self.store.one)
 
     @property
     def false(self) -> "Function":
         """The constant FALSE function."""
         from .function import Function
 
-        return Function(self, self.zero_node)
+        return Function(self, self.store.zero)
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -331,17 +382,17 @@ class Manager:
 
     def __len__(self) -> int:
         """Total number of internal nodes owned by the manager."""
-        return self._num_nodes
+        return self.store.num_nodes
 
     def level_sizes(self) -> list[int]:
         """Number of nodes per level, root-most first."""
-        return [len(t) for t in self._subtables]
+        return self.store.level_sizes()
 
     # ------------------------------------------------------------------
     # Memoized structural metrics
     # ------------------------------------------------------------------
 
-    def node_size(self, node: Node) -> int:
+    def node_size(self, node: Any) -> int:
         """Memoized ``|f|`` of the function rooted at ``node``.
 
         Backs :meth:`Function.__len__`; hot loops (image computation,
@@ -352,17 +403,17 @@ class Manager:
         if size is None:
             from .counting import bdd_size
 
-            size = bdd_size(node)
+            size = bdd_size(self.store, node)
             self._size_cache[node] = size
         return size
 
-    def node_support_levels(self, node: Node) -> frozenset[int]:
+    def node_support_levels(self, node: Any) -> frozenset[int]:
         """Memoized support levels of the function rooted at ``node``."""
         levels = self._support_cache.get(node)
         if levels is None:
             from .traversal import support_levels
 
-            levels = frozenset(support_levels(node))
+            levels = frozenset(support_levels(self.store, node))
             self._support_cache[node] = levels
         return levels
 
@@ -399,14 +450,18 @@ class Manager:
 
         self._functions[key] = weakref.ref(function, drop)
 
-    def live_roots(self) -> list[Node]:
-        """Root nodes of all live Function handles."""
+    def live_root_handles(self) -> list[Any]:
+        """Root handles of all live Function handles."""
         roots = []
         for ref in list(self._functions.values()):
             function = ref()
             if function is not None:
                 roots.append(function.node)
         return roots
+
+    def live_roots(self) -> list[Any]:
+        """Deprecated spelling of :meth:`live_root_handles`."""
+        return self.live_root_handles()
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -426,14 +481,14 @@ class Manager:
 
     def safe_point(self) -> None:
         """Run pending automatic GC if armed — called where no raw
-        ``Node`` references are held outside Function handles.
+        node handles are held outside Function handles.
 
         Every Function-level operation calls this on entry; node-level
         kernel traversals never do, so collection cannot invalidate raw
-        nodes mid-operation.
+        handles mid-operation.
         """
         if self._gc_trigger is not None and not self._gc_defer \
-                and self._num_nodes >= self._gc_trigger:
+                and self.store.num_nodes >= self._gc_trigger:
             self.collect_garbage()
         elif sanitize_enabled():
             # REPRO_SANITIZE=1: verify the whole graph at every
@@ -447,16 +502,16 @@ class Manager:
             # collection.)
             self._sanitize_tick += 1
             if self._sanitize_tick >= sanitize_stride() \
-                    and self._num_nodes <= sanitize_node_limit():
+                    and self.store.num_nodes <= sanitize_node_limit():
                 self._sanitize_tick = 0
                 self.debug_check()
 
     @contextmanager
     def defer_gc(self) -> "Iterator[Manager]":
-        """Suspend automatic GC while holding raw node references.
+        """Suspend automatic GC while holding raw node handles.
 
-        Advanced API for algorithms that keep raw :class:`Node` refs
-        across Function-level operations; nests freely.  A collection
+        Advanced API for algorithms that keep raw handles across
+        Function-level operations; nests freely.  A collection
         postponed by the deferral runs when the outermost block exits —
         also when the body raises, so an aborted algorithm cannot leave
         the manager with GC permanently wedged off.
@@ -468,9 +523,10 @@ class Manager:
             self._gc_defer -= 1
             if not self._gc_defer:
                 # The exit of the outermost deferral is a safe point:
-                # the raw nodes the block protected are out of scope (or
-                # rooted in Function handles by now).  Run the postponed
-                # collection rather than waiting for the next operation.
+                # the raw handles the block protected are out of scope
+                # (or rooted in Function handles by now).  Run the
+                # postponed collection rather than waiting for the next
+                # operation.
                 self.safe_point()
 
     @contextmanager
@@ -510,32 +566,17 @@ class Manager:
         """Remove nodes unreachable from live Function handles.
 
         Returns the number of nodes reclaimed.  The computed table is
-        dropped wholesale, so the next operations re-derive results.
+        dropped wholesale, so the next operations re-derive results —
+        mandatory on stores that recycle node ids, where a stale cache
+        entry could otherwise alias a fresh node.
 
-        Only call this at a *safe point*: any raw :class:`Node` reference
-        held outside a Function handle is invalidated.
+        Only call this at a *safe point*: any raw node handle held
+        outside a Function handle is invalidated.
         """
         start = time.perf_counter()
         self.invalidate_metric_caches()
-        marked: set[int] = set()
-        stack = self.live_roots()
-        while stack:
-            node = stack.pop()
-            if id(node) in marked or node.is_terminal:
-                continue
-            marked.add(id(node))
-            stack.append(node.hi)
-            stack.append(node.lo)
-        reclaimed = 0
-        for subtable in self._subtables:
-            dead = [key for key, node in subtable.items()
-                    if id(node) not in marked]
-            for key in dead:
-                del subtable[key]
-                reclaimed += 1
-        self._num_nodes -= reclaimed
+        reclaimed = self.store.collect(self.live_root_handles())
         self.computed.clear()
-        self._recount_refs()
         self.gc_count += 1
         self._gc_reclaimed += reclaimed
         pause = time.perf_counter() - start
@@ -546,26 +587,10 @@ class Manager:
             # Raise the live trigger above the surviving population so a
             # mostly-live heap does not re-collect on every safe point.
             self._gc_trigger = max(self._gc_threshold,
-                                   2 * self._num_nodes)
+                                   2 * self.store.num_nodes)
         if sanitize_enabled():
             self.debug_check()
         return reclaimed
-
-    def _recount_refs(self) -> None:
-        """Recompute structural reference counts from scratch."""
-        for subtable in self._subtables:
-            for node in subtable.values():
-                node.ref = 0
-        self.zero_node.ref = 0
-        self.one_node.ref = 0
-        for subtable in self._subtables:
-            for node in subtable.values():
-                node.hi.ref += 1
-                node.lo.ref += 1
-        for root in self.live_roots():
-            root.ref += 1
-        self.zero_node.ref += 1
-        self.one_node.ref += 1
 
     # ------------------------------------------------------------------
     # Statistics
@@ -575,8 +600,8 @@ class Manager:
     def stats(self) -> ManagerStats:
         """Snapshot of all runtime counters (see :class:`ManagerStats`)."""
         return ManagerStats(
-            nodes=self._num_nodes,
-            peak_nodes=self._peak_nodes,
+            nodes=self.store.num_nodes,
+            peak_nodes=self.store.peak_nodes,
             num_vars=self.num_vars,
             cache_size=len(self.computed),
             cache_limit=self.computed.limit,
@@ -590,6 +615,7 @@ class Manager:
             degradations=dict(self._degradations),
             budget_peak_nodes=self.governor.budget_peak_nodes,
             budget_peak_steps=self.governor.budget_peak_steps,
+            backend=self.store.name,
         )
 
     def reset_stats(self) -> None:
@@ -597,7 +623,7 @@ class Manager:
         self.computed.reset_stats()
         self.gc_count = 0
         self.reorder_count = 0
-        self._peak_nodes = self._num_nodes
+        self.store._peak = self.store.num_nodes
         self._gc_pause_total = 0.0
         self._gc_pause_max = 0.0
         self._gc_reclaimed = 0
@@ -660,15 +686,16 @@ class Manager:
         from .function import Function
 
         self.safe_point()
-        node = self.one_node
+        store = self.store
+        node = store.one
         for name in sorted(assignment,
                            key=lambda n: self._var_to_level[n],
                            reverse=True):
             level = self._var_to_level[name]
             if assignment[name]:
-                node = self.mk(level, node, self.zero_node)
+                node = store.mk(level, node, store.zero)
             else:
-                node = self.mk(level, self.zero_node, node)
+                node = store.mk(level, store.zero, node)
         return Function(self, node)
 
     def sat_count(self, f: "Function",
@@ -696,6 +723,7 @@ class Manager:
         ordering along arcs, reduction, unique-table hash-consing
         consistency, computed-table liveness and op-tag registration,
         and GC/root bookkeeping against a fresh reachability sweep.
+        Works on every store backend through the store protocol.
 
         Returns the diagnostics found (empty list: graph is sound).
         With ``raise_on_error`` (the default) a non-empty result raises
@@ -711,16 +739,20 @@ class Manager:
 
     def check_invariants(self) -> None:
         """Verify structural invariants (used by the test suite)."""
+        store = self.store
+        level_of = store.level_of
+        hi_of, lo_of = store.hi_of, store.lo_of
+        key_of = store.key_of
         seen: set[int] = set()
         count = 0
-        for level, subtable in enumerate(self._subtables):
-            for (hi, lo), node in subtable.items():
-                assert node.level == level, "level field out of sync"
-                assert node.hi is hi and node.lo is lo, "key out of sync"
-                assert hi is not lo, "redundant node"
-                assert hi.level > level and lo.level > level, \
-                    "order violation"
-                assert id(node) not in seen, "duplicate node"
-                seen.add(id(node))
-                count += 1
-        assert count == self._num_nodes, "node count out of sync"
+        for level, key_hi, key_lo, node in store.iter_table():
+            assert level_of(node) == level, "level field out of sync"
+            assert hi_of(node) == key_hi and lo_of(node) == key_lo, \
+                "key out of sync"
+            assert key_hi != key_lo, "redundant node"
+            assert level_of(key_hi) > level and level_of(key_lo) > level, \
+                "order violation"
+            assert key_of(node) not in seen, "duplicate node"
+            seen.add(key_of(node))
+            count += 1
+        assert count == store.num_nodes, "node count out of sync"

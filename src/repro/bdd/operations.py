@@ -1,31 +1,39 @@
-"""Core BDD operations on raw nodes: ITE, apply, compose, cofactor.
+"""Core BDD operations on raw handles: ITE, apply, compose, cofactor.
 
 All functions here are memoized through the manager's op-tagged
 :class:`~repro.bdd.computed.ComputedTable`.
-Results are canonical nodes in the same manager.  The node-level API is
-used by the approximation/decomposition algorithms; user code should go
-through :class:`~repro.bdd.function.Function`.
+Results are canonical handles in the same manager.  The node-level API
+is used by the approximation/decomposition algorithms; user code should
+go through :class:`~repro.bdd.function.Function`.
 
-Every kernel is *iterative*: recursion frames live on an explicit Python
-list instead of the interpreter stack, so operations work on BDDs of any
-depth (chain-shaped BDDs tens of thousands of levels deep) at CPython's
-default recursion limit.  The scheme is the standard two-phase one — an
-*expand* frame examines operands (terminal cases, computed-table lookup,
-cofactor split) and pushes a *rebuild* frame below its children's expand
-frames; the rebuild frame later pops the finished child results off a
-value stack, rebuilds through the unique table, and memoizes.  See
-docs/algorithms.md, "Iterative kernels".
+Every kernel is *generic over the node store*: it lifts the store's
+accessor callables (``level_of``, ``hi_of``, ``lo_of``, ``mk``, ...)
+into locals at entry and manipulates opaque handles from there — the
+same loop runs over ``Node`` objects on the object backend and over
+plain ints on the array backend.  Handles are compared with ``==``
+(never ``is``: int ids are not identity-stable), and commutative cache
+keys are normalized by ``store.key_of`` order.
+
+Every kernel is also *iterative*: recursion frames live on an explicit
+Python list instead of the interpreter stack, so operations work on
+BDDs of any depth (chain-shaped BDDs tens of thousands of levels deep)
+at CPython's default recursion limit.  The scheme is the standard
+two-phase one — an *expand* frame examines operands (terminal cases,
+computed-table lookup, cofactor split) and pushes a *rebuild* frame
+below its children's expand frames; the rebuild frame later pops the
+finished child results off a value stack, rebuilds through the unique
+table, and memoizes.  See docs/algorithms.md, "Iterative kernels".
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from .governor import CHECK_STRIDE
 from .manager import Manager
-from .node import Node
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .backend import NodeStore
     from .computed import ComputedTable
 
 #: Strided-checkpoint mask: kernels tally loop iterations in a local
@@ -57,29 +65,35 @@ _COMMUTATIVE = frozenset({"and", "or", "xor", "xnor", "nand", "nor"})
 _EXPAND, _REBUILD, _FORWARD, _AFTER_HI = 0, 1, 2, 3
 
 
-def top_level(*nodes: Node) -> int:
+def top_level(store: "NodeStore", *nodes: Any) -> int:
     """Root-most level among the arguments."""
-    return min(node.level for node in nodes)
+    level_of = store.level_of
+    return min(level_of(node) for node in nodes)
 
 
-def cofactors_at(node: Node, level: int) -> tuple[Node, Node]:
+def cofactors_at(store: "NodeStore", node: Any,
+                 level: int) -> tuple[Any, Any]:
     """(hi, lo) cofactors of ``node`` with respect to ``level``."""
-    if node.level == level:
-        return node.hi, node.lo
+    if store.level_of(node) == level:
+        return store.hi_of(node), store.lo_of(node)
     return node, node
 
 
-def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
+def apply_node(manager: Manager, op: str, f: Any, g: Any) -> Any:
     """Apply a named binary boolean operator to two BDDs."""
     try:
         table = _OP_TABLES[op]
     except KeyError:
         raise ValueError(f"unknown operator {op!r}") from None
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
     terminals = (zero, one)
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term, value_of = store.is_terminal, store.value_of
+    key_of = store.key_of
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
 
     commutative = op in _COMMUTATIVE
     check = manager.governor.checkpoint
@@ -87,7 +101,7 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
 
     stack: list[tuple] = [(_EXPAND, f, g)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -96,50 +110,53 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f, g = frame[1], frame[2]
-            if f.is_terminal and g.is_terminal:
-                emit(terminals[table[2 * f.value + g.value]])
+            if is_term(f) and is_term(g):
+                emit(terminals[table[2 * value_of(f) + value_of(g)]])
                 continue
             # Operator-specific terminal shortcuts.
             result = None
             if op == "and":
-                if f is zero or g is zero:
+                if f == zero or g == zero:
                     result = zero
-                elif f is one:
+                elif f == one:
                     result = g
-                elif g is one or f is g:
+                elif g == one or f == g:
                     result = f
             elif op == "or":
-                if f is one or g is one:
+                if f == one or g == one:
                     result = one
-                elif f is zero:
+                elif f == zero:
                     result = g
-                elif g is zero or f is g:
+                elif g == zero or f == g:
                     result = f
             elif op == "xor":
-                if f is zero:
+                if f == zero:
                     result = g
-                elif g is zero:
+                elif g == zero:
                     result = f
-                elif f is g:
+                elif f == g:
                     result = zero
             elif op == "diff":
-                if f is zero or g is one or f is g:
+                if f == zero or g == one or f == g:
                     result = zero
-                elif g is zero:
+                elif g == zero:
                     result = f
             if result is not None:
                 emit(result)
                 continue
-            if commutative and id(f) > id(g):
+            if commutative and key_of(f) > key_of(g):
                 f, g = g, f
             key = (op, f, g)
             cached = cache_get(op, key)
             if cached is not None:
                 emit(cached)
                 continue
-            level = f.level if f.level < g.level else g.level
-            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
-            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            f_level, g_level = level_of(f), level_of(g)
+            level = f_level if f_level < g_level else g_level
+            f_hi, f_lo = (hi_of(f), lo_of(f)) if f_level == level \
+                else (f, f)
+            g_hi, g_lo = (hi_of(g), lo_of(g)) if g_level == level \
+                else (g, g)
             push((_REBUILD, key, level))
             push((_EXPAND, f_lo, g_lo))
             push((_EXPAND, f_hi, g_hi))
@@ -152,19 +169,21 @@ def apply_node(manager: Manager, op: str, f: Node, g: Node) -> Node:
     return values[0]
 
 
-def not_node(manager: Manager, f: Node) -> Node:
+def not_node(manager: Manager, f: Any) -> Any:
     """Complement a BDD (no complement arcs: O(|f|) new nodes)."""
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
 
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -173,10 +192,10 @@ def not_node(manager: Manager, f: Node) -> Node:
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]
-            if f is zero:
+            if f == zero:
                 emit(one)
                 continue
-            if f is one:
+            if f == one:
                 emit(zero)
                 continue
             key = ("not", f)
@@ -185,32 +204,34 @@ def not_node(manager: Manager, f: Node) -> Node:
                 emit(cached)
                 continue
             push((_REBUILD, key, f))
-            push((_EXPAND, f.lo))
-            push((_EXPAND, f.hi))
+            push((_EXPAND, lo_of(f)))
+            push((_EXPAND, hi_of(f)))
         else:  # _REBUILD
             f = frame[2]
             lo = values.pop()
             hi = values.pop()
-            result = mk(f.level, hi, lo)
+            result = mk(level_of(f), hi, lo)
             cache_put("not", frame[1], result)
             cache_put("not", ("not", result), f)
             emit(result)
     return values[0]
 
 
-def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
+def ite_node(manager: Manager, f: Any, g: Any, h: Any) -> Any:
     """If-then-else ``f·g + f'·h`` with standard terminal cases."""
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
 
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, g, h)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -219,38 +240,44 @@ def ite_node(manager: Manager, f: Node, g: Node, h: Node) -> Node:
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f, g, h = frame[1], frame[2], frame[3]
-            if f is one:
+            if f == one:
                 emit(g)
                 continue
-            if f is zero:
+            if f == zero:
                 emit(h)
                 continue
-            if g is h:
+            if g == h:
                 emit(g)
                 continue
-            if g is one and h is zero:
+            if g == one and h == zero:
                 emit(f)
                 continue
-            if g is zero and h is one:
+            if g == zero and h == one:
                 emit(not_node(manager, f))
                 continue
-            if f is g:  # ite(f, f, h) = f + h
+            if f == g:  # ite(f, f, h) = f + h
                 g = one
-            elif f is h:  # ite(f, g, f) = f & g
+            elif f == h:  # ite(f, g, f) = f & g
                 h = zero
             key = ("ite", f, g, h)
             cached = cache_get("ite", key)
             if cached is not None:
                 emit(cached)
                 continue
-            level = f.level
-            if g.level < level:
-                level = g.level
-            if h.level < level:
-                level = h.level
-            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
-            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
-            h_hi, h_lo = (h.hi, h.lo) if h.level == level else (h, h)
+            f_level = level_of(f)
+            g_level = level_of(g)
+            h_level = level_of(h)
+            level = f_level
+            if g_level < level:
+                level = g_level
+            if h_level < level:
+                level = h_level
+            f_hi, f_lo = (hi_of(f), lo_of(f)) if f_level == level \
+                else (f, f)
+            g_hi, g_lo = (hi_of(g), lo_of(g)) if g_level == level \
+                else (g, g)
+            h_hi, h_lo = (hi_of(h), lo_of(h)) if h_level == level \
+                else (h, h)
             push((_REBUILD, key, level))
             push((_EXPAND, f_lo, g_lo, h_lo))
             push((_EXPAND, f_hi, g_hi, h_hi))
@@ -272,15 +299,15 @@ class _ManagerLeqCache:
     def __init__(self, computed: "ComputedTable") -> None:
         self._computed = computed
 
-    def get(self, key: tuple[Node, Node]) -> bool | None:
+    def get(self, key: tuple[Any, Any]) -> bool | None:
         return self._computed.lookup("leq", ("leq", key[0], key[1]))
 
-    def __setitem__(self, key: tuple[Node, Node], value: bool) -> None:
+    def __setitem__(self, key: tuple[Any, Any], value: bool) -> None:
         self._computed.insert("leq", ("leq", key[0], key[1]), value)
 
 
-def leq_node(manager: Manager, f: Node, g: Node,
-             cache: dict[tuple[Node, Node], bool] | None = None) -> bool:
+def leq_node(manager: Manager, f: Any, g: Any,
+             cache: dict[tuple[Any, Any], bool] | None = None) -> bool:
     """Containment test ``f <= g`` (f implies g) without building BDDs.
 
     ``cache`` may be supplied to share memoization across many queries
@@ -291,7 +318,9 @@ def leq_node(manager: Manager, f: Node, g: Node,
     when the then-branch refutes containment, the else-branch is never
     explored.
     """
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
     if cache is None:
         cache = _ManagerLeqCache(manager.computed)
     cache_get = cache.get
@@ -310,10 +339,10 @@ def leq_node(manager: Manager, f: Node, g: Node,
         tag = frame[0]
         if tag == _EXPAND:
             f, g = frame[1], frame[2]
-            if f is zero or g is one or f is g:
+            if f == zero or g == one or f == g:
                 emit(True)
                 continue
-            if f is one or g is zero:
+            if f == one or g == zero:
                 emit(False)
                 continue
             key = (f, g)
@@ -321,9 +350,12 @@ def leq_node(manager: Manager, f: Node, g: Node,
             if cached is not None:
                 emit(cached)
                 continue
-            level = f.level if f.level < g.level else g.level
-            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
-            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            f_level, g_level = level_of(f), level_of(g)
+            level = f_level if f_level < g_level else g_level
+            f_hi, f_lo = (hi_of(f), lo_of(f)) if f_level == level \
+                else (f, f)
+            g_hi, g_lo = (hi_of(g), lo_of(g)) if g_level == level \
+                else (g, g)
             push((_AFTER_HI, key, f_lo, g_lo))
             push((_EXPAND, f_hi, g_hi))
         elif tag == _AFTER_HI:
@@ -340,23 +372,26 @@ def leq_node(manager: Manager, f: Node, g: Node,
     return values[0]
 
 
-def cofactor_node(manager: Manager, f: Node,
-                  levels: dict[int, bool]) -> Node:
+def cofactor_node(manager: Manager, f: Any,
+                  levels: dict[int, bool]) -> Any:
     """Restrict the variables at ``levels`` to the given constants."""
     if not levels:
         return f
     frozen = tuple(sorted(levels.items()))
     max_level = frozen[-1][0]
+    store = manager.store
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term = store.is_terminal
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
 
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -366,7 +401,7 @@ def cofactor_node(manager: Manager, f: Node,
         tag = frame[0]
         if tag == _EXPAND:
             f = frame[1]
-            if f.is_terminal or f.level > max_level:
+            if is_term(f) or level_of(f) > max_level:
                 emit(f)
                 continue
             key = ("cof", f, frozen)
@@ -374,17 +409,17 @@ def cofactor_node(manager: Manager, f: Node,
             if cached is not None:
                 emit(cached)
                 continue
-            value = levels.get(f.level)
+            value = levels.get(level_of(f))
             if value is None:
-                push((_REBUILD, key, f.level))
-                push((_EXPAND, f.lo))
-                push((_EXPAND, f.hi))
+                push((_REBUILD, key, level_of(f)))
+                push((_EXPAND, lo_of(f)))
+                push((_EXPAND, hi_of(f)))
             elif value:
                 push((_FORWARD, key))
-                push((_EXPAND, f.hi))
+                push((_EXPAND, hi_of(f)))
             else:
                 push((_FORWARD, key))
-                push((_EXPAND, f.lo))
+                push((_EXPAND, lo_of(f)))
         elif tag == _REBUILD:
             lo = values.pop()
             hi = values.pop()
@@ -396,8 +431,8 @@ def cofactor_node(manager: Manager, f: Node,
     return values[0]
 
 
-def vector_compose_node(manager: Manager, f: Node,
-                        substitution: dict[int, Node]) -> Node:
+def vector_compose_node(manager: Manager, f: Any,
+                        substitution: dict[int, Any]) -> Any:
     """Simultaneously substitute ``substitution[level]`` for each variable.
 
     Implemented by the standard formulation:
@@ -409,17 +444,20 @@ def vector_compose_node(manager: Manager, f: Node,
         return f
     frozen = tuple(sorted(substitution.items()))
     max_level = frozen[-1][0]
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term = store.is_terminal
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
 
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -428,7 +466,7 @@ def vector_compose_node(manager: Manager, f: Node,
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]
-            if f.is_terminal or f.level > max_level:
+            if is_term(f) or level_of(f) > max_level:
                 emit(f)
                 continue
             key = ("vcomp", f, frozen)
@@ -436,9 +474,9 @@ def vector_compose_node(manager: Manager, f: Node,
             if cached is not None:
                 emit(cached)
                 continue
-            push((_REBUILD, key, f.level))
-            push((_EXPAND, f.lo))
-            push((_EXPAND, f.hi))
+            push((_REBUILD, key, level_of(f)))
+            push((_EXPAND, lo_of(f)))
+            push((_EXPAND, hi_of(f)))
         else:  # _REBUILD
             level = frame[2]
             lo = values.pop()

@@ -1,56 +1,51 @@
-"""Higher-level operations: n-ary combiners, variable permutation.
+"""Deprecated shim module: these operations moved into the core API.
 
-The n-ary combiners live on the manager (:meth:`Manager.conjoin`,
-:meth:`Manager.disjoin`); the module-level functions remain as thin
-aliases for existing call sites.
+``conjoin_all``/``disjoin_all`` live on the manager
+(:meth:`~repro.bdd.manager.Manager.conjoin`,
+:meth:`~repro.bdd.manager.Manager.disjoin`); ``swap_variables`` and
+``essential_variables`` are :class:`~repro.bdd.function.Function`
+methods now.  The module-level functions remain as thin aliases for
+one release and emit :class:`DeprecationWarning`; new code should call
+the methods directly.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterable
 
 from .function import Function
 from .manager import Manager
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.bdd.ops_extra.{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=3)
+
+
 def conjoin_all(manager: Manager,
                 functions: Iterable[Function]) -> Function:
-    """AND of many functions; alias of :meth:`Manager.conjoin`."""
+    """Deprecated alias of :meth:`Manager.conjoin`."""
+    _deprecated("conjoin_all", "Manager.conjoin")
     return manager.conjoin(functions)
 
 
 def disjoin_all(manager: Manager,
                 functions: Iterable[Function]) -> Function:
-    """OR of many functions; alias of :meth:`Manager.disjoin`."""
+    """Deprecated alias of :meth:`Manager.disjoin`."""
+    _deprecated("disjoin_all", "Manager.disjoin")
     return manager.disjoin(functions)
 
 
 def swap_variables(function: Function, pairs: dict[str, str]
                    ) -> Function:
-    """Exchange variable pairs simultaneously (x<->y renaming).
-
-    Unlike :meth:`Function.rename`, which maps old names to new ones
-    one-way (and rejects collisions implicitly), this swaps both
-    directions — the operation used to move a set between present- and
-    next-state variables.
-    """
-    manager = function.manager
-    substitution = {}
-    for a, b in pairs.items():
-        substitution[a] = manager.var(b)
-        substitution[b] = manager.var(a)
-    return function.compose(substitution)
+    """Deprecated alias of :meth:`Function.swap_variables`."""
+    _deprecated("swap_variables", "Function.swap_variables")
+    return function.swap_variables(pairs)
 
 
 def essential_variables(function: Function) -> dict[str, bool]:
-    """Variables with a forced polarity: x is essential-positive when
-    f implies x (and dually).  Useful for preprocessing care sets."""
-    out: dict[str, bool] = {}
-    if function.is_false:
-        return out
-    for name in function.support():
-        if function.cofactor({name: False}).is_false:
-            out[name] = True
-        elif function.cofactor({name: True}).is_false:
-            out[name] = False
-    return out
+    """Deprecated alias of :meth:`Function.essential_variables`."""
+    _deprecated("essential_variables", "Function.essential_variables")
+    return function.essential_variables()

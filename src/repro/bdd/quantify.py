@@ -9,15 +9,18 @@ Fusing avoids building the full conjunction when quantification collapses
 it early.
 
 Like the core kernels in :mod:`~repro.bdd.operations`, all three
-traversals run on explicit stacks, so quantification over arbitrarily
-deep BDDs never hits the interpreter recursion limit.
+traversals run on explicit stacks (so quantification over arbitrarily
+deep BDDs never hits the interpreter recursion limit) and are generic
+over the node-store backend: handles are manipulated through the
+store's accessor callables and compared with ``==``.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from .governor import CHECK_STRIDE
 from .manager import Manager
-from .node import Node
 from .operations import apply_node
 
 # Strided-checkpoint mask (see repro.bdd.operations).
@@ -28,34 +31,37 @@ _MASK = CHECK_STRIDE - 1
 _EXPAND, _REBUILD, _AFTER_HI, _DISJOIN = 0, 1, 2, 3
 
 
-def exists_node(manager: Manager, f: Node,
-                levels: frozenset[int]) -> Node:
+def exists_node(manager: Manager, f: Any,
+                levels: frozenset[int]) -> Any:
     """Existentially quantify the variables at ``levels`` out of ``f``."""
     return _quantify(manager, f, levels, "exists", "or")
 
 
-def forall_node(manager: Manager, f: Node,
-                levels: frozenset[int]) -> Node:
+def forall_node(manager: Manager, f: Any,
+                levels: frozenset[int]) -> Any:
     """Universally quantify the variables at ``levels`` out of ``f``."""
     return _quantify(manager, f, levels, "forall", "and")
 
 
-def _quantify(manager: Manager, f: Node, levels: frozenset[int],
-              tag: str, combine_op: str) -> Node:
+def _quantify(manager: Manager, f: Any, levels: frozenset[int],
+              tag: str, combine_op: str) -> Any:
     """Shared exists/forall walk: merge children with ``combine_op`` at
     quantified levels, rebuild through the unique table elsewhere."""
     if not levels:
         return f
     max_level = max(levels)
+    store = manager.store
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term = store.is_terminal
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -64,7 +70,7 @@ def _quantify(manager: Manager, f: Node, levels: frozenset[int],
         frame = stack.pop()
         if frame[0] == _EXPAND:
             f = frame[1]
-            if f.is_terminal or f.level > max_level:
+            if is_term(f) or level_of(f) > max_level:
                 emit(f)
                 continue
             key = (tag, f, levels)
@@ -72,9 +78,9 @@ def _quantify(manager: Manager, f: Node, levels: frozenset[int],
             if cached is not None:
                 emit(cached)
                 continue
-            push((_REBUILD, key, f.level))
-            push((_EXPAND, f.lo))
-            push((_EXPAND, f.hi))
+            push((_REBUILD, key, level_of(f)))
+            push((_EXPAND, lo_of(f)))
+            push((_EXPAND, hi_of(f)))
         else:  # _REBUILD
             level = frame[2]
             lo = values.pop()
@@ -88,22 +94,25 @@ def _quantify(manager: Manager, f: Node, levels: frozenset[int],
     return values[0]
 
 
-def and_exists_node(manager: Manager, f: Node, g: Node,
-                    levels: frozenset[int]) -> Node:
+def and_exists_node(manager: Manager, f: Any, g: Any,
+                    levels: frozenset[int]) -> Any:
     """Relational product ``exists levels . f & g`` in one pass."""
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
     if not levels:
         return apply_node(manager, "and", f, g)
     max_level = max(levels)
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    key_of = store.key_of
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, g)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -113,31 +122,35 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
         tag = frame[0]
         if tag == _EXPAND:
             f, g = frame[1], frame[2]
-            if f is zero or g is zero:
+            if f == zero or g == zero:
                 emit(zero)
                 continue
-            if f is one and g is one:
+            if f == one and g == one:
                 emit(one)
                 continue
-            if f.level > max_level and g.level > max_level:
+            f_level, g_level = level_of(f), level_of(g)
+            if f_level > max_level and g_level > max_level:
                 emit(apply_node(manager, "and", f, g))
                 continue
-            if f is one:
+            if f == one:
                 emit(exists_node(manager, g, levels))
                 continue
-            if g is one or f is g:
+            if g == one or f == g:
                 emit(exists_node(manager, f, levels))
                 continue
-            if id(f) > id(g):
+            if key_of(f) > key_of(g):
                 f, g = g, f
+                f_level, g_level = g_level, f_level
             key = ("andex", f, g, levels)
             cached = cache_get("andex", key)
             if cached is not None:
                 emit(cached)
                 continue
-            level = f.level if f.level < g.level else g.level
-            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
-            g_hi, g_lo = (g.hi, g.lo) if g.level == level else (g, g)
+            level = f_level if f_level < g_level else g_level
+            f_hi, f_lo = (hi_of(f), lo_of(f)) if f_level == level \
+                else (f, f)
+            g_hi, g_lo = (hi_of(g), lo_of(g)) if g_level == level \
+                else (g, g)
             if level in levels:
                 # Quantified level: the else pair is only explored when
                 # the then result falls short of ONE (short-circuit).
@@ -150,7 +163,7 @@ def and_exists_node(manager: Manager, f: Node, g: Node,
         elif tag == _AFTER_HI:
             key = frame[1]
             hi = values.pop()
-            if hi is one:
+            if hi == one:
                 cache_put("andex", key, one)
                 emit(one)
                 continue

@@ -3,13 +3,18 @@
 The implementation follows Rudell (ICCAD 93), the algorithm behind
 CUDD's dynamic reordering that the paper's experiments keep "always
 turned on".  A swap of levels ``l`` and ``l+1`` rewrites the affected
-nodes *in place*, preserving node identity (and therefore every live
+nodes *in place*, preserving handle identity (and therefore every live
 :class:`~repro.bdd.function.Function` handle) while exchanging the two
-variables in the order.
+variables in the order.  The physical rewrite (phases 1–4) lives in the
+node store — :meth:`~repro.bdd.backend.NodeStore.swap_adjacent` — and
+this module owns the semantic bookkeeping around it: cache
+invalidation and the variable-name maps.
 
-Reordering is a *safe-point* operation: raw node references held outside
+Reordering is a *safe-point* operation: raw node handles held outside
 Function handles must not be kept across a call, and the computed table
-is invalidated.
+is invalidated — on every single swap, because stores with integer
+handles recycle the ids of nodes the swap reclaims, and a stale cache
+entry could otherwise alias a fresh node.
 """
 
 from __future__ import annotations
@@ -17,7 +22,6 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from .manager import Manager
-from .node import Node
 
 #: A sifting direction aborts early when the size exceeds this multiple
 #: of the best size seen for the variable.
@@ -27,95 +31,21 @@ MAX_GROWTH = 1.2
 def swap_adjacent(manager: Manager, level: int) -> None:
     """Exchange the variables at ``level`` and ``level + 1``.
 
-    Node identity is preserved: every node keeps representing the same
-    boolean function afterwards.  Structural reference counts must be
-    accurate on entry (see :func:`sift`); dead nodes are reclaimed.
+    Handle identity is preserved: every handle keeps representing the
+    same boolean function afterwards.  Structural reference counts must
+    be accurate on entry (see :func:`sift`); dead nodes are reclaimed
+    by the store, which may recycle their ids — hence the wholesale
+    computed-table drop before the rewrite.
     """
     manager.invalidate_metric_caches()
-    upper = manager._subtables[level]
-    lower = manager._subtables[level + 1]
+    manager.computed.clear()
+    manager.store.swap_adjacent(level)
 
-    # Phase 1: classify the upper-level nodes before touching anything.
-    dependent: list[tuple[Node, Node, Node, Node, Node, Node, Node]] = []
-    independent: list[Node] = []
-    for node in list(upper.values()):
-        hi, lo = node.hi, node.lo
-        if hi.level == level + 1 or lo.level == level + 1:
-            if hi.level == level + 1:
-                f11, f10 = hi.hi, hi.lo
-            else:
-                f11 = f10 = hi
-            if lo.level == level + 1:
-                f01, f00 = lo.hi, lo.lo
-            else:
-                f01 = f00 = lo
-            dependent.append((node, hi, lo, f11, f10, f01, f00))
-        else:
-            independent.append(node)
-
-    # Phase 2: relabel.  Lower-level nodes (testing the variable that
-    # moves up) rise to `level`; independent upper nodes sink to
-    # `level + 1`.  Functions are untouched — only the physical level
-    # changes along with the variable it denotes.
-    risen = list(lower.values())
-    upper.clear()
-    lower.clear()
-    for node in risen:
-        node.level = level
-        upper[(node.hi, node.lo)] = node
-    for node in independent:
-        node.level = level + 1
-        lower[(node.hi, node.lo)] = node
-
-    # Phase 3: rewrite dependent nodes in place.  Each becomes a node
-    # testing the risen variable, with children testing the sunk one.
-    def mk_low(hi: Node, lo: Node) -> Node:
-        return manager.mk(level + 1, hi, lo)
-
-    maybe_dead: list[Node] = []
-    for node, old_hi, old_lo, f11, f10, f01, f00 in dependent:
-        new_hi = mk_low(f11, f01)
-        new_lo = mk_low(f10, f00)
-        new_hi.ref += 1
-        new_lo.ref += 1
-        old_hi.ref -= 1
-        old_lo.ref -= 1
-        maybe_dead.append(old_hi)
-        maybe_dead.append(old_lo)
-        node.hi = new_hi
-        node.lo = new_lo
-        upper[(new_hi, new_lo)] = node
-
-    # Phase 4: reclaim nodes orphaned by the rewrites.
-    for node in maybe_dead:
-        _reclaim(manager, node)
-
-    # Phase 5: the variable maps follow the physical exchange.
+    # The variable maps follow the physical exchange.
     names = manager._level_to_var
     names[level], names[level + 1] = names[level + 1], names[level]
     manager._var_to_level[names[level]] = level
     manager._var_to_level[names[level + 1]] = level + 1
-
-
-def _reclaim(manager: Manager, node: Node) -> None:
-    """Delete ``node`` and recursively its orphaned descendants."""
-    stack = [node]
-    while stack:
-        node = stack.pop()
-        if node.ref or node.is_terminal:
-            continue
-        subtable = manager._subtables[node.level]
-        key = (node.hi, node.lo)
-        if subtable.get(key) is not node:
-            # Already reclaimed via another parent (the stack can reach a
-            # shared dead descendant more than once).
-            continue
-        del subtable[key]
-        manager._num_nodes -= 1
-        node.hi.ref -= 1
-        node.lo.ref -= 1
-        stack.append(node.hi)
-        stack.append(node.lo)
 
 
 def sift(manager: Manager, max_vars: int | None = None) -> int:
@@ -131,8 +61,8 @@ def sift(manager: Manager, max_vars: int | None = None) -> int:
     n = manager.num_vars
     if n < 2:
         return len(manager)
-    by_population = sorted(range(n),
-                           key=lambda l: -len(manager._subtables[l]))
+    sizes = manager.level_sizes()
+    by_population = sorted(range(n), key=lambda l: -sizes[l])
     names = [manager._level_to_var[l] for l in by_population]
     if max_vars is not None:
         names = names[:max_vars]

@@ -15,17 +15,16 @@ restrict, ``exists . constrain`` laws), but it may *grow* the BDD because
 it can pull variables not in the support of ``f`` into the result.
 
 Both traversals run on explicit stacks (docs/algorithms.md, "Iterative
-kernels"), so deep care sets and deep functions never overflow the
-interpreter recursion limit.
+kernels") and are generic over the node-store backend — handles go
+through the store's accessor callables and compare with ``==``.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from .governor import CHECK_STRIDE
 from .manager import Manager
-from .node import Node
 from .quantify import exists_node
 
 # Strided-checkpoint mask (see repro.bdd.operations).
@@ -39,18 +38,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 _EXPAND, _REBUILD, _FORWARD = 0, 1, 2
 
 
-def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
+def constrain_node(manager: Manager, f: Any, c: Any) -> Any:
     """Coudert–Madre generalized cofactor ``f || c``."""
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term = store.is_terminal
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, c)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -60,18 +62,18 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
         tag = frame[0]
         if tag == _EXPAND:
             f, c = frame[1], frame[2]
-            if c is zero:
+            if c == zero:
                 # The care set is empty: the result is arbitrary; return
                 # f to keep the walk total (callers never use this
                 # branch's value on the care set, which is empty).
                 emit(f)
                 continue
-            if f is c:
+            if f == c:
                 # The function and the care set coincide: on the care
                 # set the value is 1, and off it the value is free.
                 emit(one)
                 continue
-            if c is one or f.is_terminal:
+            if c == one or is_term(f):
                 emit(f)
                 continue
             key = ("constrain", f, c)
@@ -79,13 +81,16 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
             if cached is not None:
                 emit(cached)
                 continue
-            level = f.level if f.level < c.level else c.level
-            f_hi, f_lo = (f.hi, f.lo) if f.level == level else (f, f)
-            c_hi, c_lo = (c.hi, c.lo) if c.level == level else (c, c)
-            if c_hi is zero:
+            f_level, c_level = level_of(f), level_of(c)
+            level = f_level if f_level < c_level else c_level
+            f_hi, f_lo = (hi_of(f), lo_of(f)) if f_level == level \
+                else (f, f)
+            c_hi, c_lo = (hi_of(c), lo_of(c)) if c_level == level \
+                else (c, c)
+            if c_hi == zero:
                 push((_FORWARD, key))
                 push((_EXPAND, f_lo, c_lo))
-            elif c_lo is zero:
+            elif c_lo == zero:
                 push((_FORWARD, key))
                 push((_EXPAND, f_hi, c_hi))
             else:
@@ -103,7 +108,7 @@ def constrain_node(manager: Manager, f: Node, c: Node) -> Node:
     return values[0]
 
 
-def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
+def restrict_node(manager: Manager, f: Any, c: Any) -> Any:
     """Coudert–Madre restrict ``f ⇓ c`` (the "remapping" minimizer).
 
     Unlike constrain, when the care set splits on a variable that ``f``
@@ -111,16 +116,19 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
     instead of splitting ``f`` — so the result's support is contained in
     the support of ``f`` and the result is usually no larger.
     """
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    one, zero = store.one, store.zero
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    is_term = store.is_terminal
     cache_get = manager.computed.lookup
     cache_put = manager.computed.insert
-    mk = manager.mk
+    mk = store.mk
     check = manager.governor.checkpoint
     ticks = 0
 
     stack: list[tuple] = [(_EXPAND, f, c)]
     push = stack.append
-    values: list[Node] = []
+    values: list[Any] = []
     emit = values.append
     while stack:
         ticks += 1
@@ -130,13 +138,13 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
         tag = frame[0]
         if tag == _EXPAND:
             f, c = frame[1], frame[2]
-            if c is zero:
+            if c == zero:
                 emit(f)
                 continue
-            if f is c:
+            if f == c:
                 emit(one)
                 continue
-            if c is one or f.is_terminal:
+            if c == one or is_term(f):
                 emit(f)
                 continue
             key = ("restrict", f, c)
@@ -144,22 +152,24 @@ def restrict_node(manager: Manager, f: Node, c: Node) -> Node:
             if cached is not None:
                 emit(cached)
                 continue
-            if c.level < f.level:
+            f_level, c_level = level_of(f), level_of(c)
+            if c_level < f_level:
                 # f does not depend on the top variable of c: merge the
                 # care branches and retry on the merged care set.
-                merged = exists_node(manager, c, frozenset({c.level}))
+                merged = exists_node(manager, c, frozenset({c_level}))
                 push((_FORWARD, key))
                 push((_EXPAND, f, merged))
                 continue
-            level = f.level
-            f_hi, f_lo = f.hi, f.lo
-            c_hi, c_lo = (c.hi, c.lo) if c.level == level else (c, c)
-            if c_hi is zero:
+            level = f_level
+            f_hi, f_lo = hi_of(f), lo_of(f)
+            c_hi, c_lo = (hi_of(c), lo_of(c)) if c_level == level \
+                else (c, c)
+            if c_hi == zero:
                 # Remapping step (Figure 1): the then-branch is don't
                 # care, replace the whole node by the else cofactor.
                 push((_FORWARD, key))
                 push((_EXPAND, f_lo, c_lo))
-            elif c_lo is zero:
+            elif c_lo == zero:
                 push((_FORWARD, key))
                 push((_EXPAND, f_hi, c_hi))
             else:

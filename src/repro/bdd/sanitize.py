@@ -5,20 +5,29 @@ invariant the algorithms assume:
 
 * **ordering** — levels strictly increase along every arc toward the
   terminals;
-* **reduction** — no redundant nodes (``lo is hi``);
+* **reduction** — no redundant nodes (``lo == hi``);
 * **unique-table consistency** — each node sits in the subtable of its
   own level under the key matching its child fields, and no two nodes
   share a ``(level, hi, lo)`` triple (hash-consing canonicity);
 * **dangling arcs** — every child of a table node is a terminal of this
-  manager or itself present in its subtable;
+  manager or itself present in its unique table;
 * **computed-table hygiene** — every cached entry references only live
-  nodes, carries a registered op tag
+  nodes (on stores that can recover handles from cache entries; see
+  ``NodeStore.checks_cache_liveness``), carries a registered op tag
   (:data:`~repro.bdd.computed.REGISTERED_OPS`), and holds a completed
   result (never ``None`` — kernels must not leave in-progress markers
   behind, in particular not across a governor abort);
-* **bookkeeping** — the node counter matches the subtables, every live
-  GC root is present, and no node's structural reference count is
-  below a fresh parent-arc recount.
+* **bookkeeping** — the node counter matches the unique table, every
+  live GC root is present, and no node's structural reference count is
+  below a fresh parent-arc recount;
+* **backend extras** — each store contributes its own representation
+  checks (terminal fields; for the array store also column lengths and
+  free-list consistency) via ``NodeStore.check``.
+
+The sweep itself is generic over the node-store protocol
+(:mod:`repro.bdd.backend`): it walks ``store.iter_table()`` and reads
+handles through the store's accessors, so the same checks run on the
+object graph and on the flat array store.
 
 Diagnostics are precise (level, repr, counts) so a mutation test — or a
 real regression — pins the corruption to the check that caught it.
@@ -35,10 +44,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any
 
 from .computed import REGISTERED_OPS
-from .node import Node
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .manager import Manager
@@ -101,112 +109,103 @@ def sanitize_stride() -> int:
         return DEFAULT_STRIDE
 
 
-def _iter_nodes_in(value: Any) -> Iterator[Node]:
-    """Every Node buried in a (possibly nested) cache key or result."""
-    stack = [value]
-    while stack:
-        item = stack.pop()
-        if isinstance(item, Node):
-            yield item
-        elif isinstance(item, (tuple, list, frozenset, set)):
-            stack.extend(item)
-        elif isinstance(item, dict):
-            stack.extend(item.keys())
-            stack.extend(item.values())
-
-
-def _describe(node: object) -> str:
-    if not isinstance(node, Node):
-        # A corrupt table can hold anything; describe, don't crash.
-        return f"non-node {node!r}"
-    if node.is_terminal:
-        return f"terminal {node.value}"
-    return f"node@{id(node):#x} L{node.level}"
-
-
 def check_manager(manager: "Manager",
                   check_cache: bool = True) -> list[Diagnostic]:
     """Run every invariant check; returns the diagnostics (empty: ok)."""
     out: list[Diagnostic] = []
     report = out.append
-    zero, one = manager.zero_node, manager.one_node
-    subtables = manager._subtables
-    num_levels = len(subtables)
+    store = manager.store
+    level_of, hi_of, lo_of = store.level_of, store.hi_of, store.lo_of
+    ref_of, key_of = store.ref_of, store.key_of
+    is_term = store.is_terminal
+    is_live = store.is_live
+    describe = store.describe
 
-    # -- terminals -----------------------------------------------------
-    for terminal, value in ((zero, 0), (one, 1)):
-        if terminal.value != value or terminal.hi is not None \
-                or terminal.lo is not None:
-            report(Diagnostic(
-                "terminal",
-                f"terminal {value} corrupted: value={terminal.value!r} "
-                f"hi={terminal.hi!r} lo={terminal.lo!r}"))
+    # -- backend-specific representation checks ------------------------
+    store.check(lambda check, message: report(Diagnostic(check, message)))
 
-    def is_live(node: Node) -> bool:
-        """A terminal of this manager, or present in its subtable."""
-        if node is zero or node is one:
-            return True
-        if node.is_terminal or not 0 <= node.level < num_levels:
-            return False
-        return subtables[node.level].get((node.hi, node.lo)) is node
+    def fields_of(handle: Any) -> tuple[int, bool] | None:
+        """(level, is_terminal) of a handle, None when unreadable.
+
+        A corrupt table can record children that are not valid handles
+        at all (wrong type, out-of-range id); the sanitizer must
+        describe them, not crash on the accessor.
+        """
+        try:
+            return level_of(handle), is_term(handle)
+        except (IndexError, TypeError, AttributeError, OverflowError):
+            return None
 
     # -- unique table --------------------------------------------------
     count = 0
-    triples: dict[tuple[int, int, int], Node] = {}
-    arcs: dict[Node, int] = {}
-    for level, subtable in enumerate(subtables):
-        for (key_hi, key_lo), node in subtable.items():
-            count += 1
-            where = _describe(node)
-            if node.is_terminal:
+    triples: dict[tuple[int, int, int], Any] = {}
+    arcs: dict[Any, int] = {}
+    for level, key_hi, key_lo, node in store.iter_table():
+        count += 1
+        where = describe(node)
+        if is_term(node):
+            report(Diagnostic(
+                "table", f"{where} at level {level}: terminal "
+                f"stored in the unique table"))
+            continue
+        node_level = level_of(node)
+        if node_level != level:
+            report(Diagnostic(
+                "level-sync",
+                f"{where} stored in subtable {level} but carries "
+                f"level {node_level}"))
+        hi, lo = hi_of(node), lo_of(node)
+        if not (hi == key_hi and lo == key_lo):
+            report(Diagnostic(
+                "key-sync",
+                f"{where}: children ({describe(hi)}, "
+                f"{describe(lo)}) disagree with its "
+                f"unique-table key ({describe(key_hi)}, "
+                f"{describe(key_lo)})"))
+        if hi == lo:
+            report(Diagnostic(
+                "redundant",
+                f"{where}: hi and lo are the same node "
+                f"({describe(hi)}); redundant nodes must be "
+                f"collapsed by reduction"))
+        for label, child in (("hi", hi), ("lo", lo)):
+            if child is None:
                 report(Diagnostic(
-                    "table", f"{where} at level {level}: terminal "
-                    f"stored in the unique table"))
+                    "dangling",
+                    f"{where}: {label} child is None"))
                 continue
-            if node.level != level:
+            fields = fields_of(child)
+            if fields is None:
                 report(Diagnostic(
-                    "level-sync",
-                    f"{where} stored in subtable {level} but carries "
-                    f"level {node.level}"))
-            if node.hi is not key_hi or node.lo is not key_lo:
+                    "dangling",
+                    f"{where}: {label} child {describe(child)} "
+                    f"is not a valid handle"))
+                continue
+            child_level, child_term = fields
+            if not child_term and child_level <= node_level:
                 report(Diagnostic(
-                    "key-sync",
-                    f"{where}: children ({_describe(node.hi)}, "
-                    f"{_describe(node.lo)}) disagree with its "
-                    f"unique-table key ({_describe(key_hi)}, "
-                    f"{_describe(key_lo)})"))
-            if node.hi is node.lo:
+                    "order",
+                    f"{where}: {label} child {describe(child)} "
+                    f"does not lie strictly below level "
+                    f"{node_level}"))
+            if not is_live(child):
                 report(Diagnostic(
-                    "redundant",
-                    f"{where}: hi and lo are the same node "
-                    f"({_describe(node.hi)}); redundant nodes must be "
-                    f"collapsed by reduction"))
-            for label, child in (("hi", node.hi), ("lo", node.lo)):
-                if child is None:
-                    report(Diagnostic(
-                        "dangling",
-                        f"{where}: {label} child is None"))
-                    continue
-                if not child.is_terminal and child.level <= node.level:
-                    report(Diagnostic(
-                        "order",
-                        f"{where}: {label} child {_describe(child)} "
-                        f"does not lie strictly below level "
-                        f"{node.level}"))
-                if not is_live(child):
-                    report(Diagnostic(
-                        "dangling",
-                        f"{where}: {label} child {_describe(child)} "
-                        f"is not in the unique table"))
-                arcs[child] = arcs.get(child, 0) + 1
-            triple = (node.level, id(node.hi), id(node.lo))
+                    "dangling",
+                    f"{where}: {label} child {describe(child)} "
+                    f"is not in the unique table"))
+            arcs[child] = arcs.get(child, 0) + 1
+        try:
+            triple = (node_level, key_of(hi), key_of(lo))
+        except (TypeError, ValueError):
+            triple = None
+        if triple is not None:
             other = triples.get(triple)
-            if other is not None and other is not node:
+            if other is not None and not other == node:
                 report(Diagnostic(
                     "duplicate",
                     f"duplicate (level, hi, lo) triple at level "
-                    f"{node.level}: {where} duplicates "
-                    f"{_describe(other)} — hash-consing is broken"))
+                    f"{node_level}: {where} duplicates "
+                    f"{describe(other)} — hash-consing is broken"))
             else:
                 triples[triple] = node
 
@@ -221,33 +220,31 @@ def check_manager(manager: "Manager",
     # Structural refs only ever exceed the fresh parent-arc recount
     # (external Function roots are added on top at GC time), so a ref
     # below the recount means a decrement was lost or misapplied.
-    for subtable in subtables:
-        for node in subtable.values():
-            expected = arcs.get(node, 0)
-            if node.ref < expected:
-                report(Diagnostic(
-                    "refcount",
-                    f"{_describe(node)}: ref={node.ref} below its "
-                    f"{expected} parent arc(s)"))
+    for node in store.iter_nodes():
+        expected = arcs.get(node, 0)
+        if ref_of(node) < expected:
+            report(Diagnostic(
+                "refcount",
+                f"{describe(node)}: ref={ref_of(node)} below its "
+                f"{expected} parent arc(s)"))
 
     # -- root tracking vs. a fresh reachability sweep -------------------
     reachable: set[int] = set()
-    stack = list(manager.live_roots())
+    stack = list(manager.live_root_handles())
     for root in stack:
         if not is_live(root):
             report(Diagnostic(
                 "root",
-                f"live Function root {_describe(root)} is not in the "
+                f"live Function root {describe(root)} is not in the "
                 f"unique table — GC root tracking is out of sync"))
     while stack:
         node = stack.pop()
-        if node.is_terminal or id(node) in reachable:
+        if node is None or fields_of(node) is None or is_term(node) \
+                or key_of(node) in reachable:
             continue
-        reachable.add(id(node))
-        if node.hi is not None:
-            stack.append(node.hi)
-        if node.lo is not None:
-            stack.append(node.lo)
+        reachable.add(key_of(node))
+        stack.append(hi_of(node))
+        stack.append(lo_of(node))
     if len(reachable) > count:
         report(Diagnostic(
             "root",
@@ -256,6 +253,7 @@ def check_manager(manager: "Manager",
 
     # -- computed table ------------------------------------------------
     if check_cache:
+        cache_liveness = store.checks_cache_liveness
         for op, key, result in manager.computed.entries():
             if result is None:
                 # lookup() signals a miss with None, so a None result is
@@ -270,12 +268,13 @@ def check_manager(manager: "Manager",
                     "cache-op",
                     f"computed-table entry {key!r} uses unregistered "
                     f"op tag {op!r}"))
-            for node in _iter_nodes_in((key, result)):
-                if not is_live(node):
-                    report(Diagnostic(
-                        "cache-dangling",
-                        f"computed-table entry for op {op!r} "
-                        f"references {_describe(node)} which is not "
-                        f"in the unique table"))
-                    break
+            if cache_liveness:
+                for node in store.cache_handles((key, result)):
+                    if not is_live(node):
+                        report(Diagnostic(
+                            "cache-dangling",
+                            f"computed-table entry for op {op!r} "
+                            f"references {describe(node)} which is "
+                            f"not in the unique table"))
+                        break
     return out

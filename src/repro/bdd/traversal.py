@@ -1,72 +1,78 @@
-"""Graph traversal helpers over raw BDD nodes.
+"""Graph traversal helpers over raw BDD handles.
 
 These are the building blocks of the paper's algorithms: collecting the
 node set of a function, counting internal references (the paper's
 *functionRef*), and iterating nodes in level order.
+
+Every function takes the node store as its first argument and works on
+opaque handles through the store's accessors — the same code serves the
+object and array backends.  Result containers are keyed by handle
+(``Node`` objects hash by identity, int ids by value).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
-from typing import TYPE_CHECKING
-
-from .node import Node
+from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .manager import Manager
+    from .backend import NodeStore
 
 
-def collect_nodes(root: Node) -> list[Node]:
+def collect_nodes(store: "NodeStore", root: Any) -> list[Any]:
     """All internal nodes reachable from ``root`` (excludes terminals)."""
-    seen: set[Node] = set()
-    out: list[Node] = []
+    is_term = store.is_terminal
+    hi_of, lo_of = store.hi_of, store.lo_of
+    seen: set[Any] = set()
+    out: list[Any] = []
     stack = [root]
     while stack:
         node = stack.pop()
-        if node.is_terminal or node in seen:
+        if is_term(node) or node in seen:
             continue
         seen.add(node)
         out.append(node)
-        stack.append(node.hi)
-        stack.append(node.lo)
+        stack.append(hi_of(node))
+        stack.append(lo_of(node))
     return out
 
 
-def collect_node_set(root: Node) -> set[Node]:
+def collect_node_set(store: "NodeStore", root: Any) -> set[Any]:
     """Set of internal nodes reachable from ``root``."""
-    return set(collect_nodes(root))
+    return set(collect_nodes(store, root))
 
 
-def support_levels(root: Node) -> set[int]:
+def support_levels(store: "NodeStore", root: Any) -> set[int]:
     """Levels of the variables the function depends on."""
-    return {node.level for node in collect_nodes(root)}
+    level_of = store.level_of
+    return {level_of(node) for node in collect_nodes(store, root)}
 
 
-def function_refs(root: Node) -> dict[Node, int]:
+def function_refs(store: "NodeStore", root: Any) -> dict[Any, int]:
     """Number of arcs into each node from *within* the function.
 
     This is the paper's *functionRef*: for every node reachable from
     ``root`` (terminals included), the count of parent arcs among the
     reachable internal nodes.  The root itself gets 0 internal arcs.
     """
-    refs: dict[Node, int] = {root: 0}
-    for node in collect_nodes(root):
-        for child in (node.hi, node.lo):
+    hi_of, lo_of = store.hi_of, store.lo_of
+    refs: dict[Any, int] = {root: 0}
+    for node in collect_nodes(store, root):
+        for child in (hi_of(node), lo_of(node)):
             refs[child] = refs.get(child, 0) + 1
     return refs
 
 
-def nodes_by_level(root: Node) -> list[Node]:
+def nodes_by_level(store: "NodeStore", root: Any) -> list[Any]:
     """Reachable internal nodes sorted by level (a topological order).
 
     Arcs always point from a smaller to a strictly larger level, so level
     order is topological for the rooted DAG.
     """
-    return sorted(collect_nodes(root), key=lambda n: n.level)
+    return sorted(collect_nodes(store, root), key=store.level_of)
 
 
-def iter_paths(root: Node,
-               manager: "Manager"
+def iter_paths(store: "NodeStore", root: Any
                ) -> Iterator[tuple[dict[int, bool], int]]:
     """Iterate (partial level assignment, terminal value) per BDD path.
 
@@ -74,25 +80,28 @@ def iter_paths(root: Node,
     The walk keeps its own branch stack, so paths of any depth work at
     the default recursion limit.
     """
-    if root.is_terminal:
-        yield {}, root.value
+    is_term = store.is_terminal
+    level_of = store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    if is_term(root):
+        yield {}, store.value_of(root)
         return
     path: dict[int, bool] = {}
     # One frame per internal node on the current path; each frame owns
     # the iterator over its (branch value, child) pairs and the path
     # entry at its level.
-    stack = [(root, iter(((True, root.hi), (False, root.lo))))]
+    stack = [(root, iter(((True, hi_of(root)), (False, lo_of(root)))))]
     while stack:
         node, branches = stack[-1]
         try:
             value, child = next(branches)
         except StopIteration:
             stack.pop()
-            del path[node.level]
+            del path[level_of(node)]
             continue
-        path[node.level] = value
-        if child.is_terminal:
-            yield dict(path), child.value
+        path[level_of(node)] = value
+        if is_term(child):
+            yield dict(path), store.value_of(child)
         else:
-            stack.append((child,
-                          iter(((True, child.hi), (False, child.lo)))))
+            stack.append((child, iter(((True, hi_of(child)),
+                                       (False, lo_of(child))))))

@@ -29,7 +29,9 @@ All commands read BLIF; the benchmark generators can export BLIF via
 ``repro.fsm.blif.write_blif`` for experimentation.
 
 Runtime options shared by every command configure the manager's memory
-policy and observability: ``--cache-limit`` bounds the computed table,
+policy and observability: ``--backend`` selects the node-store backend
+(``object`` or ``array``, exported as ``REPRO_BACKEND`` so engine
+workers agree), ``--cache-limit`` bounds the computed table,
 ``--gc-threshold`` arms automatic garbage collection, ``--stats``
 prints the :attr:`~repro.bdd.manager.Manager.stats` snapshot after the
 command body, and ``--jobs`` (or ``REPRO_BENCH_JOBS``) fans per-function
@@ -48,6 +50,7 @@ degrade blowing-up image computations through the
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 
@@ -363,6 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--gc-threshold", type=int, default=None,
                          help="enable automatic GC above this many live "
                               "nodes (default: disabled)")
+    runtime.add_argument("--backend", default=None,
+                         choices=["object", "array"],
+                         help="node-store backend for every manager the "
+                              "command creates, including engine "
+                              "workers (default: REPRO_BACKEND or "
+                              "object)")
     runtime.add_argument("--jobs", type=int, default=None,
                          help="worker processes for per-function fan-out "
                               "(default: REPRO_BENCH_JOBS or 1; <=0 "
@@ -457,6 +466,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", None):
+        # Exported rather than threaded through every Manager() call:
+        # engine worker processes inherit the environment, so their
+        # rebuilt managers pick the same store.
+        os.environ["REPRO_BACKEND"] = args.backend
     try:
         return args.func(args)
     except ResourceError as exc:

@@ -20,29 +20,32 @@ def heavy_branch_subset(f: Function, threshold: int) -> Function:
     Returns ``f`` unchanged when it is already within the threshold.
     """
     manager, root = f.manager, f.node
-    if root.is_terminal or bdd_size(root) <= threshold:
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    if is_term(root) or bdd_size(store, root) <= threshold:
         return f
     nvars = manager.num_vars
-    counts = minterm_count_map(root, nvars)
+    counts = minterm_count_map(store, root, nvars)
 
     def full(node) -> int:
-        if node.is_terminal:
-            return node.value << nvars
-        return counts[node] << node.level
+        if is_term(node):
+            return store.value_of(node) << nvars
+        return counts[node] << level_of(node)
 
     # Walk the heavy path, cutting light branches, until the residual
     # estimate (string so far + heavy subgraph) meets the threshold.
     string: list[tuple[int, bool]] = []
     node = root
-    while not node.is_terminal:
-        if len(string) + bdd_size(node) <= threshold:
+    while not is_term(node):
+        if len(string) + bdd_size(store, node) <= threshold:
             break
-        heavy_is_hi = full(node.hi) >= full(node.lo)
-        string.append((node.level, heavy_is_hi))
-        node = node.hi if heavy_is_hi else node.lo
+        heavy_is_hi = full(hi_of(node)) >= full(lo_of(node))
+        string.append((level_of(node), heavy_is_hi))
+        node = hi_of(node) if heavy_is_hi else lo_of(node)
 
     result = node
-    zero = manager.zero_node
+    zero = store.zero
     for level, heavy_is_hi in reversed(string):
         if heavy_is_hi:
             result = manager.mk(level, result, zero)

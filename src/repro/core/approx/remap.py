@@ -14,6 +14,9 @@ Three passes (Figure 2):
 
 With ``quality >= 1`` the algorithm is *safe* (Definition 1):
 ``density(rua(f)) >= density(f)``.
+
+All passes manipulate opaque node-store handles (compared with ``==``,
+never ``is``), so they run unchanged on every backend.
 """
 
 from __future__ import annotations
@@ -22,11 +25,11 @@ import heapq
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
+from typing import Any
 
 from ...bdd.function import Function
 from ...bdd.governor import CHECK_STRIDE
 from ...bdd.manager import Manager
-from ...bdd.node import Node
 from ...bdd.operations import leq_node
 
 # Strided governor-checkpoint mask (see repro.bdd.operations).
@@ -46,11 +49,11 @@ class Replacement:
     #: lower bound on the number of nodes saved (may be <= 0)
     saved: int
     #: nodes that die if accepted
-    dead: set[Node]
+    dead: set[Any]
     #: surviving function root the node is remapped to (remap only)
-    kept: Node | None = None
+    kept: Any = None
     #: (child level, use_then_branch, shared grandchild) for grandchild
-    grandchild: tuple[int, bool, Node] | None = None
+    grandchild: tuple[int, bool, Any] | None = None
 
 
 #: All replacement types, in the order findReplacement tries them.
@@ -79,9 +82,10 @@ def remap_under_approx(f: Function, threshold: int = 0,
         studies (default: all three of the paper's types).
     """
     manager, root = f.manager, f.node
-    if root.is_terminal:
+    store = manager.store
+    if store.is_terminal(root):
         return f
-    info = analyze(root, manager.num_vars)
+    info = analyze(store, root, manager.num_vars)
     mark_nodes(manager, root, info, threshold, quality,
                replacements=replacements)
     return Function(manager, build_result(manager, root, info))
@@ -97,25 +101,28 @@ def remap_over_approx(f: Function, threshold: int = 0,
 # Pass 2: markNodes (Figure 3)
 # ----------------------------------------------------------------------
 
-def mark_nodes(manager: Manager, root: Node, info: ApproxInfo,
+def mark_nodes(manager: Manager, root: Any, info: ApproxInfo,
                threshold: int, quality: float,
                replacements: tuple = (REPLACE_REMAP,
                                       REPLACE_GRANDCHILD,
                                       REPLACE_ZERO)) -> None:
     """Decide a replacement status for every node, top-down by level."""
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
     q = Fraction(quality)
-    leq_cache: dict[tuple[Node, Node], bool] = {}
+    leq_cache: dict[tuple[Any, Any], bool] = {}
     counter = itertools.count()
-    queue: list[tuple[int, int, Node]] = []
-    entered: set[Node] = set()
+    queue: list[tuple[int, int, Any]] = []
+    entered: set[Any] = set()
 
-    def enqueue(node: Node) -> None:
-        if node.is_terminal or node in entered:
+    def enqueue(node: Any) -> None:
+        if is_term(node) or node in entered:
             return
         entered.add(node)
-        heapq.heappush(queue, (node.level, next(counter), node))
+        heapq.heappush(queue, (level_of(node), next(counter), node))
 
-    info.flow[root] = 1 << root.level
+    info.flow[root] = 1 << level_of(root)
     enqueue(root)
     done = False
     check = manager.governor.checkpoint
@@ -139,12 +146,12 @@ def mark_nodes(manager: Manager, root: Node, info: ApproxInfo,
                 replacement = None
         if replacement is None:
             # Keep the node: flow passes to both children.
-            add_flow(info, node.hi,
-                     child_flow(flow, node.level, node.hi, info.nvars))
-            add_flow(info, node.lo,
-                     child_flow(flow, node.level, node.lo, info.nvars))
-            enqueue(node.hi)
-            enqueue(node.lo)
+            level = level_of(node)
+            hi, lo = hi_of(node), lo_of(node)
+            add_flow(info, hi, child_flow(info, flow, level, hi))
+            add_flow(info, lo, child_flow(info, flow, level, lo))
+            enqueue(hi)
+            enqueue(lo)
             continue
         _commit(manager, node, flow, replacement, info)
         if replacement.kind == REPLACE_REMAP:
@@ -165,9 +172,11 @@ def _accept(rep: Replacement, info: ApproxInfo, q: Fraction) -> bool:
             > info.minterms * new_size * q.numerator)
 
 
-def _commit(manager: Manager, node: Node, flow: int, rep: Replacement,
+def _commit(manager: Manager, node: Any, flow: int, rep: Replacement,
             info: ApproxInfo) -> None:
     """updateInfo: record the replacement and update all bookkeeping."""
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
     apply_death(info, rep.dead)
     info.size -= rep.saved
     info.minterms -= rep.lost
@@ -178,31 +187,33 @@ def _commit(manager: Manager, node: Node, flow: int, rep: Replacement,
         kept = rep.kept
         info.status[node] = (REPLACE_REMAP, kept)
         # Arcs into `node` now point at `kept`.
-        if not kept.is_terminal:
+        if not is_term(kept):
             info.refs[kept] = info.refs.get(kept, 0) + info.refs[node]
-            add_flow(info, kept, flow << (kept.level - node.level))
+            add_flow(info, kept,
+                     flow << (level_of(kept) - level_of(node)))
         return
     level, use_then, shared = rep.grandchild
     info.status[node] = (REPLACE_GRANDCHILD, level, use_then, shared)
-    if not shared.is_terminal:
+    if not is_term(shared):
         # The new node at `level` references the shared grandchild.
         info.refs[shared] = info.refs.get(shared, 0) + 1
         add_flow(info, shared,
-                 flow << (shared.level - node.level - 1))
+                 flow << (level_of(shared) - level_of(node) - 1))
 
 
 # ----------------------------------------------------------------------
 # findReplacement (Section 2.1.1)
 # ----------------------------------------------------------------------
 
-def _count_from(info: ApproxInfo, node: Node, level: int) -> int:
+def _count_from(info: ApproxInfo, node: Any, level: int) -> int:
     """Minterm count of ``node`` over the variables at ``level`` down."""
-    if node.is_terminal:
-        return node.value << (info.nvars - level)
-    return info.counts[node] << (node.level - level)
+    store = info.store
+    if store.is_terminal(node):
+        return store.value_of(node) << (info.nvars - level)
+    return info.counts[node] << (store.level_of(node) - level)
 
 
-def find_replacement(manager: Manager, node: Node, flow: int,
+def find_replacement(manager: Manager, node: Any, flow: int,
                      info: ApproxInfo, leq_cache: dict,
                      replacements: tuple = (REPLACE_REMAP,
                                             REPLACE_GRANDCHILD,
@@ -213,7 +224,11 @@ def find_replacement(manager: Manager, node: Node, flow: int,
     Returns the first enabled type that *applies* (the acceptance
     decision is the caller's); None when no enabled type applies.
     """
-    hi, lo = node.hi, node.lo
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    hi, lo = hi_of(node), lo_of(node)
+    node_level = level_of(node)
     count_here = info.counts[node]
 
     # --- remap: requires one child's function contained in the other's.
@@ -224,36 +239,36 @@ def find_replacement(manager: Manager, node: Node, flow: int,
         elif leq_node(manager, hi, lo, leq_cache):
             kept, dropped = hi, lo
     if kept is not None:
-        protected = frozenset() if kept.is_terminal else frozenset({kept})
+        protected = frozenset() if is_term(kept) else frozenset({kept})
         dead = nodes_saved(node, info, protected)
         lost = flow * (count_here
-                       - _count_from(info, kept, node.level))
+                       - _count_from(info, kept, node_level))
         return Replacement(kind=REPLACE_REMAP, lost=lost,
                            saved=len(dead), dead=dead, kept=kept)
 
     # --- replace-by-grandchild: children at the same level sharing a
     # grandchild on the same side.
-    if REPLACE_GRANDCHILD in replacements and not hi.is_terminal \
-            and not lo.is_terminal and hi.level == lo.level:
+    if REPLACE_GRANDCHILD in replacements and not is_term(hi) \
+            and not is_term(lo) and level_of(hi) == level_of(lo):
         shared = None
-        if hi.hi is lo.hi:
-            shared, use_then = hi.hi, True
-        elif hi.lo is lo.lo:
-            shared, use_then = hi.lo, False
+        if hi_of(hi) == hi_of(lo):
+            shared, use_then = hi_of(hi), True
+        elif lo_of(hi) == lo_of(lo):
+            shared, use_then = lo_of(hi), False
         if shared is not None:
-            protected = frozenset() if shared.is_terminal \
+            protected = frozenset() if is_term(shared) \
                 else frozenset({shared})
             dead = nodes_saved(node, info, protected)
             # Replacement function y·shared (or y'·shared) over the
             # variables from node.level down: the node's own variable is
             # free, y is fixed, everything between is free.
-            new_count = _count_from(info, shared, node.level) >> 1
+            new_count = _count_from(info, shared, node_level) >> 1
             lost = flow * (count_here - new_count)
             return Replacement(
                 kind=REPLACE_GRANDCHILD, lost=lost,
                 saved=len(dead) - 1,  # the replacement node may be new
                 dead=dead,
-                grandchild=(hi.level, use_then, shared))
+                grandchild=(level_of(hi), use_then, shared))
 
     # --- replace-by-0: always applies (when enabled).
     if REPLACE_ZERO not in replacements:
@@ -267,7 +282,7 @@ def find_replacement(manager: Manager, node: Node, flow: int,
 # Pass 3: buildResult
 # ----------------------------------------------------------------------
 
-def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
+def build_result(manager: Manager, root: Any, info: ApproxInfo) -> Any:
     """Rebuild the BDD bottom-up applying the recorded replacements.
 
     Explicit post-order walk (no recursion, so replacement chains of any
@@ -275,26 +290,29 @@ def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
     resolve terminals/memo hits and queue the nodes a status depends on;
     rebuild frames (flag 1) pop the finished pieces off the value stack.
     """
-    memo: dict[Node, Node] = {}
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    mk = store.mk
+    memo: dict[Any, Any] = {}
     status_of = info.status
-    zero = manager.zero_node
+    zero = store.zero
 
     check = manager.governor.checkpoint
     ticks = 0
-    stack: list[tuple[int, Node]] = [(0, root)]
-    values: list[Node] = []
+    stack: list[tuple[int, Any]] = [(0, root)]
+    values: list[Any] = []
     while stack:
         ticks += 1
         if not ticks & _MASK:
             check("remap")
         flag, node = stack.pop()
         if flag == 0:
-            if node.is_terminal:
+            if is_term(node):
                 values.append(node)
                 continue
-            result = memo.get(node)
-            if result is not None:
-                values.append(result)
+            if node in memo:
+                values.append(memo[node])
                 continue
             status = status_of.get(node)
             if status is not None and status[0] == REPLACE_ZERO:
@@ -303,8 +321,8 @@ def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
                 continue
             stack.append((1, node))
             if status is None:
-                stack.append((0, node.lo))
-                stack.append((0, node.hi))
+                stack.append((0, lo_of(node)))
+                stack.append((0, hi_of(node)))
             elif status[0] == REPLACE_REMAP:
                 stack.append((0, status[1]))
             else:
@@ -314,16 +332,16 @@ def build_result(manager: Manager, root: Node, info: ApproxInfo) -> Node:
             if status is None:
                 lo = values.pop()
                 hi = values.pop()
-                result = manager.mk(node.level, hi, lo)
+                result = mk(level_of(node), hi, lo)
             elif status[0] == REPLACE_REMAP:
                 result = values.pop()
             else:
                 _, level, use_then, _ = status
                 branch = values.pop()
                 if use_then:
-                    result = manager.mk(level, branch, zero)
+                    result = mk(level, branch, zero)
                 else:
-                    result = manager.mk(level, zero, branch)
+                    result = mk(level, zero, branch)
             memo[node] = result
             values.append(result)
     return values[0]

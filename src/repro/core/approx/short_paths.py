@@ -18,11 +18,12 @@ from ...bdd.traversal import collect_nodes
 
 def shortest_path_lengths(f: Function) -> dict:
     """Shortest root-to-ONE path length through each internal node."""
+    store = f.manager.store
     root = f.node
-    d_root = distance_from_root(root)
-    d_one = distance_to_one(root, f.manager.one_node)
+    d_root = distance_from_root(store, root)
+    d_one = distance_to_one(store, root)
     return {node: d_root[node] + d_one[node]
-            for node in collect_nodes(root)}
+            for node in collect_nodes(store, root)}
 
 
 def short_paths_subset(f: Function, threshold: int,
@@ -36,7 +37,10 @@ def short_paths_subset(f: Function, threshold: int,
     FALSE is returned).
     """
     manager, root = f.manager, f.node
-    if root.is_terminal or bdd_size(root) <= threshold:
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    if is_term(root) or bdd_size(store, root) <= threshold:
         return f
     lengths = shortest_path_lengths(f)
     by_length = sorted(set(lengths.values()))
@@ -54,29 +58,28 @@ def short_paths_subset(f: Function, threshold: int,
     # Explicit post-order rebuild (no recursion): kept nodes are
     # re-created bottom-up, discarded nodes collapse to ZERO.
     memo: dict = {}
-    zero = manager.zero_node
+    zero = store.zero
     stack = [(0, root)]
     values = []
     while stack:
         flag, node = stack.pop()
         if flag == 0:
-            if node.is_terminal:
+            if is_term(node):
                 values.append(node)
                 continue
             if node not in keep:
                 values.append(zero)
                 continue
-            result = memo.get(node)
-            if result is not None:
-                values.append(result)
+            if node in memo:
+                values.append(memo[node])
                 continue
             stack.append((1, node))
-            stack.append((0, node.lo))
-            stack.append((0, node.hi))
+            stack.append((0, lo_of(node)))
+            stack.append((0, hi_of(node)))
         else:
             lo = values.pop()
             hi = values.pop()
-            result = manager.mk(node.level, hi, lo)
+            result = manager.mk(level_of(node), hi, lo)
             memo[node] = result
             values.append(result)
     return Function(manager, values[0])

@@ -18,10 +18,10 @@ from __future__ import annotations
 import heapq
 import itertools
 from fractions import Fraction
+from typing import Any
 
 from ...bdd.function import Function
 from ...bdd.manager import Manager
-from ...bdd.node import Node
 from .info import (REPLACE_ZERO, ApproxInfo, add_flow, analyze,
                    apply_death, child_flow, nodes_saved)
 from .remap import build_result
@@ -43,28 +43,32 @@ def bdd_under_approx(f: Function, threshold: int = 0,
     if not 0.0 <= weight <= 1.0:
         raise ValueError("weight must lie in [0, 1]")
     manager, root = f.manager, f.node
-    if root.is_terminal:
+    store = manager.store
+    if store.is_terminal(root):
         return f
-    info = analyze(root, manager.num_vars)
+    info = analyze(store, root, manager.num_vars)
     _mark(manager, root, info, threshold, Fraction(weight))
     return Function(manager, build_result(manager, root, info))
 
 
-def _mark(manager: Manager, root: Node, info: ApproxInfo,
+def _mark(manager: Manager, root: Any, info: ApproxInfo,
           threshold: int, weight: Fraction) -> None:
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
     original_size = info.size
     original_minterms = info.minterms
     counter = itertools.count()
-    queue: list[tuple[int, int, Node]] = []
-    entered: set[Node] = set()
+    queue: list[tuple[int, int, Any]] = []
+    entered: set[Any] = set()
 
-    def enqueue(node: Node) -> None:
-        if node.is_terminal or node in entered:
+    def enqueue(node: Any) -> None:
+        if is_term(node) or node in entered:
             return
         entered.add(node)
-        heapq.heappush(queue, (node.level, next(counter), node))
+        heapq.heappush(queue, (level_of(node), next(counter), node))
 
-    info.flow[root] = 1 << root.level
+    info.flow[root] = 1 << level_of(root)
     enqueue(root)
     done = False
     while queue:
@@ -87,9 +91,9 @@ def _mark(manager: Manager, root: Node, info: ApproxInfo,
                 info.minterms -= lost
                 info.status[node] = (REPLACE_ZERO,)
                 continue
-        add_flow(info, node.hi,
-                 child_flow(flow, node.level, node.hi, info.nvars))
-        add_flow(info, node.lo,
-                 child_flow(flow, node.level, node.lo, info.nvars))
-        enqueue(node.hi)
-        enqueue(node.lo)
+        level = level_of(node)
+        hi, lo = hi_of(node), lo_of(node)
+        add_flow(info, hi, child_flow(info, flow, level, hi))
+        add_flow(info, lo, child_flow(info, flow, level, lo))
+        enqueue(hi)
+        enqueue(lo)

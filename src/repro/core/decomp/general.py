@@ -15,46 +15,51 @@ A per-node cache keeps the construction linear and encourages sharing.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ...bdd.function import Function
-from ...bdd.node import Node
 
 
-def decompose_at_points(f: Function, points: set[Node],
+def decompose_at_points(f: Function, points: set,
                         conjunctive: bool = True
                         ) -> tuple[Function, Function]:
     """Two-way decomposition of ``f`` splitting at ``points``.
 
-    ``points`` are nodes of ``f``'s BDD (obtained from the selectors in
-    :mod:`repro.core.decomp.points`).  Returns ``(g, h)`` with
-    ``f == g & h`` (conjunctive) or ``f == g | h`` (disjunctive).
+    ``points`` are node handles of ``f``'s BDD (obtained from the
+    selectors in :mod:`repro.core.decomp.points`).  Returns ``(g, h)``
+    with ``f == g & h`` (conjunctive) or ``f == g | h`` (disjunctive).
     """
     manager = f.manager
-    one, zero = manager.one_node, manager.zero_node
+    store = manager.store
+    is_term, level_of = store.is_terminal, store.level_of
+    hi_of, lo_of = store.hi_of, store.lo_of
+    mk = store.mk
+    one, zero = store.one, store.zero
     neutral = one if conjunctive else zero
-    cache: dict[Node, tuple[Node, Node]] = {}
+    cache: dict[Any, tuple[Any, Any]] = {}
     # Pairing decisions use a memoized tree-size surrogate: exact BDD
     # sizes would make every combine step a full traversal (quadratic
     # overall), while tree size is O(1) per new node and ranks the
     # straight/crossed alternatives the same way in the common case.
-    tree_size: dict[Node, int] = {}
+    tree_size: dict[Any, int] = {}
 
-    def ts(node: Node) -> int:
-        if node.is_terminal:
+    def ts(node: Any) -> int:
+        if is_term(node):
             return 0
         # Two-phase explicit stack: expand until both child sizes are
         # memoized, then fill the parent's entry.
         stack = [node]
         while stack:
             current = stack.pop()
-            if current.is_terminal or current in tree_size:
+            if is_term(current) or current in tree_size:
                 continue
-            hi, lo = current.hi, current.lo
-            hi_ready = hi.is_terminal or hi in tree_size
-            lo_ready = lo.is_terminal or lo in tree_size
+            hi, lo = hi_of(current), lo_of(current)
+            hi_ready = is_term(hi) or hi in tree_size
+            lo_ready = is_term(lo) or lo in tree_size
             if hi_ready and lo_ready:
                 tree_size[current] = 1 \
-                    + (0 if hi.is_terminal else tree_size[hi]) \
-                    + (0 if lo.is_terminal else tree_size[lo])
+                    + (0 if is_term(hi) else tree_size[hi]) \
+                    + (0 if is_term(lo) else tree_size[lo])
             else:
                 stack.append(current)
                 if not hi_ready:
@@ -63,54 +68,53 @@ def decompose_at_points(f: Function, points: set[Node],
                     stack.append(lo)
         return tree_size[node]
 
-    def at_point(node: Node) -> tuple[Node, Node]:
+    def at_point(node: Any) -> tuple[Any, Any]:
         """Equation 1 applied locally: (v + f_e, v' + f_t) or the dual."""
-        level = node.level
+        level = level_of(node)
+        hi, lo = hi_of(node), lo_of(node)
         if conjunctive:
-            g = manager.mk(level, one, node.lo)       # v + f_e
-            h = manager.mk(level, node.hi, one)       # v' + f_t
+            g = mk(level, one, lo)        # v + f_e
+            h = mk(level, hi, one)        # v' + f_t
         else:
-            g = manager.mk(level, node.hi, zero)      # v · f_t
-            h = manager.mk(level, zero, node.lo)      # v' · f_e
+            g = mk(level, hi, zero)       # v · f_t
+            h = mk(level, zero, lo)       # v' · f_e
         return g, h
 
-    def combine(level: int, g_t: Node, h_t: Node, g_e: Node,
-                h_e: Node) -> tuple[Node, Node]:
-        straight = (manager.mk(level, g_t, g_e), manager.mk(level, h_t,
-                                                            h_e))
-        crossed = (manager.mk(level, g_t, h_e), manager.mk(level, h_t,
-                                                           g_e))
+    def combine(level: int, g_t: Any, h_t: Any, g_e: Any,
+                h_e: Any) -> tuple[Any, Any]:
+        straight = (mk(level, g_t, g_e), mk(level, h_t, h_e))
+        crossed = (mk(level, g_t, h_e), mk(level, h_t, g_e))
         return min(
             (straight, crossed),
             key=lambda pair: (max(ts(pair[0]), ts(pair[1])),
                               ts(pair[0]) + ts(pair[1])))
 
-    def resolved(node: Node) -> tuple[Node, Node]:
-        if node.is_terminal:
+    def resolved(node: Any) -> tuple[Any, Any]:
+        if is_term(node):
             return node, neutral
         return cache[node]
 
-    def decomp(root: Node) -> tuple[Node, Node]:
-        if root.is_terminal:
+    def decomp(root: Any) -> tuple[Any, Any]:
+        if is_term(root):
             return root, neutral
         # Two-phase explicit stack: a node is pushed unexpanded, its
         # children are decomposed first, then the expanded visit
         # combines (or applies Equation 1 at a decomposition point).
-        stack: list[tuple[Node, bool]] = [(root, False)]
+        stack: list[tuple[Any, bool]] = [(root, False)]
         while stack:
             node, expanded = stack.pop()
-            if node.is_terminal or node in cache:
+            if is_term(node) or node in cache:
                 continue
             if node in points:
                 cache[node] = at_point(node)
             elif not expanded:
                 stack.append((node, True))
-                stack.append((node.hi, False))
-                stack.append((node.lo, False))
+                stack.append((hi_of(node), False))
+                stack.append((lo_of(node), False))
             else:
-                g_t, h_t = resolved(node.hi)
-                g_e, h_e = resolved(node.lo)
-                cache[node] = combine(node.level, g_t, h_t, g_e, h_e)
+                g_t, h_t = resolved(hi_of(node))
+                g_e, h_e = resolved(lo_of(node))
+                cache[node] = combine(level_of(node), g_t, h_t, g_e, h_e)
         return cache[root]
 
     g, h = decomp(f.node)

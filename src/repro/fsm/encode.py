@@ -60,16 +60,21 @@ def next_var_name(state_var: str) -> str:
 
 
 def encode(circuit: Circuit, manager: Manager | None = None,
-           inputs_first: bool = True) -> EncodedCircuit:
+           inputs_first: bool = True,
+           backend: str | None = None) -> EncodedCircuit:
     """Build BDDs for a circuit's next-state and output functions.
 
     The variable order is: primary inputs (if ``inputs_first``), then
     interleaved (present, next) pairs in latch order.  Declaring next
     variables adjacent to their partners keeps the y -> x renaming and
     the transition-relation BDDs small.
+
+    ``backend`` picks the node-store backend for a freshly created
+    manager (ignored when ``manager`` is passed); None defers to
+    ``REPRO_BACKEND`` and then ``"object"``.
     """
     if manager is None:
-        manager = Manager()
+        manager = Manager(backend=backend)
     input_vars = list(circuit.inputs)
     state_vars = [latch.name for latch in circuit.latches]
     next_vars = [next_var_name(name) for name in state_vars]

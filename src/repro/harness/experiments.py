@@ -98,7 +98,10 @@ def simple_approx_rows(payload) -> dict:
             "UA": bdd_under_approx(f, threshold=0),
             "RUA": rua,
         }
-        row = {"key": entry.name}
+        # The backend label is an optional trajectory field: compared
+        # exactly when both files carry it, skipped against baselines
+        # that predate pluggable stores.
+        row = {"key": entry.name, "backend": f.manager.backend}
         for name, g in results.items():
             assert g <= f, f"{name} broke the subset contract"
             row[f"{name}_nodes"] = len(g)
@@ -157,7 +160,8 @@ def decomposition_rows(payload) -> dict:
         for method in DECOMP_METHODS:
             g, h = decompose(f, method)
             assert (g & h) == f, f"{method} broke f = g*h"
-            row[f"{method}_shared"] = shared_size([g.node, h.node])
+            row[f"{method}_shared"] = shared_size(
+                f.manager.store, [g.node, h.node])
             row[f"{method}_g"] = len(g)
             row[f"{method}_h"] = len(h)
             row[f"{method}_big"] = max(len(g), len(h))
@@ -210,6 +214,7 @@ def reachability_row(payload) -> dict:
         "circuit": circuit.name,
         "method": method,
         "ff": circuit.num_latches,
+        "backend": encoded.manager.backend,
     }
     deadline = payload.get("deadline")
     on_blowup = payload.get("on_blowup", "raise")

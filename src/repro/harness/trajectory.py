@@ -31,10 +31,11 @@ int / str / bool / None fields
     Deterministic results (node counts, minterm counts, state counts,
     statuses).  Compared for exact equality — any difference is a
     *mismatch* and fails the comparison.
-``aborts`` / ``degradations``
-    Optional governor counters (a schema-compatible addition): compared
-    exactly when both files carry them, skipped against baselines
-    written before the fields existed.
+``aborts`` / ``degradations`` / ``backend``
+    Optional fields (schema-compatible additions): the governor
+    counters and the node-store backend the row was produced on.
+    Compared exactly when both files carry them, skipped against
+    baselines written before the fields existed.
 other floats and nested objects
     Informational (timings inside manager stats etc.); ignored by the
     comparator.
@@ -165,9 +166,9 @@ _IGNORED_FIELDS = frozenset({"seconds", "manager_stats"})
 
 #: Optional row fields: compared exactly when both sides carry them,
 #: skipped when either side predates the field.  Lets newer runs add
-#: counters (governor aborts, degradation events) without invalidating
-#: every committed baseline.
-_OPTIONAL_FIELDS = frozenset({"aborts", "degradations"})
+#: counters (governor aborts, degradation events) and labels (the
+#: node-store backend) without invalidating every committed baseline.
+_OPTIONAL_FIELDS = frozenset({"aborts", "degradations", "backend"})
 
 
 @dataclass

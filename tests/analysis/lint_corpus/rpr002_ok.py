@@ -8,3 +8,13 @@ def build(manager, level, hi, lo):
 class NodeFactory:
     # A class merely *named* like the constructor is not a call.
     pass
+
+
+def pick_store(backend):
+    from repro.bdd.backend import create_store
+
+    return create_store(backend)
+
+
+def pick_manager(manager_cls):
+    return manager_cls(backend="array")

@@ -4,3 +4,9 @@ from repro.bdd.node import Node
 
 def forge(level, hi, lo):
     return Node(level, hi, lo)  # repro-lint: disable=RPR002
+
+
+def forge_store():
+    from repro.bdd.backend import ObjectStore
+
+    return ObjectStore()  # repro-lint: disable=RPR002

@@ -8,3 +8,13 @@ def smuggle(level, hi, lo):
 
 def smuggle_qualified(node_module, level, hi, lo):
     return node_module.Node(level, hi, lo)
+
+
+def smuggle_store():
+    from repro.bdd.backend import ObjectStore
+
+    return ObjectStore()
+
+
+def smuggle_flat_store(arraystore_module):
+    return arraystore_module.ArrayStore()

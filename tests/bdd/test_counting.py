@@ -53,15 +53,16 @@ class TestMintermCountMap:
     def test_internal_counts(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        counts = minterm_count_map(f.node, 3)
+        counts = minterm_count_map(m.store, f.node, 3)
         # Bottom node (x2, over 1 var): 1 minterm; middle: 1; top: 1.
         assert counts[f.node] == 1
 
     def test_root_count_scales(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            counts = minterm_count_map(f.node, 12)
-            assert counts[f.node] << f.node.level == f.sat_count()
+            counts = minterm_count_map(m.store, f.node, 12)
+            assert counts[f.node] << m.store.level_of(f.node) \
+                == f.sat_count()
 
 
 class TestDensity:
@@ -104,19 +105,19 @@ class TestSharedSize:
         m, vs = fresh_manager(4)
         f = vs[0] & vs[1]
         g = vs[2] & vs[3]
-        assert shared_size([f.node, g.node]) == len(f) + len(g)
+        assert shared_size(m.store, [f.node, g.node]) == len(f) + len(g)
 
     def test_identical_functions_counted_once(self):
         m, vs = fresh_manager(3)
         f = vs[0] | vs[2]
-        assert shared_size([f.node, f.node]) == len(f)
+        assert shared_size(m.store, [f.node, f.node]) == len(f)
 
 
 class TestPathProfiles:
     def test_distance_from_root(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        dist = distance_from_root(f.node)
+        dist = distance_from_root(m.store, f.node)
         assert dist[f.node] == 0
         assert dist[m.one_node] == 3
         assert dist[m.zero_node] == 1  # first else-arc
@@ -124,29 +125,29 @@ class TestPathProfiles:
     def test_distance_to_one(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        dist = distance_to_one(f.node, m.one_node)
+        dist = distance_to_one(m.store, f.node)
         assert dist[f.node] == 3
 
     def test_every_internal_node_reaches_one(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            dist = distance_to_one(f.node, m.one_node)
+            dist = distance_to_one(m.store, f.node)
             internal = {n: d for n, d in dist.items()
-                        if not n.is_terminal}
+                        if not m.store.is_terminal(n)}
             assert all(d != math.inf for d in internal.values())
 
     def test_height_map(self):
         m, vs = fresh_manager(4)
         f = vs[0] & vs[1] & vs[2] & vs[3]
-        heights = height_map(f.node)
+        heights = height_map(m.store, f.node)
         assert heights[f.node] == 4
 
     def test_path_count_cube(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
         # One path to ONE, three paths to ZERO.
-        assert path_count(f.node) == 4
+        assert path_count(m.store, f.node) == 4
 
     def test_path_count_terminal(self):
         m = Manager()
-        assert path_count(m.true.node) == 1
+        assert path_count(m.store, m.true.node) == 1

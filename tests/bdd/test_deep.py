@@ -133,8 +133,8 @@ class TestDeepStructures:
     def test_counting_and_paths(self, depth):
         m = deep_manager(depth)
         f = chain(m, depth)
-        assert path_count(f.node) == depth + 1
-        assert sum(1 for _ in iter_paths(f.node, m)) == depth + 1
+        assert path_count(m.store, f.node) == depth + 1
+        assert sum(1 for _ in iter_paths(m.store, f.node)) == depth + 1
         assert sum(1 for _ in f.iter_minterms()) == 1
 
     def test_pick_and_eval(self, depth):

@@ -34,9 +34,8 @@ class TestToDot:
 
     def test_ranks_group_levels(self, random_functions):
         m, funcs = random_functions
+        from repro.bdd.traversal import collect_nodes
         dot = to_dot(funcs[0])
         assert dot.count("rank=same") == \
-            len({n.level for n in
-                 __import__("repro.bdd.traversal",
-                            fromlist=["collect_nodes"])
-                 .collect_nodes(funcs[0].node)})
+            len({m.store.level_of(n)
+                 for n in collect_nodes(m.store, funcs[0].node)})

@@ -52,7 +52,7 @@ class TestTerminals:
         assert m.true.is_true
         assert m.false.is_false
         assert m.true != m.false
-        assert m.true.node.level == TERMINAL_LEVEL
+        assert m.store.level_of(m.true.node) == TERMINAL_LEVEL
 
     def test_constants_are_canonical(self):
         m = Manager()

@@ -1,8 +1,22 @@
-"""Node primitives."""
+"""Node primitives.
+
+These poke :class:`~repro.bdd.node.Node` attributes directly, so they
+only make sense on the object backend; integer handles have none of
+these fields (see ``docs/backends.md``).
+"""
 
 from __future__ import annotations
 
+import os
+
+import pytest
+
 from repro.bdd import TERMINAL_LEVEL, Manager
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_BACKEND", "object") not in ("", "object"),
+    reason="exercises Node attributes specific to the object backend",
+)
 
 
 class TestNode:

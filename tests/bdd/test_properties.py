@@ -131,7 +131,7 @@ def test_canonicity_equal_functions_same_node(e1, e2):
     g = build(manager, e2)
     same = all(evaluate(e1, env) == evaluate(e2, env)
                for env in all_envs())
-    assert (f.node is g.node) == same
+    assert (f.node == g.node) == same
 
 
 @settings(max_examples=80, deadline=None)

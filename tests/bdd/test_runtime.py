@@ -86,7 +86,7 @@ class TestBoundedCacheCanonicity:
         # ... then recompute: hash-consing must return the same nodes.
         again = [xs[i] & xs[i + 1] for i in range(9)]
         for (node, p), q in zip(first, again):
-            assert q.node is node
+            assert q.node == node
             assert q == p
 
     def test_results_independent_of_cache_limit(self):
@@ -304,7 +304,7 @@ class TestReachabilityByteIdentical:
 
 
 class TestMetricCaches:
-    """Per-manager weak caches for bdd_size / support_levels."""
+    """Per-manager metric caches for bdd_size / support_levels."""
 
     def _build(self):
         from tests.helpers import fresh_manager
@@ -322,7 +322,7 @@ class TestMetricCaches:
         assert f.node in manager._support_cache
         # Cached answers stay consistent with a fresh walk.
         from repro.bdd import bdd_size
-        assert len(f) == bdd_size(f.node)
+        assert len(f) == bdd_size(manager.store, f.node)
         assert f.support() == support
 
     def test_gc_invalidates(self):
@@ -333,7 +333,7 @@ class TestMetricCaches:
         assert f.node not in manager._support_cache
         # and repopulating still gives the right answer
         from repro.bdd import bdd_size
-        assert len(f) == bdd_size(f.node)
+        assert len(f) == bdd_size(manager.store, f.node)
 
     def test_reorder_invalidates_and_stays_correct(self):
         from repro.bdd import bdd_size
@@ -345,7 +345,7 @@ class TestMetricCaches:
         sift(manager)
         # swap_adjacent rewrites nodes in place: the caches were
         # flushed, so fresh walks and cached walks must agree.
-        assert len(f) == bdd_size(f.node)
+        assert len(f) == bdd_size(manager.store, f.node)
         assert f.support() == before_support
 
     def test_dead_nodes_do_not_pin_the_cache(self):
@@ -358,7 +358,7 @@ class TestMetricCaches:
         del f
         del node
         gc.collect()
-        # WeakKeyDictionary: entries vanish with their nodes once the
-        # handles (and the unique-table slots, after GC) let go.
+        # GC flushes the metric caches wholesale, so dead handles
+        # never pin entries (and recycled ids can never alias them).
         manager.collect_garbage()
         assert len(manager._size_cache) == 0

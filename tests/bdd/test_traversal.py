@@ -14,19 +14,19 @@ class TestCollect:
     def test_excludes_terminals(self):
         m, vs = fresh_manager(2)
         f = vs[0] & vs[1]
-        nodes = collect_nodes(f.node)
+        nodes = collect_nodes(m.store, f.node)
         assert len(nodes) == 2
-        assert all(not n.is_terminal for n in nodes)
+        assert all(not m.store.is_terminal(n) for n in nodes)
 
     def test_terminal_root(self):
         m = Manager()
-        assert collect_nodes(m.true.node) == []
+        assert collect_nodes(m.store, m.true.node) == []
 
     def test_shared_subgraph_counted_once(self):
         m, vs = fresh_manager(3)
         shared = vs[2]
         f = m.ite(vs[0], vs[1] & shared, shared)
-        nodes = collect_node_set(f.node)
+        nodes = collect_node_set(m.store, f.node)
         assert len(nodes) == len(f)
 
 
@@ -34,29 +34,31 @@ class TestFunctionRefs:
     def test_root_has_zero_internal_refs(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        refs = function_refs(f.node)
+        refs = function_refs(m.store, f.node)
         assert refs[f.node] == 0
 
     def test_chain_refs(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        refs = function_refs(f.node)
-        internal = [n for n in collect_nodes(f.node) if n is not f.node]
+        refs = function_refs(m.store, f.node)
+        internal = [n for n in collect_nodes(m.store, f.node)
+                    if n != f.node]
         assert all(refs[n] == 1 for n in internal)
 
     def test_shared_node_refs(self):
         m, vs = fresh_manager(3)
         # Both branches of x0 point at the x2 node.
         f = m.ite(vs[0], vs[1] & vs[2], vs[2])
-        refs = function_refs(f.node)
-        x2_nodes = [n for n in collect_nodes(f.node) if n.level == 2]
+        refs = function_refs(m.store, f.node)
+        x2_nodes = [n for n in collect_nodes(m.store, f.node)
+                    if m.store.level_of(n) == 2]
         assert len(x2_nodes) == 1
         assert refs[x2_nodes[0]] == 2
 
     def test_terminal_refs_counted(self):
         m, vs = fresh_manager(2)
         f = vs[0] & vs[1]
-        refs = function_refs(f.node)
+        refs = function_refs(m.store, f.node)
         assert refs[m.one_node] == 1
         assert refs[m.zero_node] == 2
 
@@ -64,18 +66,19 @@ class TestFunctionRefs:
 class TestLevels:
     def test_sorted_topologically(self, random_functions):
         m, funcs = random_functions
+        store = m.store
         for f in funcs:
-            ordered = nodes_by_level(f.node)
+            ordered = nodes_by_level(store, f.node)
             position = {n: i for i, n in enumerate(ordered)}
             for node in ordered:
-                for child in (node.hi, node.lo):
-                    if not child.is_terminal:
+                for child in (store.hi_of(node), store.lo_of(node)):
+                    if not store.is_terminal(child):
                         assert position[child] > position[node]
 
     def test_support_levels(self):
         m, vs = fresh_manager(5)
         f = vs[1] ^ vs[4]
-        assert support_levels(f.node) == {1, 4}
+        assert support_levels(m.store, f.node) == {1, 4}
 
 
 class TestIterPaths:
@@ -84,7 +87,7 @@ class TestIterPaths:
         f = (vs[0] & vs[1]) | vs[2]
         total = 0
         ones = 0
-        for assignment, value in iter_paths(f.node, m):
+        for assignment, value in iter_paths(m.store, f.node):
             weight = 2 ** (3 - len(assignment))
             total += weight
             if value:

@@ -51,12 +51,14 @@ class TestHeavyBranch:
         wide = (vs[0] & vs[1]) | (vs[2] & vs[3]) | (vs[4] & vs[5])
         r = heavy_branch_subset(wide, 3)
         assert r <= wide
+        store = m.store
         node = r.node
         zero = m.zero_node
         # walk the top string: nodes with one constant-0 child
-        while not node.is_terminal and (node.hi is zero
-                                        or node.lo is zero):
-            node = node.lo if node.hi is zero else node.hi
+        while not store.is_terminal(node) and \
+                (store.hi_of(node) == zero or store.lo_of(node) == zero):
+            node = store.lo_of(node) if store.hi_of(node) == zero \
+                else store.hi_of(node)
 
     def test_nonzero_result(self, random_functions):
         m, funcs = random_functions

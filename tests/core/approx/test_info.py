@@ -12,7 +12,7 @@ class TestAnalyze:
     def test_counts_and_refs(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        info = analyze(f.node, 3)
+        info = analyze(m.store, f.node, 3)
         assert info.size == 3
         assert info.minterms == 1
         assert info.refs[f.node] == 1  # external reference only
@@ -20,12 +20,12 @@ class TestAnalyze:
     def test_minterms_match_sat_count(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            info = analyze(f.node, m.num_vars)
+            info = analyze(m.store, f.node, m.num_vars)
             assert info.minterms == f.sat_count()
 
     def test_full_count_terminals(self):
         m, vs = fresh_manager(4)
-        info = analyze(vs[0].node, 4)
+        info = analyze(m.store, vs[0].node, 4)
         assert full_count(info, m.one_node) == 16
         assert full_count(info, m.zero_node) == 0
 
@@ -34,28 +34,31 @@ class TestChildFlow:
     def test_adjacent_levels(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1]
-        child = f.node.hi
-        assert child_flow(4, 0, child, 3) == 4
+        info = analyze(m.store, f.node, 3)
+        child = m.store.hi_of(f.node)
+        assert child_flow(info, 4, 0, child) == 4
 
     def test_level_gap_doubles(self):
         m, vs = fresh_manager(4)
         f = vs[0] & vs[3]
-        child = f.node.hi  # tests x3, two levels below
-        assert child.level == 3
-        assert child_flow(1, 0, child, 4) == 4
+        info = analyze(m.store, f.node, 4)
+        child = m.store.hi_of(f.node)  # tests x3, two levels below
+        assert m.store.level_of(child) == 3
+        assert child_flow(info, 1, 0, child) == 4
 
     def test_terminal_child(self):
         m, vs = fresh_manager(3)
         f = vs[2]
-        assert child_flow(1, 2, m.one_node, 3) == 1
-        assert child_flow(2, 0, m.one_node, 3) == 8
+        info = analyze(m.store, f.node, 3)
+        assert child_flow(info, 1, 2, m.one_node) == 1
+        assert child_flow(info, 2, 0, m.one_node) == 8
 
 
 class TestNodesSaved:
     def test_chain_fully_dominated(self):
         m, vs = fresh_manager(4)
         f = vs[0] & vs[1] & vs[2] & vs[3]
-        info = analyze(f.node, 4)
+        info = analyze(m.store, f.node, 4)
         dead = nodes_saved(f.node, info)
         assert len(dead) == 4  # the whole chain dies with the root
 
@@ -65,8 +68,8 @@ class TestNodesSaved:
         # the then-child leaves it alive through the else path.
         shared = vs[2]
         f = m.ite(vs[0], vs[1] & shared, shared)
-        info = analyze(f.node, 3)
-        then_child = f.node.hi
+        info = analyze(m.store, f.node, 3)
+        then_child = m.store.hi_of(f.node)
         dead = nodes_saved(then_child, info)
         assert then_child in dead
         assert shared.node not in dead
@@ -74,18 +77,18 @@ class TestNodesSaved:
     def test_protection_blocks_counting(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]
-        info = analyze(f.node, 3)
-        protected = frozenset({f.node.hi})
+        info = analyze(m.store, f.node, 3)
+        protected = frozenset({m.store.hi_of(f.node)})
         dead = nodes_saved(f.node, info, protected)
         assert f.node in dead
-        assert f.node.hi not in dead
+        assert m.store.hi_of(f.node) not in dead
         # Protection also blocks propagation below.
         assert len(dead) == 1
 
     def test_root_always_dies(self, random_functions):
         m, funcs = random_functions
         for f in funcs[:4]:
-            info = analyze(f.node, m.num_vars)
+            info = analyze(m.store, f.node, m.num_vars)
             dead = nodes_saved(f.node, info)
             assert f.node in dead
             assert len(dead) == len(f)  # root dominates everything

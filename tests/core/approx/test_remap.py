@@ -65,7 +65,7 @@ class TestInternalAccounting:
     def test_minterm_estimate_is_exact(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            info = analyze(f.node, m.num_vars)
+            info = analyze(m.store, f.node, m.num_vars)
             mark_nodes(m, f.node, info, 0, 1.0)
             result = Function(m, build_result(m, f.node, info))
             assert result.sat_count() == info.minterms
@@ -73,7 +73,7 @@ class TestInternalAccounting:
     def test_size_estimate_is_upper_bound(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            info = analyze(f.node, m.num_vars)
+            info = analyze(m.store, f.node, m.num_vars)
             mark_nodes(m, f.node, info, 0, 1.0)
             result = Function(m, build_result(m, f.node, info))
             assert len(result) <= info.size
@@ -81,9 +81,9 @@ class TestInternalAccounting:
     def test_no_marks_reproduces_input(self, random_functions):
         m, funcs = random_functions
         f = funcs[0]
-        info = analyze(f.node, m.num_vars)
+        info = analyze(m.store, f.node, m.num_vars)
         # skip markNodes entirely: buildResult must be the identity
-        assert build_result(m, f.node, info) is f.node
+        assert build_result(m, f.node, info) == f.node
 
 
 class TestReplacementTypes:

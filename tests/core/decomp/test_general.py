@@ -14,7 +14,7 @@ class TestDecomposeAtPoints:
                                              rng):
         m, funcs = random_functions
         for f in funcs:
-            nodes = collect_nodes(f.node)
+            nodes = collect_nodes(m.store, f.node)
             points = set(rng.sample(nodes, min(5, len(nodes))))
             g, h = decompose_at_points(f, points)
             assert (g & h) == f
@@ -23,7 +23,7 @@ class TestDecomposeAtPoints:
                                              rng):
         m, funcs = random_functions
         for f in funcs:
-            nodes = collect_nodes(f.node)
+            nodes = collect_nodes(m.store, f.node)
             points = set(rng.sample(nodes, min(5, len(nodes))))
             g, h = decompose_at_points(f, points, conjunctive=False)
             assert (g | h) == f
@@ -56,7 +56,7 @@ class TestDecomposeAtPoints:
     def test_all_nodes_as_points(self, random_functions):
         m, funcs = random_functions
         for f in funcs[:4]:
-            points = set(collect_nodes(f.node))
+            points = set(collect_nodes(m.store, f.node))
             g, h = decompose_at_points(f, points)
             assert (g & h) == f
 

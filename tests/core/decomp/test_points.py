@@ -16,7 +16,7 @@ class TestBand:
     def test_band_heights_within_bounds(self, random_functions):
         m, funcs = random_functions
         for f in funcs:
-            heights = height_map(f.node)
+            heights = height_map(m.store, f.node)
             total = heights[f.node]
             for node in band_points(f, 0.3, 0.7):
                 assert 0.3 * total <= heights[node] <= 0.7 * total
@@ -48,7 +48,7 @@ class TestDisjointScore:
         m, vs = fresh_manager(6)
         # Children over disjoint variable sets share nothing.
         f = m.ite(vs[0], vs[1] & vs[2], vs[4] ^ vs[5])
-        score = score_disjointness(f.node)
+        score = score_disjointness(m.store, f.node)
         assert score.sharing == 0.0
         assert score.balance >= 1.0
 
@@ -56,8 +56,8 @@ class TestDisjointScore:
         m, vs = fresh_manager(4)
         shared = vs[2] & vs[3]
         f = m.ite(vs[0], shared & vs[1], shared)
-        hi = f.node.hi
-        score = score_disjointness(f.node)
+        hi = m.store.hi_of(f.node)
+        score = score_disjointness(m.store, f.node)
         assert score.sharing > 0.0
         assert hi is not None
 
@@ -70,7 +70,7 @@ class TestDisjointPoints:
             assert points
             # All points are nodes of f with internal children.
             from repro.bdd.traversal import collect_node_set
-            nodes = collect_node_set(f.node)
+            nodes = collect_node_set(m.store, f.node)
             assert points <= nodes
 
     def test_candidate_cap(self, random_functions):

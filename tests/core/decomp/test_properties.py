@@ -52,7 +52,7 @@ def test_cofactor_identity(cubes, conjunctive):
 def test_point_decomposition_identity(cubes, rng, conjunctive):
     manager = Manager(vars=NAMES)
     f = build(manager, cubes)
-    nodes = collect_nodes(f.node)
+    nodes = collect_nodes(f.manager.store, f.node)
     k = rng.randint(0, min(4, len(nodes)))
     points = set(rng.sample(nodes, k)) if k else set()
     g, h = decompose_at_points(f, points, conjunctive=conjunctive)

@@ -134,6 +134,20 @@ class TestCompare:
         assert not report.ok
         assert report.mismatched[0].mismatches == {"aborts": (0, 2)}
 
+    def test_optional_backend_label_skipped_when_absent(self):
+        # Baselines written before pluggable node stores carry no
+        # backend field; labelled rows still compare clean against
+        # them, but two labelled files must agree.
+        old = [{"key": "a", "nodes": 5}]
+        new = [{"key": "a", "nodes": 5, "backend": "array"}]
+        assert compare(payload_with(old), payload_with(new)).ok
+        assert compare(payload_with(new), payload_with(old)).ok
+        other = [{"key": "a", "nodes": 5, "backend": "object"}]
+        report = compare(payload_with(other), payload_with(new))
+        assert not report.ok
+        assert report.mismatched[0].mismatches \
+            == {"backend": ("object", "array")}
+
     def test_floats_and_manager_stats_ignored(self):
         base = [{"key": "a", "density": 0.5,
                  "manager_stats": {"nodes": 1}}]

@@ -90,6 +90,26 @@ class TestRuntimeOptions:
             assert main([cmd[0], ring_blif, *cmd[1:], "--stats"]) == 0
             assert "computed table" in capsys.readouterr().out
 
+    def test_backend_flag_preserves_results(self, counter_blif, capsys,
+                                            monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "object")
+        assert main(["reach", counter_blif]) == 0
+        baseline = capsys.readouterr().out
+        assert main(["reach", counter_blif, "--backend", "array",
+                     "--stats"]) == 0
+        arrayed = capsys.readouterr().out
+        # The flag is exported so engine workers inherit it.
+        import os
+        assert os.environ["REPRO_BACKEND"] == "array"
+        assert "backend:         array" in arrayed
+        for line in baseline.splitlines():
+            if line.startswith(("states:", "complete:", "|reached|:")):
+                assert line in arrayed
+
+    def test_backend_flag_rejects_unknown(self, counter_blif):
+        with pytest.raises(SystemExit):
+            main(["reach", counter_blif, "--backend", "linked-list"])
+
     def test_runtime_knobs_preserve_results(self, counter_blif, capsys):
         assert main(["reach", counter_blif]) == 0
         baseline = capsys.readouterr().out
