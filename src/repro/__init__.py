@@ -14,6 +14,10 @@ Subpackages
     Symbolic reachability: BFS and high-density traversal (Section 4).
 ``repro.harness``
     Experiment harness regenerating the paper's tables.
+``repro.serve``
+    Long-lived BDD service daemon (``repro serve``): per-session
+    managers behind a newline-delimited JSON protocol with governor
+    budgets and fair scheduling.
 """
 
 # The BDD kernels are iterative (explicit stacks; see

@@ -16,6 +16,15 @@ Commands
 ``trajectory <baseline.json> <current.json>``
     Compare two ``BENCH_*.json`` benchmark trajectory files and exit
     non-zero on a regression or result mismatch (the CI perf gate).
+``serve``
+    Run the BDD service daemon (:mod:`repro.serve`): an asyncio server
+    exposing the toolkit verbs as a newline-delimited JSON protocol
+    with per-session managers, per-request governor budgets, and fair
+    scheduling across sessions (see ``docs/serve.md``).
+``call <verb> [params-json]``
+    One-shot client for a running daemon: send one request, print the
+    JSON result.  A structured ``budget`` error exits with status 3,
+    matching the in-process governor convention.
 ``lint [paths...]``
     Run the BDD-aware static rules (:mod:`repro.analysis`) over source
     trees; exits non-zero on errors (or on any finding with
@@ -50,10 +59,12 @@ degrade blowing-up image computations through the
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from contextlib import nullcontext
 
+from .bdd.backend import resolve_backend
 from .bdd.counting import density
 from .bdd.governor import Budget, ResourceError
 from .core.approx import UNDER_APPROXIMATORS
@@ -340,6 +351,66 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.server import Server, serve_main
+
+    # Resolve the backend *here* and export it: sessions receive it
+    # explicitly (never re-reading the environment at accept time),
+    # and any worker processes the daemon's requests spawn inherit the
+    # same selection.  Before this round-trip fix a `repro serve
+    # --backend array` subprocess could encode `reach` circuits on the
+    # object store while its sessions ran on the array store.
+    backend = resolve_backend(getattr(args, "backend", None))
+    os.environ["REPRO_BACKEND"] = backend
+    try:
+        server = Server(
+            host=args.host, port=args.port, backend=backend,
+            cache_limit=args.cache_limit,
+            gc_threshold=args.gc_threshold,
+            node_budget=args.node_budget,
+            step_budget=args.step_budget, deadline=args.deadline,
+            workers=args.workers, max_sessions=args.max_sessions)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    try:
+        asyncio.run(serve_main(
+            server, ready=lambda line: print(line, flush=True)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_call(args) -> int:
+    from .serve.client import Client, ServerError
+
+    params = {}
+    if args.params:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"repro: params is not JSON: {exc}")
+        if not isinstance(params, dict):
+            raise SystemExit("repro: params must be a JSON object")
+    budget = {key: value for key, value in
+              (("node", args.node_budget), ("step", args.step_budget),
+               ("deadline", args.deadline)) if value is not None}
+    try:
+        with Client(args.host, args.port,
+                    connect_timeout=args.connect_timeout) as client:
+            result = client.call(args.verb, params,
+                                 budget=budget or None)
+    except ServerError as exc:
+        print(f"repro call: {exc}", file=sys.stderr)
+        return 3 if exc.is_budget else 1
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"repro: cannot reach {args.host}:{args.port}: {exc}")
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_trajectory(args) -> int:
     try:
         report = compare_files(args.baseline, args.current,
@@ -426,6 +497,63 @@ def build_parser() -> argparse.ArgumentParser:
                               help="compare decomposition methods")
     p_decomp.add_argument("circuit", help="BLIF file")
     p_decomp.set_defaults(func=cmd_decomp)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the BDD service daemon (docs/serve.md)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port; 0 picks an ephemeral port "
+                              "and prints it (default: 0)")
+    p_serve.add_argument("--backend", default=None,
+                         choices=["object", "array"],
+                         help="node-store backend for every session "
+                              "manager (default: REPRO_BACKEND or "
+                              "object)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="kernel worker threads shared round-"
+                              "robin across sessions (default: 1)")
+    p_serve.add_argument("--max-sessions", type=int, default=64,
+                         help="concurrent session bound; excess "
+                              "connections get a structured overload "
+                              "error (default: 64)")
+    p_serve.add_argument("--cache-limit", type=int, default=None,
+                         help="computed-table bound per session "
+                              "manager (default: unbounded)")
+    p_serve.add_argument("--gc-threshold", type=int, default=None,
+                         help="automatic-GC threshold per session "
+                              "manager (default: disabled)")
+    p_serve.add_argument("--node-budget", type=int, default=None,
+                         help="default per-request node budget "
+                              "(default: unbounded)")
+    p_serve.add_argument("--step-budget", type=int, default=None,
+                         help="default per-request kernel-step budget "
+                              "(default: unbounded)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         help="default per-request wall-clock budget "
+                              "in seconds (default: unbounded)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_call = sub.add_parser(
+        "call", help="send one request to a running repro serve")
+    p_call.add_argument("verb", help="protocol verb (var, apply, ite, "
+                                     "approx, decomp, reach, check, "
+                                     "count, minterms, release, "
+                                     "stats, health)")
+    p_call.add_argument("params", nargs="?", default=None,
+                        help="verb parameters as a JSON object")
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, required=True)
+    p_call.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to retry a refused connection "
+                             "(covers daemon boot; default: 10)")
+    p_call.add_argument("--node-budget", type=int, default=None,
+                        help="per-request node budget")
+    p_call.add_argument("--step-budget", type=int, default=None,
+                        help="per-request kernel-step budget")
+    p_call.add_argument("--deadline", type=float, default=None,
+                        help="per-request wall-clock budget (seconds)")
+    p_call.set_defaults(func=cmd_call)
 
     p_lint = sub.add_parser(
         "lint", help="run the BDD-aware static rules (RPR001..RPR006)")

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import warnings
+
 import pytest
 
 from repro.bdd import (Manager, conjoin_all, disjoin_all,
                        essential_variables, swap_variables)
+from repro.bdd import ops_extra
 
 from ..helpers import fresh_manager
 
@@ -93,3 +96,65 @@ class TestEssentialVariables:
     def test_false(self):
         m = Manager(vars=["a"])
         assert essential_variables(m.false) == {}
+
+
+class TestDeprecationShims:
+    """The ops_extra module-level functions are deprecated aliases:
+    each must emit a DeprecationWarning naming its replacement AND
+    return exactly what the replacement returns."""
+
+    def test_conjoin_all_warns_and_matches(self, random_functions):
+        m, funcs = random_functions
+        with pytest.warns(DeprecationWarning,
+                          match=r"conjoin_all is deprecated.*"
+                                r"Manager\.conjoin"):
+            via_shim = ops_extra.conjoin_all(m, funcs)
+        assert via_shim == m.conjoin(funcs)
+
+    def test_disjoin_all_warns_and_matches(self, random_functions):
+        m, funcs = random_functions
+        with pytest.warns(DeprecationWarning,
+                          match=r"disjoin_all is deprecated.*"
+                                r"Manager\.disjoin"):
+            via_shim = ops_extra.disjoin_all(m, funcs)
+        assert via_shim == m.disjoin(funcs)
+
+    def test_swap_variables_warns_and_matches(self, random_functions):
+        m, funcs = random_functions
+        pairs = {"x1": "x6", "x3": "x9"}
+        for f in funcs[:3]:
+            with pytest.warns(DeprecationWarning,
+                              match=r"swap_variables is deprecated.*"
+                                    r"Function\.swap_variables"):
+                via_shim = ops_extra.swap_variables(f, pairs)
+            assert via_shim == f.swap_variables(pairs)
+
+    def test_essential_variables_warns_and_matches(self):
+        m, vs = fresh_manager(4)
+        f = vs[0] & ~vs[3] & (vs[1] | vs[2])
+        with pytest.warns(
+                DeprecationWarning,
+                match=r"essential_variables is deprecated.*"
+                      r"Function\.essential_variables"):
+            via_shim = ops_extra.essential_variables(f)
+        assert via_shim == f.essential_variables()
+        assert via_shim == {"x0": True, "x3": False}
+
+    def test_warning_points_at_caller(self):
+        """stacklevel is set so the warning blames this file, not the
+        shim module — that is what makes the deprecation actionable."""
+        m, vs = fresh_manager(2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ops_extra.essential_variables(vs[0])
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+    def test_new_apis_do_not_warn(self, random_functions):
+        m, funcs = random_functions
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            m.conjoin(funcs[:3])
+            m.disjoin(funcs[:3])
+            funcs[0].swap_variables({"x0": "x1"})
+            funcs[0].essential_variables()

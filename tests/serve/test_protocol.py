@@ -1,0 +1,75 @@
+"""Unit tests for the NDJSON framing layer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (E_BAD_REQUEST, E_BUDGET, MAX_LINE,
+                                  PROTOCOL_VERSION, ProtocolError,
+                                  decode_line, encode_line,
+                                  error_response, result_response)
+
+
+def test_encode_line_is_one_terminated_line():
+    line = encode_line({"b": 1, "a": [True, None, "x"]})
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert json.loads(line) == {"a": [True, None, "x"], "b": 1}
+
+
+def test_encode_line_is_deterministic():
+    a = encode_line({"x": 1, "y": 2})
+    b = encode_line({"y": 2, "x": 1})
+    assert a == b  # sorted keys -> stable wire bytes
+
+
+def test_decode_roundtrip():
+    message = {"id": 7, "verb": "apply",
+               "params": {"op": "and", "f": "h1", "g": "h2"}}
+    assert decode_line(encode_line(message)) == message
+
+
+def test_decode_rejects_malformed_json():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"{nope\n")
+    assert excinfo.value.code == E_BAD_REQUEST
+
+
+def test_decode_rejects_non_object():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"[1, 2, 3]\n")
+    assert excinfo.value.code == E_BAD_REQUEST
+
+
+def test_decode_rejects_bad_utf8():
+    with pytest.raises(ProtocolError) as excinfo:
+        decode_line(b"\xff\xfe{}\n")
+    assert excinfo.value.code == E_BAD_REQUEST
+
+
+def test_result_response_shape():
+    response = result_response(42, {"handle": "h1"})
+    assert response == {"id": 42, "ok": True,
+                        "result": {"handle": "h1"}}
+
+
+def test_error_response_shape():
+    response = error_response("abc", E_BUDGET, "too big",
+                              kind="BudgetExceeded")
+    assert response == {"id": "abc", "ok": False,
+                        "error": {"code": E_BUDGET,
+                                  "message": "too big",
+                                  "kind": "BudgetExceeded"}}
+
+
+def test_error_response_without_kind_omits_key():
+    response = error_response(None, E_BAD_REQUEST, "nope")
+    assert response["id"] is None
+    assert "kind" not in response["error"]
+
+
+def test_protocol_constants():
+    assert PROTOCOL_VERSION == 1
+    assert MAX_LINE >= 1 << 20  # big enough for BLIF payloads

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -132,3 +134,60 @@ class TestDecomp:
     def test_bad_command(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+class TestServeCall:
+    """`repro call` against an in-process daemon."""
+
+    @pytest.fixture
+    def served(self):
+        from repro.serve import ServerThread
+
+        with ServerThread(backend="object") as handle:
+            yield handle
+
+    def test_call_health(self, served, capsys):
+        assert main(["call", "health", "--port",
+                     str(served.port)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["status"] == "ok"
+        assert out["backend"] == "object"
+
+    def test_call_verb_with_params(self, served, capsys):
+        assert main(["call", "var", '{"name": "a"}', "--port",
+                     str(served.port)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["handle"] == "h1"
+        assert out["fresh"] is True
+
+    def test_call_budget_error_exits_3(self, served, capsys):
+        # One-shot sessions: the handle from a previous `repro call`
+        # is gone, so drive a self-contained starved request.
+        # counter(8) is big enough that reach crosses a governor
+        # checkpoint (stride 64); tiny circuits never would.
+        blif = write_blif(counter(8))
+        assert main(["call", "reach", json.dumps({"blif": blif}),
+                     "--port", str(served.port),
+                     "--step-budget", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "budget" in err
+
+    def test_call_server_error_exits_1(self, served, capsys):
+        assert main(["call", "frobnicate", "--port",
+                     str(served.port)]) == 1
+        assert "unknown-verb" in capsys.readouterr().err
+
+    def test_call_bad_params_rejected(self, served):
+        with pytest.raises(SystemExit):
+            main(["call", "health", "[1,2]", "--port",
+                  str(served.port)])
+
+    def test_call_unreachable_server(self):
+        with pytest.raises(SystemExit):
+            main(["call", "health", "--port", "1",
+                  "--connect-timeout", "0.2"])
+
+    def test_serve_rejects_unknown_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "linked-list")
+        with pytest.raises(SystemExit):
+            main(["serve", "--port", "0"])
