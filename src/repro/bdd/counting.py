@@ -67,7 +67,15 @@ def minterm_count_map(store: "NodeStore", root: Any,
 
 
 def sat_count(function: "Function", nvars: int | None = None) -> int:
-    """Exact ``||f||`` over ``nvars`` variables (default: all declared)."""
+    """Exact ``||f||`` over ``nvars`` variables (default: all declared).
+
+    On stores exposing ``sat_count_vector`` (the flat array backend),
+    functions spanning a sizeable fraction of the store — a
+    traversal's reached set, typically — are counted by vectorized
+    column sweeps instead of a per-node Python dict pass; the result
+    is identical.  Small functions in a big store keep the per-node
+    map, which prices by function size.
+    """
     manager = function.manager
     store = manager.store
     root = function.node
@@ -76,11 +84,16 @@ def sat_count(function: "Function", nvars: int | None = None) -> int:
     if store.is_terminal(root):
         return store.value_of(root) << nvars
     level_of = store.level_of
-    support_max = max(level_of(n)
-                      for n in collect_nodes(store, root))
+    nodes = collect_nodes(store, root)
+    support_max = max(level_of(n) for n in nodes)
     if nvars <= support_max:
         raise ValueError(
             f"nvars={nvars} smaller than support (level {support_max})")
+    vector = getattr(store, "sat_count_vector", None)
+    if vector is not None and 4 * len(nodes) >= store.num_nodes:
+        count = vector(root, nvars)
+        if count is not None:
+            return count
     counts = minterm_count_map(store, root, nvars)
     return counts[root] << level_of(root)
 

@@ -48,34 +48,60 @@ def load(manager: Manager, text: str,
     """Rebuild a dumped function inside ``manager``.
 
     Unknown variables are declared (bottom of the order) unless
-    ``declare`` is False.  The reconstruction uses ITE, so it is
-    correct for any variable order of the target manager.
+    ``declare`` is False.  When the dump's variable order is compatible
+    with the target manager — along every edge the child's level stays
+    strictly below its parent's — the nodes are inserted straight into
+    the unique table (the dump is already a canonical ROBDD in that
+    order).  Otherwise the BDD is rebuilt with ITE, which is correct
+    for any variable order.
+
+    The direct path is what makes shipping frontiers between the
+    sharded-reachability coordinator and its workers cheap: both sides
+    encode the same circuit, so their orders always agree.
     """
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines or lines[0] != FORMAT_HEADER:
         raise ValueError("not a repro-bdd dump")
+    root = _load_nodes(manager, lines, declare, direct=True)
+    if root is None:
+        root = _load_nodes(manager, lines, declare, direct=False)
+    return Function(manager, root)
+
+
+def _load_nodes(manager: Manager, lines: list[str], declare: bool,
+                direct: bool) -> Any | None:
+    """One pass over a dump's node lines; returns the root handle.
+
+    With ``direct`` True, nodes go through ``store.mk`` and the pass
+    gives up (returns None) on the first order-incompatible edge; any
+    nodes already inserted are canonical and unreferenced, so the next
+    safe-point GC reclaims the unused ones.
+    """
     store = manager.store
+    level_of = store.level_of
+    is_terminal = store.is_terminal
     nodes: dict[int, Any] = {0: store.zero, 1: store.one}
-    root: Any = None
-    found_root = False
     for line in lines[1:]:
         parts = line.split()
         if parts[0] == "root":
-            root = nodes[int(parts[1])]
-            found_root = True
-            break
+            return nodes[int(parts[1])]
         position, name, hi_index, lo_index = parts
         if name not in manager._var_to_level:
             if not declare:
                 raise ValueError(f"unknown variable {name!r}")
             manager.add_var(name)
-        var = manager.var_handle(name)
         hi = nodes[int(hi_index)]
         lo = nodes[int(lo_index)]
-        nodes[int(position)] = ite_node(manager, var, hi, lo)
-    if not found_root:
-        raise ValueError("dump has no root line")
-    return Function(manager, root)
+        if direct:
+            level = manager.level_of_var(name)
+            if (not is_terminal(hi) and level_of(hi) <= level) or \
+                    (not is_terminal(lo) and level_of(lo) <= level):
+                return None
+            nodes[int(position)] = store.mk(level, hi, lo)
+        else:
+            nodes[int(position)] = ite_node(
+                manager, manager.var_handle(name), hi, lo)
+    raise ValueError("dump has no root line")
 
 
 def dumps_many(functions: list[Function]) -> str:

@@ -14,8 +14,8 @@ Layout:
   population statistics and fixed-width table rendering.
 """
 
-from .engine import (EngineRun, Task, TaskOutcome, resolve_jobs,
-                     run_tasks)
+from .engine import (EngineRun, Task, TaskOutcome, WorkerPool,
+                     resolve_jobs, run_tasks)
 from .population import (EntrySpec, PopulationEntry, build_entries,
                          combinational_population, combinational_specs,
                          generate_population, make_circuit,
@@ -41,6 +41,7 @@ __all__ = [
     "Task",
     "TaskOutcome",
     "EngineRun",
+    "WorkerPool",
     "resolve_jobs",
     "run_tasks",
     "bench_payload",

@@ -5,10 +5,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..bdd.function import Function
 from ..bdd.manager import ManagerStats
 from .degrade import Subsetter, governed_image, shield, validate_on_blowup
 from .transition import TransitionRelation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shard import FrontierSharder
 
 
 class TraversalLimit(Exception):
@@ -30,6 +35,9 @@ class ReachResult:
     #: manager runtime snapshot taken when the traversal returned
     #: (cache hit rates, GC pauses, peak nodes); None for legacy callers
     manager_stats: ManagerStats | None = None
+    #: sharded-traversal counters (:meth:`ShardStats.as_dict`); None
+    #: for sequential runs
+    shard_stats: dict | None = None
 
 
 def count_states(reached: Function, state_vars: list[str]) -> int:
@@ -47,7 +55,9 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                      deadline: float | None = None, *,
                      on_blowup: str = "raise",
                      subset: Subsetter | None = None,
-                     subset_threshold: int = 0) -> ReachResult:
+                     subset_threshold: int = 0,
+                     sharder: "FrontierSharder | None" = None
+                     ) -> ReachResult:
     """Classic breadth-first fixpoint: reached = lfp(init | image).
 
     Raises :class:`TraversalLimit` if a frontier or the reached set
@@ -64,8 +74,21 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
     successors, so before accepting a fixpoint the traversal runs exact
     recovery images of the reached set; the final reached set is exact
     either way.
+
+    ``sharder`` routes every image through a
+    :class:`~repro.reach.shard.FrontierSharder` (disjunctive frontier
+    partitioning across a persistent worker pool) instead of directly
+    through :func:`governed_image`; the reached set, the traces, and
+    the iteration count are identical either way.  The caller owns the
+    sharder's lifetime (use it as a context manager).
     """
     validate_on_blowup(on_blowup)
+
+    def step_image(states: Function, **kwargs: object):
+        if sharder is not None:
+            return sharder.image(states, on_blowup=on_blowup, **kwargs)
+        return governed_image(tr, states, on_blowup=on_blowup, **kwargs)
+
     start = time.perf_counter()
     reached = init
     frontier = init
@@ -81,8 +104,7 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
             # the fixpoint with an exact image of the reached set
             # (allow_subset=False — approximating the recovery image
             # could falsely conclude convergence).
-            image, _ = governed_image(tr, reached, on_blowup=on_blowup,
-                                      allow_subset=False)
+            image, _ = step_image(reached, allow_subset=False)
             with shield(reached, on_blowup):
                 frontier = image - reached
                 if frontier.is_false:
@@ -97,10 +119,11 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                                frontier_trace=frontier_trace,
                                seconds=time.perf_counter() - start,
                                complete=False,
-                               manager_stats=reached.manager.stats)
-        image, exact = governed_image(tr, frontier, on_blowup=on_blowup,
-                                      subset=subset,
-                                      threshold=subset_threshold)
+                               manager_stats=reached.manager.stats,
+                               shard_stats=sharder.stats.as_dict()
+                               if sharder is not None else None)
+        image, exact = step_image(frontier, subset=subset,
+                                  threshold=subset_threshold)
         if not exact:
             degraded = True
         with shield(frontier, on_blowup):
@@ -122,4 +145,6 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                        size_trace=size_trace,
                        frontier_trace=frontier_trace,
                        seconds=time.perf_counter() - start,
-                       manager_stats=reached.manager.stats)
+                       manager_stats=reached.manager.stats,
+                       shard_stats=sharder.stats.as_dict()
+                       if sharder is not None else None)

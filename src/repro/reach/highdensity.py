@@ -22,11 +22,16 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from ..bdd.counting import density
 from ..bdd.function import Function
 from .bfs import ReachResult, TraversalLimit
 from .degrade import governed_image, shield, validate_on_blowup
 from .transition import PartialImagePolicy, TransitionRelation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shard import FrontierSharder
 
 #: An under-approximation procedure fn(f, *, threshold=0) -> subset of
 #: f, the uniform signature of the UNDER_APPROXIMATORS registry.
@@ -50,7 +55,8 @@ def high_density_reachability(
         max_iterations: int | None = None,
         node_limit: int | None = None,
         deadline: float | None = None,
-        on_blowup: str = "raise") -> HighDensityResult:
+        on_blowup: str = "raise",
+        sharder: "FrontierSharder | None" = None) -> HighDensityResult:
     """High-density traversal computing the exact reachable set.
 
     Parameters
@@ -70,8 +76,21 @@ def high_density_reachability(
         through the :mod:`repro.reach.degrade` escalation ladder using
         this traversal's own ``subset``/``threshold``.  Recovery images
         never subset, so the final reached set stays exact.
+    sharder:
+        Optional :class:`~repro.reach.shard.FrontierSharder` computing
+        the images disjunctively across a worker pool.  Images under a
+        ``partial`` policy stay sequential (partial-image subsetting is
+        a *deliberate* under-approximation; shard workers always image
+        exactly).  The caller owns the sharder's lifetime.
     """
     validate_on_blowup(on_blowup)
+
+    def step_image(states: Function, **kwargs: object):
+        if sharder is not None and kwargs.get("partial") is None:
+            kwargs.pop("partial", None)
+            return sharder.image(states, on_blowup=on_blowup, **kwargs)
+        return governed_image(tr, states, on_blowup=on_blowup, **kwargs)
+
     start = time.perf_counter()
     reached = init
     new = init
@@ -87,8 +106,7 @@ def high_density_reachability(
             # exact image of the reached set (never subsetted — an
             # approximate recovery image could falsely conclude the
             # fixpoint was reached).
-            image, _ = governed_image(tr, reached, on_blowup=on_blowup,
-                                      allow_subset=False)
+            image, _ = step_image(reached, allow_subset=False)
             with shield(reached, on_blowup):
                 new = image - reached
                 if new.is_false:
@@ -98,7 +116,7 @@ def high_density_reachability(
         if max_iterations is not None and iterations >= max_iterations:
             return _result(reached, iterations, size_trace,
                            frontier_trace, densities, recoveries,
-                           start, complete=False)
+                           start, complete=False, sharder=sharder)
         with shield(new, on_blowup):
             frontier = subset(new, threshold=threshold)
         if frontier.is_false:
@@ -107,9 +125,8 @@ def high_density_reachability(
             frontier = new
         frontier_trace.append(len(frontier))
         densities.append(density(frontier))
-        image, _exact = governed_image(tr, frontier, on_blowup=on_blowup,
-                                       subset=subset, threshold=threshold,
-                                       partial=partial)
+        image, _exact = step_image(frontier, subset=subset,
+                                   threshold=threshold, partial=partial)
         with shield(frontier, on_blowup):
             new = image - reached
             reached = reached | new
@@ -126,16 +143,20 @@ def high_density_reachability(
                 f"deadline {deadline}s exceeded at iteration "
                 f"{iterations}")
     return _result(reached, iterations, size_trace, frontier_trace,
-                   densities, recoveries, start, complete=True)
+                   densities, recoveries, start, complete=True,
+                   sharder=sharder)
 
 
 def _result(reached: Function, iterations: int, size_trace: list[int],
             frontier_trace: list[int], densities: list[float],
-            recoveries: int, start: float,
-            complete: bool) -> HighDensityResult:
+            recoveries: int, start: float, complete: bool,
+            sharder: "FrontierSharder | None" = None
+            ) -> HighDensityResult:
     return HighDensityResult(
         reached=reached, iterations=iterations, size_trace=size_trace,
         frontier_trace=frontier_trace,
         seconds=time.perf_counter() - start, complete=complete,
         subset_densities=densities, recoveries=recoveries,
-        manager_stats=reached.manager.stats)
+        manager_stats=reached.manager.stats,
+        shard_stats=sharder.stats.as_dict()
+        if sharder is not None else None)

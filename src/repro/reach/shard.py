@@ -1,0 +1,594 @@
+"""Sharded reachability: disjunctive frontier partitioning.
+
+ROADMAP item 4.  The PR 3 engine parallelizes across *independent*
+experiment rows; this module goes wide on a single expensive traversal
+instead.  Each BFS image is split disjunctively::
+
+    image(f)  =  OR over cubes c  of  image_{T|c}(f|c)
+
+where the cube variables are chosen by the paper's decomposition-point
+machinery (:mod:`repro.core.decomp.points`) or by the relation-shrinkage
+selector below, and each cube's image runs in a persistent worker
+process (:class:`~repro.harness.engine.WorkerPool`) that holds the
+transition relation *pre-cofactored* by its cube
+(:meth:`TransitionRelation.constrain`).  Because existential
+quantification distributes over disjunction, the OR-merge of the piece
+images is exactly the monolithic image — a sharded traversal is
+byte-identical to the sequential one (same reached set, same per-step
+frontier trace), which is how the suite gates it.
+
+Where the speed comes from (single-box reality check)
+-----------------------------------------------------
+Shannon-splitting a BDD image does **not** reduce total kernel work on
+most circuits — on this codebase's suite the pieces together cost about
+as much as the whole (the cluster side, not the frontier size,
+dominates).  The measured wins of ``BENCH_table1_sharded.json`` come
+from three sharding-specific effects:
+
+* the cube constraint is folded into each worker's clusters **once**
+  (``constrain``), not re-derived per step;
+* kernel bursts run in worker processes whose heaps are small and
+  frozen (``gc.freeze`` after the relation is built), so CPython's
+  cyclic collector stops rescanning millions of permanently-live node
+  and cache objects on the hot path — on long traversals that tax is
+  20-30% of the wall clock in the monolithic process;
+* frontiers travel as dumps over the direct unique-table insert path of
+  :func:`repro.bdd.io.load` (both sides encode the same circuit, so
+  orders always agree).
+
+Shards beyond 2 pay a full frontier transfer per worker per step and
+rarely reduce kernel work further; ``--shards 2`` is the sweet spot on
+one box.  The split/merge machinery is shard-count agnostic — wider
+pools make sense once workers land on separate machines.
+
+Fault containment
+-----------------
+Workers reuse the engine's isolation wholesale: per-task timeouts,
+crash capture, and governor budgets (armed *inside* the worker via
+:meth:`Manager.with_budget`, surfacing as ``budget`` outcomes).  Any
+failed piece is recomputed sequentially by the coordinator through the
+:func:`~repro.reach.degrade.governed_image` ladder, so a sharded
+traversal under faults still returns the exact reached set.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..bdd import io as bdd_io
+from ..bdd.function import Function
+from ..core.decomp.points import band_points, disjoint_points
+from .degrade import Subsetter, governed_image
+from .transition import TransitionRelation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..harness.engine import WorkerPool
+
+# repro.harness imports repro.reach (population builds relations); the
+# engine itself has no such dependency, so it is imported lazily where
+# the pool is built rather than at module scope.
+
+__all__ = [
+    "SELECTORS",
+    "ShardConfig",
+    "ShardStats",
+    "FrontierSharder",
+    "build_spec_circuit",
+    "choose_split_vars",
+    "shard_image_worker",
+]
+
+#: Split-variable selectors: ``relation`` ranks candidates by how much
+#: cofactoring shrinks the clusters; ``band``/``disjoint`` derive them
+#: from the paper's decomposition points of the frontier.
+SELECTORS = ("relation", "band", "disjoint")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Policy knobs of a sharded traversal (all deterministic)."""
+
+    #: worker processes; < 2 disables sharding entirely
+    shards: int = 2
+    #: split-variable selector (see :data:`SELECTORS`)
+    selector: str = "relation"
+    #: frontiers below this node count stay sequential (collapse)
+    min_frontier: int = 2000
+    #: a worker whose cofactored piece exceeds this refuses the task and
+    #: the coordinator re-splits it one variable deeper (0: disabled)
+    resplit_threshold: int = 0
+    #: bound on split depth (variables) a re-split cascade may reach
+    max_split_depth: int = 6
+    #: per-piece wall-clock timeout enforced by the pool (None: off)
+    timeout: float | None = None
+    #: governor budgets armed inside each worker (0: unbounded)
+    node_budget: int = 0
+    step_budget: int = 0
+    deadline: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.selector not in SELECTORS:
+            raise ValueError(
+                f"selector must be one of {SELECTORS}, "
+                f"got {self.selector!r}")
+        if self.shards > 64:
+            raise ValueError("shards must be <= 64")
+
+
+@dataclass
+class ShardStats:
+    """Coordinator-side counters of one sharded traversal.
+
+    Everything here is deterministic for a given configuration and
+    circuit except the ``*_seconds`` fields, which are wall-clock and
+    informational (the trajectory comparator ignores floats).
+    """
+
+    #: images computed by splitting across the pool
+    shard_images: int = 0
+    #: images computed sequentially (collapse: small frontier, no
+    #: split variables, or sharding disabled)
+    sequential_images: int = 0
+    #: frontier pieces dispatched to workers, total
+    pieces: int = 0
+    #: pieces split one variable deeper after a worker refused
+    resplits: int = 0
+    #: pieces recomputed sequentially after a worker failure
+    #: (budget abort, timeout, crash, error)
+    fallbacks: int = 0
+    #: widest split of any single step
+    max_shards: int = 0
+    #: wall-clock spent OR-merging piece images back together
+    merge_seconds: float = 0.0
+    #: wall-clock spent dumping/loading frontiers and images
+    transfer_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "shard_images": self.shard_images,
+            "sequential_images": self.sequential_images,
+            "pieces": self.pieces,
+            "resplits": self.resplits,
+            "fallbacks": self.fallbacks,
+            "max_shards": self.max_shards,
+            "merge_seconds": self.merge_seconds,
+            "transfer_seconds": self.transfer_seconds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Circuit specs: picklable recipes the workers rebuild relations from
+# ----------------------------------------------------------------------
+
+def build_spec_circuit(spec: tuple) -> Any:
+    """Rebuild a circuit from a picklable spec tuple.
+
+    Specs name their source: ``("factory", name, args)`` for the
+    benchmark population factories, ``("blif-text", text)`` for an
+    in-memory netlist (the serve daemon), ``("blif-path", path)`` for a
+    netlist file (the CLI).
+    """
+    kind = spec[0]
+    if kind == "factory":
+        from ..harness.population import make_circuit
+
+        return make_circuit(spec[1], tuple(spec[2]))
+    if kind == "blif-text":
+        from ..fsm.blif import parse_blif
+
+        return parse_blif(spec[1])
+    if kind == "blif-path":
+        from ..fsm.blif import read_blif
+
+        return read_blif(spec[1])
+    raise ValueError(f"unknown circuit spec kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process relation cache.  In the coordinator it is *pre-seeded*
+#: with the live transition relation before the pool forks, so workers
+#: inherit a warm base for free; a worker on a spawn platform (or a
+#: replacement worker handed an unknown key) rebuilds from the spec.
+_RELATIONS: dict[tuple, tuple[Any, TransitionRelation]] = {}
+
+
+def _base_relation(payload: dict) -> tuple[Any, TransitionRelation]:
+    key = tuple(payload["base"])
+    entry = _RELATIONS.get(key)
+    if entry is not None:
+        return entry
+    spec = payload.get("spec")
+    if spec is None:
+        raise RuntimeError(
+            "shard worker has no relation for this traversal and no "
+            "spec to rebuild one (spawn start method without a spec?)")
+    from ..fsm.encode import encode
+
+    circuit = build_spec_circuit(tuple(spec))
+    encoded = encode(circuit, backend=payload.get("backend"))
+    relation = TransitionRelation(
+        encoded, cluster_limit=payload.get("cluster_limit", 2500))
+    entry = (encoded, relation)
+    _RELATIONS[key] = entry
+    return entry
+
+
+def _constrained_relation(payload: dict
+                          ) -> tuple[Any, TransitionRelation]:
+    assignment = tuple(payload["assignment"])
+    key = tuple(payload["base"]) + ("cube",) + assignment
+    entry = _RELATIONS.get(key)
+    if entry is None:
+        encoded, base = _base_relation(payload)
+        entry = (encoded, base.constrain(dict(assignment)))
+        _RELATIONS[key] = entry
+    return entry
+
+
+def shard_image_worker(payload: dict) -> dict:
+    """One piece image, computed inside a pool worker process.
+
+    Returns ``{"kind": "image", "text": <dump>, ...}`` normally, or
+    ``{"kind": "resplit", ...}`` when the cofactored piece exceeds the
+    payload's re-split threshold (the coordinator then splits the cube
+    one variable deeper instead).  Governor budgets are armed around
+    the whole load/cofactor/image window; a
+    :class:`~repro.bdd.governor.ResourceError` unwinds cleanly and
+    reaches the engine as a ``budget`` outcome.
+    """
+    import gc
+    import multiprocessing
+
+    encoded, relation = _constrained_relation(payload)
+    manager = encoded.manager
+    budget = payload.get("budget")
+    node_budget, step_budget, deadline = budget or (0, 0, 0.0)
+    with manager.with_budget(
+            node_budget=node_budget or None,
+            step_budget=step_budget or None,
+            deadline=deadline or None):
+        frontier = bdd_io.load(manager, payload["frontier"],
+                               declare=False)
+        assignment = {name: value
+                      for name, value in payload["assignment"]
+                      if name in frontier.support()}
+        piece = frontier.cofactor(assignment) if assignment \
+            else frontier
+        threshold = payload.get("resplit_threshold", 0)
+        if threshold and len(piece) > threshold:
+            return {"kind": "resplit", "piece_nodes": len(piece)}
+        image = relation.image(piece)
+        text = bdd_io.dump(image)
+    # The relation, its manager, and the accumulated caches are live
+    # for the worker's whole life: move them to the permanent
+    # generation so the cyclic collector stops rescanning them — on
+    # long traversals that rescan tax is 20-30% of monolithic wall
+    # clock.  A worker owns its process, so mutating global GC state
+    # is fine there; guard on having a parent so in-process callers
+    # (unit tests) leave the host interpreter's GC alone.
+    if multiprocessing.parent_process() is not None:
+        gc.freeze()
+    return {"kind": "image", "text": text, "piece_nodes": len(piece),
+            "image_nodes": len(image)}
+
+
+# ----------------------------------------------------------------------
+# Split-variable selection
+# ----------------------------------------------------------------------
+
+def _vars_from_points(manager: Any, points: set,
+                      frontier: Function, count: int) -> list[str]:
+    """Decomposition points -> split variables, by level frequency.
+
+    Points are nodes of the frontier; each contributes its variable.
+    Ranked by how many points share the level (descending), then by
+    level (ascending) for determinism, padded from the frontier support
+    in order when the points name fewer than ``count`` variables.
+    """
+    level_of = manager.store.level_of
+    frequency = Counter(level_of(point) for point in points)
+    ranked = sorted(frequency, key=lambda lv: (-frequency[lv], lv))
+    names = [manager.var_at_level(level) for level in ranked]
+    if len(names) < count:
+        seen = set(names)
+        support = sorted(frontier.support(),
+                         key=manager.level_of_var)
+        names.extend(name for name in support if name not in seen)
+    return names[:count]
+
+
+def _relation_ranking(tr: TransitionRelation) -> list[str]:
+    """Candidate split variables by cofactor shrinkage of the clusters.
+
+    For every input and present-state variable, score the summed size
+    of both cofactors of every cluster: the variable whose constants
+    simplify the relation most (an instruction bit, a mode select)
+    splits the image work most evenly and is scored lowest.  The
+    ranking is a property of the relation alone, so it is computed once
+    per traversal and is independent of the frontier.
+    """
+    candidates = list(tr.encoded.input_vars) \
+        + list(tr.encoded.state_vars)
+    scores = []
+    for name in candidates:
+        total = sum(
+            len(cluster.cofactor({name: True}))
+            + len(cluster.cofactor({name: False}))
+            for cluster in tr.clusters)
+        scores.append((total, tr.manager.level_of_var(name), name))
+    scores.sort()
+    return [name for _, _, name in scores]
+
+
+def choose_split_vars(tr: TransitionRelation, frontier: Function,
+                      count: int, selector: str = "relation",
+                      _ranking: list[str] | None = None) -> list[str]:
+    """Pick up to ``count`` split variables for one frontier.
+
+    May return fewer than ``count`` names (or none, e.g. for a
+    constant frontier under the point selectors) — the caller splits
+    as deep as the list allows and computes sequentially when it is
+    empty.
+    """
+    if selector == "relation":
+        ranking = _ranking if _ranking is not None \
+            else _relation_ranking(tr)
+        return ranking[:count]
+    manager = frontier.manager
+    if selector == "band":
+        points = band_points(frontier)
+    elif selector == "disjoint":
+        points = disjoint_points(frontier)
+    else:
+        raise ValueError(
+            f"selector must be one of {SELECTORS}, got {selector!r}")
+    return _vars_from_points(manager, points, frontier, count)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+def _assignments(names: list[str]) -> list[tuple[tuple[str, bool], ...]]:
+    """All cube assignments over the given variables, in mask order."""
+    cubes = []
+    for mask in range(1 << len(names)):
+        cubes.append(tuple((name, bool(mask >> bit & 1))
+                           for bit, name in enumerate(names)))
+    return cubes
+
+
+class FrontierSharder:
+    """Coordinator of one sharded traversal.
+
+    Drop-in companion to :func:`~repro.reach.degrade.governed_image`:
+    :meth:`image` has the same ``(image, exact)`` contract, so
+    :func:`~repro.reach.bfs.bfs_reachability` routes every image
+    through it when ``sharder`` is given.  The pool and the worker
+    relations are built lazily on the first frontier large enough to
+    shard; :meth:`close` (or use as a context manager) shuts the
+    workers down.
+
+    ``spec`` is the picklable circuit recipe workers rebuild from when
+    fork inheritance is unavailable; with the default ``fork`` start
+    method it is optional — the coordinator seeds the worker-side
+    relation cache with the live relation before the pool starts, and
+    forked workers (including crash replacements) inherit it.
+    """
+
+    def __init__(self, tr: TransitionRelation,
+                 config: ShardConfig | None = None, *,
+                 spec: tuple | None = None) -> None:
+        self.tr = tr
+        self.config = config or ShardConfig()
+        self.spec = spec
+        self.stats = ShardStats()
+        self._pool: WorkerPool | None = None
+        self._ranking: list[str] | None = None
+        self._base_key: tuple | None = None
+        self._disabled = False
+
+    # -- pool plumbing -------------------------------------------------
+
+    def _ensure_pool(self) -> "WorkerPool":
+        from ..harness.engine import WorkerPool
+
+        if self._pool is None:
+            # Retries are off: a failed piece is recomputed exactly by
+            # the coordinator, which is cheaper than re-shipping it to
+            # a worker that will deterministically fail again.
+            self._pool = WorkerPool(shard_image_worker,
+                                    jobs=self.config.shards,
+                                    timeout=self.config.timeout,
+                                    retries=0)
+            if self._pool.start_method == "fork":
+                # Seed the worker-side cache: forked workers inherit
+                # the live relation instead of rebuilding it.
+                self._base_key = ("prewarm", id(self))
+                _RELATIONS[self._base_key] = (self.tr.encoded, self.tr)
+            elif self.spec is not None:
+                self._base_key = ("spec", tuple(self.spec),
+                                  self.tr.manager.backend,
+                                  self.tr.cluster_limit)
+            else:
+                self._pool.close()
+                self._pool = None
+                self._disabled = True
+        if self._disabled or self._pool is None:
+            raise RuntimeError(
+                "sharding unavailable: no fork start method and no "
+                "circuit spec to rebuild worker relations from")
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the worker pool and drop the pre-seeded relation."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        if self._base_key is not None:
+            _RELATIONS.pop(self._base_key, None)
+            self._base_key = None
+
+    def __enter__(self) -> "FrontierSharder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- the image -----------------------------------------------------
+
+    def image(self, frontier: Function, *, on_blowup: str = "raise",
+              subset: Subsetter | None = None, threshold: int = 0,
+              allow_subset: bool = True) -> tuple[Function, bool]:
+        """One image, sharded when the policy says it pays.
+
+        Same contract as :func:`governed_image`; the sharded path is
+        always exact (worker failures fall back to exact sequential
+        recomputation of the piece), so ``exact`` can only be False
+        when the policy collapsed to the sequential ladder *and* the
+        ladder took a subset rung.
+        """
+        config = self.config
+        if (self._disabled or config.shards < 2
+                or len(frontier) < config.min_frontier):
+            return self._sequential(frontier, on_blowup=on_blowup,
+                                    subset=subset, threshold=threshold,
+                                    allow_subset=allow_subset)
+        depth = max(1, (config.shards - 1).bit_length())
+        names = choose_split_vars(self.tr, frontier, depth,
+                                  config.selector,
+                                  _ranking=self._cached_ranking())
+        if not names:
+            return self._sequential(frontier, on_blowup=on_blowup,
+                                    subset=subset, threshold=threshold,
+                                    allow_subset=allow_subset)
+        try:
+            pool = self._ensure_pool()
+        except RuntimeError:
+            return self._sequential(frontier, on_blowup=on_blowup,
+                                    subset=subset, threshold=threshold,
+                                    allow_subset=allow_subset)
+        return self._sharded(pool, frontier, names,
+                             on_blowup=on_blowup), True
+
+    def _cached_ranking(self) -> list[str] | None:
+        if self.config.selector != "relation":
+            return None
+        if self._ranking is None:
+            self._ranking = _relation_ranking(
+                self.tr)[:self.config.max_split_depth]
+        return self._ranking
+
+    def _sequential(self, frontier: Function, *, on_blowup: str,
+                    subset: Subsetter | None, threshold: int,
+                    allow_subset: bool) -> tuple[Function, bool]:
+        self.stats.sequential_images += 1
+        return governed_image(self.tr, frontier, on_blowup=on_blowup,
+                              subset=subset, threshold=threshold,
+                              allow_subset=allow_subset)
+
+    def _payload(self, text: str,
+                 assignment: tuple[tuple[str, bool], ...],
+                 resplit_threshold: int) -> dict:
+        config = self.config
+        payload = {
+            "base": self._base_key,
+            "assignment": assignment,
+            "frontier": text,
+            "resplit_threshold": resplit_threshold,
+            "cluster_limit": self.tr.cluster_limit,
+            "backend": self.tr.manager.backend,
+        }
+        if self.spec is not None:
+            payload["spec"] = tuple(self.spec)
+        if config.node_budget or config.step_budget or config.deadline:
+            payload["budget"] = (config.node_budget,
+                                 config.step_budget, config.deadline)
+        return payload
+
+    def _sharded(self, pool: "WorkerPool", frontier: Function,
+                 names: list[str], *, on_blowup: str) -> Function:
+        from ..harness.engine import OK, Task
+
+        config = self.config
+        stats = self.stats
+        manager = frontier.manager
+        began = time.perf_counter()
+        text = bdd_io.dump(frontier)
+        stats.transfer_seconds += time.perf_counter() - began
+
+        assignments = _assignments(names)
+        step_pieces = 0
+        failed: list[tuple[tuple[str, bool], ...]] = []
+        merged = manager.false
+        while assignments:
+            deeper_ok = any(len(a) < config.max_split_depth
+                            for a in assignments)
+            tasks = [Task(key=f"cube{i}",
+                          payload=self._payload(
+                              text, assignment,
+                              config.resplit_threshold
+                              if deeper_ok else 0))
+                     for i, assignment in enumerate(assignments)]
+            run = pool.run(tasks)
+            step_pieces += len(assignments)
+            resplit: list[tuple[tuple[str, bool], ...]] = []
+            for assignment, outcome in zip(assignments, run.outcomes):
+                if outcome.status == OK \
+                        and outcome.result["kind"] == "image":
+                    began = time.perf_counter()
+                    piece_image = bdd_io.load(manager,
+                                              outcome.result["text"],
+                                              declare=False)
+                    stats.transfer_seconds += \
+                        time.perf_counter() - began
+                    began = time.perf_counter()
+                    merged = merged | piece_image
+                    stats.merge_seconds += time.perf_counter() - began
+                elif outcome.status == OK:
+                    resplit.append(assignment)
+                else:
+                    failed.append(assignment)
+            next_round: list[tuple[tuple[str, bool], ...]] = []
+            for assignment in resplit:
+                depth = len(assignment)
+                deeper = choose_split_vars(
+                    self.tr, frontier, depth + 1, config.selector,
+                    _ranking=self._cached_ranking())
+                used = {name for name, _ in assignment}
+                fresh = [n for n in deeper if n not in used]
+                if depth >= config.max_split_depth or not fresh:
+                    # No deeper variable: force the piece through.
+                    failed.append(assignment)
+                    continue
+                stats.resplits += 1
+                next_round.append(assignment + ((fresh[0], False),))
+                next_round.append(assignment + ((fresh[0], True),))
+            assignments = next_round
+
+        for assignment in failed:
+            # Exact coordinator-side recomputation of the piece: keeps
+            # the merged image byte-identical to the sequential run no
+            # matter how the worker failed.
+            stats.fallbacks += 1
+            cube = manager.true
+            for name, value in assignment:
+                var = manager.var(name)
+                cube = cube & (var if value else ~var)
+            piece_image, _ = governed_image(
+                self.tr, frontier & cube, on_blowup=on_blowup,
+                allow_subset=False)
+            began = time.perf_counter()
+            merged = merged | piece_image
+            stats.merge_seconds += time.perf_counter() - began
+
+        stats.shard_images += 1
+        stats.pieces += step_pieces
+        stats.max_shards = max(stats.max_shards, step_pieces)
+        return merged

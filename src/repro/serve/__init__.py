@@ -23,7 +23,7 @@ Modules
 See ``docs/serve.md`` for the protocol and operational semantics.
 """
 
-from .client import Client, ServerError
+from .client import Client, ClientTimeout, ServerError
 from .protocol import (MAX_LINE, PROTOCOL_VERSION, ProtocolError,
                        decode_line, encode_line)
 from .scheduler import FairExecutor
@@ -32,6 +32,7 @@ from .session import Session, SessionConfig
 
 __all__ = [
     "Client",
+    "ClientTimeout",
     "ServerError",
     "ProtocolError",
     "PROTOCOL_VERSION",

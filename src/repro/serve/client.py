@@ -26,7 +26,22 @@ from typing import Any
 
 from .protocol import E_BUDGET, MAX_LINE
 
-__all__ = ["Client", "ServerError"]
+__all__ = ["Client", "ClientTimeout", "ServerError"]
+
+
+class ClientTimeout(ConnectionError):
+    """The server did not answer within the client's read timeout.
+
+    Raised instead of a bare ``socket.timeout`` so callers can tell a
+    hung (or overloaded) server from a closed connection; the
+    connection is in an undefined protocol state afterwards — close it
+    and reconnect rather than re-issuing the request.
+    """
+
+    def __init__(self, seconds: float | None) -> None:
+        bound = "" if seconds is None else f" after {seconds:g}s"
+        super().__init__(f"no response from the server{bound}")
+        self.seconds = seconds
 
 
 class ServerError(RuntimeError):
@@ -52,13 +67,23 @@ class Client:
     constructor retries refused connections until it elapses, so a
     client racing a just-forked ``repro serve`` subprocess simply
     waits for the socket to appear.
+
+    ``read_timeout`` bounds every wait for a response line (defaulting
+    to ``timeout``); a server that accepted the request but never
+    answers raises :class:`ClientTimeout` instead of blocking the
+    caller forever.  ``None`` disables the bound — appropriate for
+    long ``reach`` traversals whose runtime is governed server-side by
+    per-request budgets instead.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  timeout: float | None = 60.0,
-                 connect_timeout: float = 10.0) -> None:
+                 connect_timeout: float = 10.0,
+                 read_timeout: float | None = None) -> None:
         self.host = host
         self.port = port
+        self.read_timeout = timeout if read_timeout is None \
+            else read_timeout
         deadline = time.monotonic() + connect_timeout
         while True:
             try:
@@ -69,6 +94,7 @@ class Client:
                 if time.monotonic() >= deadline:
                     raise
                 time.sleep(0.05)
+        self._sock.settimeout(self.read_timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = iter(range(1, 1 << 62))
         self.greeting = self._read_message()
@@ -86,7 +112,10 @@ class Client:
     # ------------------------------------------------------------------
 
     def _read_message(self) -> dict[str, Any]:
-        line = self._file.readline(MAX_LINE + 1)
+        try:
+            line = self._file.readline(MAX_LINE + 1)
+        except TimeoutError:
+            raise ClientTimeout(self.read_timeout) from None
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line.decode("utf-8"))

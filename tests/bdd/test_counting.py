@@ -49,7 +49,70 @@ class TestSatCount:
         assert f.sat_count() == expected
 
 
-class TestMintermCountMap:
+def _random_dnf(rng, nvars=8, terms=6, width=3):
+    """A reproducible random DNF as (name, polarity) term lists."""
+    names = [f"x{i}" for i in range(nvars)]
+    return names, [[(name, rng.random() < 0.5)
+                    for name in rng.sample(names, width)]
+                   for _ in range(terms)]
+
+
+def _build(manager, terms):
+    f = manager.false
+    for term in terms:
+        cube = manager.true
+        for name, polarity in term:
+            var = manager.var(name)
+            cube &= var if polarity else ~var
+        f |= cube
+    return f
+
+
+class TestVectorizedSatCount:
+    """ArrayStore.sat_count_vector against the object-backend count."""
+
+    def _pairs(self, count=20, seed=20260808):
+        import random
+        rng = random.Random(seed)
+        for _ in range(count):
+            names, terms = _random_dnf(rng)
+            obj = Manager(vars=names, backend="object")
+            arr = Manager(vars=names, backend="array")
+            yield _build(obj, terms), _build(arr, terms)
+
+    def test_differential_random_functions(self):
+        for f_obj, f_arr in self._pairs():
+            assert f_arr.sat_count() == f_obj.sat_count()
+            assert (~f_arr).sat_count() == (~f_obj).sat_count()
+
+    def test_pure_python_fallback_matches(self, monkeypatch):
+        from repro.bdd import arraystore
+        monkeypatch.setattr(arraystore, "_np", None)
+        for f_obj, f_arr in self._pairs(count=8):
+            assert f_arr.sat_count() == f_obj.sat_count()
+
+    def test_wide_counts_take_python_branch(self):
+        # nvars > 61 overflows int64, so the numpy path must bow out;
+        # the pure-python sweep still returns the exact big integer.
+        names, terms = _random_dnf(__import__("random").Random(7))
+        arr = Manager(vars=names, backend="array")
+        f = _build(arr, terms)
+        narrow = f.sat_count()
+        assert f.sat_count(100) == narrow << 92
+
+    def test_vector_refuses_unvalidatable_support(self):
+        # sat_count_vector sweeps whole store levels, so it cannot
+        # count over fewer variables than the store declares; the hook
+        # must fall back (None), never return a wrong count.
+        arr = Manager(vars=[f"x{i}" for i in range(8)], backend="array")
+        f = arr.var("x0")
+        assert arr.store.sat_count_vector(f.node, 3) is None
+        assert f.sat_count() == 128
+
+    def test_vector_terminals(self):
+        arr = Manager(vars=["a", "b"], backend="array")
+        assert arr.store.sat_count_vector(arr.true.node, 2) == 4
+        assert arr.store.sat_count_vector(arr.false.node, 2) == 0
     def test_internal_counts(self):
         m, vs = fresh_manager(3)
         f = vs[0] & vs[1] & vs[2]

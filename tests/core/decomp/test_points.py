@@ -41,6 +41,23 @@ class TestBand:
     def test_constant(self):
         m = Manager(vars=["a"])
         assert band_points(m.true) == set()
+        assert band_points(m.false) == set()
+
+    def test_single_variable(self):
+        # One internal node at height 1: the default band [0.35, 0.65]
+        # excludes it (relative height 1.0), the full band keeps it.
+        m = Manager(vars=["a"])
+        a = m.var("a")
+        assert band_points(a) == set()
+        assert band_points(a, 0.0, 1.0) == {a.node}
+        assert band_points(~a, 1.0, 1.0) == {(~a).node}
+
+    def test_band_boundaries_inclusive(self):
+        m = Manager(vars=["a", "b"])
+        f = m.var("a") & m.var("b")  # heights 2 (root) and 1 (child)
+        assert band_points(f, 0.5, 0.5) == {m.store.lo_of(f.node)} \
+            or band_points(f, 0.5, 0.5) == {m.store.hi_of(f.node)}
+        assert len(band_points(f, 0.5, 1.0)) == 2
 
 
 class TestDisjointScore:
@@ -82,6 +99,23 @@ class TestDisjointPoints:
     def test_constant(self):
         m = Manager(vars=["a"])
         assert disjoint_points(m.true) == set()
+        assert disjoint_points(m.false) == set()
+
+    def test_single_variable_has_no_candidates(self):
+        # Both children of the only internal node are terminals, so the
+        # candidate pool is empty and the selector returns no points
+        # (there is nothing to decompose at).
+        m = Manager(vars=["a"])
+        assert disjoint_points(m.var("a")) == set()
+
+    def test_no_candidate_clears_band(self, random_functions):
+        # A sliver band above every internal node's relative height
+        # yields no candidates at all — distinct from the "candidates
+        # exist but none pass the limits" fallback, which returns the
+        # single best scorer.
+        m, funcs = random_functions
+        for f in funcs[:3]:
+            assert disjoint_points(f, band=(1.1, 1.2)) == set()
 
     def test_strict_limits_fall_back_to_best(self, random_functions):
         m, funcs = random_functions

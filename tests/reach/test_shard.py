@@ -1,0 +1,256 @@
+"""Sharded reachability: byte-identity, fault fallback, policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import io as bdd_io
+from repro.fsm import encode
+from repro.fsm.benchmarks import comm_controller, counter, token_ring
+from repro.fsm.blif import write_blif
+from repro.reach import (FrontierSharder, ShardConfig, TransitionRelation,
+                         bfs_reachability, choose_split_vars)
+from repro.reach.shard import (_RELATIONS, build_spec_circuit,
+                               shard_image_worker)
+
+BACKENDS = ["object", "array"]
+
+
+def build(backend="object", channels=3):
+    encoded = encode(comm_controller(channels), backend=backend)
+    return encoded, TransitionRelation(encoded)
+
+
+def traces(result):
+    return (result.iterations, result.size_trace, result.frontier_trace,
+            len(result.reached), result.reached.sat_count())
+
+
+class TestConstrain:
+    """TransitionRelation.constrain: the algebra under the sharding."""
+
+    def test_image_distributes_over_split_cube(self):
+        encoded, tr = build()
+        manager = encoded.manager
+        frontier = encoded.initial_states()
+        frontier = frontier | tr.image(frontier)
+        whole = tr.image(frontier)
+        for name in (encoded.input_vars[0], encoded.state_vars[0]):
+            var = manager.var(name)
+            pieces = [
+                tr.constrain({name: value}).image(
+                    frontier.cofactor({name: value}))
+                for value in (False, True)]
+            assert (pieces[0] | pieces[1]) == whole, name
+
+    def test_constrained_clusters_drop_the_variable(self):
+        encoded, tr = build()
+        name = encoded.input_vars[0]
+        constrained = tr.constrain({name: True})
+        for cluster in constrained.clusters:
+            assert name not in cluster.support()
+        # The base relation is untouched.
+        assert any(name in cluster.support() for cluster in tr.clusters)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_traces_match_sequential(self, backend, shards):
+        encoded, tr = build(backend)
+        sequential = bfs_reachability(tr, encoded.initial_states())
+
+        encoded2, tr2 = build(backend)
+        config = ShardConfig(shards=shards, min_frontier=0)
+        with FrontierSharder(tr2, config) as sharder:
+            sharded = bfs_reachability(tr2, encoded2.initial_states(),
+                                       sharder=sharder)
+        assert traces(sharded) == traces(sequential)
+        stats = sharded.shard_stats
+        if shards > 1:
+            assert stats["shard_images"] > 0
+            assert stats["pieces"] >= shards * stats["shard_images"]
+        else:
+            assert stats["shard_images"] == 0
+
+    @pytest.mark.parametrize("selector", ["relation", "band", "disjoint"])
+    def test_every_selector_is_exact(self, selector):
+        encoded, tr = build()
+        sequential = bfs_reachability(tr, encoded.initial_states())
+        encoded2, tr2 = build()
+        config = ShardConfig(shards=2, selector=selector, min_frontier=0)
+        with FrontierSharder(tr2, config) as sharder:
+            sharded = bfs_reachability(tr2, encoded2.initial_states(),
+                                       sharder=sharder)
+        assert traces(sharded) == traces(sequential)
+
+
+class TestFaultContainment:
+    def test_worker_budget_falls_back_to_exact(self):
+        """Every piece blows a 1-node budget in the worker; the
+        coordinator recomputes each exactly and the traversal result is
+        unchanged (the conftest sweep verifies the graph afterwards)."""
+        encoded, tr = build()
+        sequential = bfs_reachability(tr, encoded.initial_states())
+        encoded2, tr2 = build()
+        config = ShardConfig(shards=2, min_frontier=0, node_budget=1)
+        with FrontierSharder(tr2, config) as sharder:
+            sharded = bfs_reachability(tr2, encoded2.initial_states(),
+                                       sharder=sharder)
+        assert traces(sharded) == traces(sequential)
+        assert sharded.shard_stats["fallbacks"] > 0
+
+    def test_worker_budget_unwinds_cleanly(self):
+        """A budget abort inside the worker surfaces as a budget
+        outcome, not a crash: the worker process stays reusable and a
+        follow-up unbudgeted image on the *same* sharder succeeds."""
+        encoded, tr = build()
+        frontier = encoded.initial_states()
+        frontier = frontier | tr.image(frontier)
+        config = ShardConfig(shards=2, min_frontier=0, node_budget=1)
+        with FrontierSharder(tr, config) as sharder:
+            image, exact = sharder.image(frontier)
+            assert exact
+            assert sharder.stats.fallbacks > 0
+            pids = sharder._pool.worker_pids()
+            assert pids  # budget aborts did not kill the workers
+            object.__setattr__(config, "node_budget", 0)
+            image2, _ = sharder.image(frontier)
+            assert sharder._pool.worker_pids() == pids
+        assert image == image2 == tr.image(frontier)
+
+
+class TestPolicy:
+    def test_min_frontier_collapses_to_sequential(self):
+        encoded, tr = build()
+        config = ShardConfig(shards=2, min_frontier=10 ** 6)
+        with FrontierSharder(tr, config) as sharder:
+            result = bfs_reachability(tr, encoded.initial_states(),
+                                      sharder=sharder)
+        stats = result.shard_stats
+        assert stats["shard_images"] == 0
+        assert stats["sequential_images"] == result.iterations
+
+    def test_resplit_threshold_splits_deeper(self):
+        encoded, tr = build()
+        sequential = bfs_reachability(tr, encoded.initial_states())
+        encoded2, tr2 = build()
+        config = ShardConfig(shards=2, min_frontier=0,
+                             resplit_threshold=2, max_split_depth=3)
+        with FrontierSharder(tr2, config) as sharder:
+            sharded = bfs_reachability(tr2, encoded2.initial_states(),
+                                       sharder=sharder)
+        assert traces(sharded) == traces(sequential)
+        assert sharded.shard_stats["resplits"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(selector="nope")
+        with pytest.raises(ValueError):
+            ShardConfig(shards=65)
+
+    def test_sharder_close_is_idempotent(self):
+        encoded, tr = build()
+        sharder = FrontierSharder(tr, ShardConfig(min_frontier=0))
+        sharder.image(encoded.initial_states())
+        key = sharder._base_key
+        assert key in _RELATIONS
+        sharder.close()
+        assert key not in _RELATIONS
+        sharder.close()
+
+
+class TestSplitVars:
+    def test_relation_selector_prefers_shrinking_vars(self):
+        encoded, tr = build()
+        frontier = encoded.initial_states()
+        names = choose_split_vars(tr, frontier, 2)
+        assert len(names) == 2
+        candidates = set(encoded.input_vars) | set(encoded.state_vars)
+        assert set(names) <= candidates
+
+    def test_point_selectors_empty_for_constant_frontier(self):
+        encoded, tr = build()
+        for selector in ("band", "disjoint"):
+            names = choose_split_vars(tr, encoded.manager.true, 2,
+                                      selector)
+            assert names == []
+
+    def test_point_selector_pads_from_support(self):
+        encoded, tr = build()
+        frontier = encoded.initial_states()
+        names = choose_split_vars(tr, frontier, 3, "band")
+        assert len(names) == min(3, len(frontier.support()))
+        assert len(set(names)) == len(names)
+
+    def test_unknown_selector_raises(self):
+        encoded, tr = build()
+        with pytest.raises(ValueError):
+            choose_split_vars(tr, encoded.initial_states(), 2, "nope")
+
+
+class TestWorkerInternals:
+    def test_spec_rebuild_without_prewarm(self):
+        """A worker handed an unknown base key rebuilds the relation
+        from the circuit spec — the spawn-start-method path, exercised
+        in-process."""
+        encoded, tr = build()
+        frontier = encoded.initial_states()
+        name = encoded.input_vars[0]
+        payload = {
+            "base": ("spec-test", 1),
+            "spec": ("blif-text", write_blif(encoded.circuit)),
+            "backend": "object",
+            "assignment": ((name, True),),
+            "frontier": bdd_io.dump(frontier),
+            "resplit_threshold": 0,
+        }
+        try:
+            result = shard_image_worker(payload)
+            assert result["kind"] == "image"
+            expected = tr.constrain({name: True}).image(
+                frontier.cofactor({name: True}))
+            rebuilt_key = ("spec-test", 1, "cube", (name, True))
+            worker_manager = _RELATIONS[rebuilt_key][0].manager
+            piece = bdd_io.load(worker_manager, result["text"],
+                                declare=False)
+            transferred = bdd_io.transfer(piece, encoded.manager)
+            assert transferred == expected
+        finally:
+            for key in [k for k in _RELATIONS
+                        if k and k[0] == "spec-test"]:
+                del _RELATIONS[key]
+
+    def test_worker_refuses_oversized_piece(self):
+        encoded, tr = build()
+        frontier = encoded.initial_states()
+        frontier = frontier | tr.image(frontier)
+        name = encoded.input_vars[0]
+        key = ("refuse-test",)
+        _RELATIONS[key] = (encoded, tr)
+        try:
+            result = shard_image_worker({
+                "base": key,
+                "assignment": ((name, False),),
+                "frontier": bdd_io.dump(frontier),
+                "resplit_threshold": 1,
+            })
+            assert result["kind"] == "resplit"
+            assert result["piece_nodes"] > 1
+        finally:
+            for k in [k for k in _RELATIONS
+                      if k and k[0] == "refuse-test"]:
+                del _RELATIONS[k]
+
+    def test_build_spec_circuit_kinds(self, tmp_path):
+        circuit = counter(3)
+        text = write_blif(circuit)
+        path = tmp_path / "c3.blif"
+        path.write_text(text)
+        assert build_spec_circuit(("blif-text", text)).num_latches == 3
+        assert build_spec_circuit(
+            ("blif-path", str(path))).num_latches == 3
+        ring = build_spec_circuit(("factory", "token_ring", (3,)))
+        assert ring.num_latches == token_ring(3).num_latches
+        with pytest.raises(ValueError):
+            build_spec_circuit(("nope",))

@@ -9,13 +9,14 @@ from __future__ import annotations
 import json
 import random
 import socket
+import threading
 import time
 
 import pytest
 
-from repro.fsm.benchmarks import counter
+from repro.fsm.benchmarks import comm_controller, counter
 from repro.fsm.blif import write_blif
-from repro.serve import MAX_LINE, Client, ServerError
+from repro.serve import MAX_LINE, Client, ClientTimeout, ServerError
 
 BACKENDS = ("object", "array")
 
@@ -205,6 +206,64 @@ def test_reach_rejects_bad_blif(client):
     with pytest.raises(ServerError) as excinfo:
         client.reach(".broken\n")
     assert excinfo.value.code == "bad-request"
+
+
+def test_reach_verb_sharded_matches_sequential(client):
+    blif = write_blif(comm_controller(3))
+    sequential = client.reach(blif)
+    sharded = client.reach(blif, shards=2, shard_min_frontier=0)
+    for key in ("states", "iterations", "reached_nodes", "complete"):
+        assert sharded[key] == sequential[key], key
+    assert sharded["shards"] == 2
+    assert sharded["shard_images"] > 0
+    assert sharded["fallbacks"] == 0
+    assert "shards" not in sequential
+
+
+def test_reach_rejects_bad_shard_params(client):
+    blif = write_blif(counter(3))
+    for params in ({"shards": 0}, {"shards": "two"},
+                   {"shards": 2, "shard_selector": "nope"}):
+        with pytest.raises(ServerError) as excinfo:
+            client.reach(blif, **params)
+        assert excinfo.value.code == "bad-request"
+
+
+def test_hung_server_raises_client_timeout():
+    """A server that accepts but never answers must not hang the
+    client: the greeting read trips ``read_timeout``."""
+    listener = socket.socket()
+    held = []
+    try:
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+
+        def hold():
+            conn, _ = listener.accept()
+            held.append(conn)
+            time.sleep(30)
+
+        threading.Thread(target=hold, daemon=True).start()
+        start = time.monotonic()
+        with pytest.raises(ClientTimeout) as excinfo:
+            Client(port=listener.getsockname()[1], read_timeout=0.5)
+        assert time.monotonic() - start < 10
+        assert excinfo.value.seconds == 0.5
+        assert isinstance(excinfo.value, ConnectionError)
+    finally:
+        for conn in held:
+            conn.close()
+        listener.close()
+
+
+def test_read_timeout_defaults_to_timeout(server):
+    with Client(port=server.port, timeout=30.0) as c:
+        assert c.read_timeout == 30.0
+        assert c._sock.gettimeout() == 30.0
+    with Client(port=server.port, timeout=30.0, read_timeout=5.0) as c:
+        assert c.read_timeout == 5.0
+        assert c._sock.gettimeout() == 5.0
+        assert c.count(c.var("a"))["sat_count"] == 1
 
 
 def test_sessions_are_isolated(server, client_factory):
