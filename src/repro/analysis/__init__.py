@@ -2,12 +2,23 @@
 
 ``repro.analysis.lint`` is a small AST-based lint engine with a rule
 registry, per-rule severities, ``# repro-lint: disable=RPRxxx``
-suppression comments, and text/JSON reporting.  The rules in
+suppression comments, and text/JSON/SARIF reporting.  The rules in
 ``repro.analysis.rules`` encode the structural conventions every
 algorithm in this repository depends on — no recursion in kernel
 modules, all node construction through the unique table, registered
 computed-table op tags, no cross-manager node mixing, uniform
-approximator signatures.
+approximator signatures — and ``repro.analysis.rules_flow`` adds the
+flow-aware concurrency rules (event-loop blocking, session escape,
+fork capture, governed-cycle checkpoints, ref/deref pairing) built on
+the intraprocedural CFG (``repro.analysis.cfg``), dataflow
+(``repro.analysis.dataflow``) and provenance
+(``repro.analysis.provenance``) layers.
+
+Adoption machinery lives alongside: ``repro.analysis.sarif`` renders
+findings in the GitHub code-scanning SARIF schema, and
+``repro.analysis.baseline`` implements the committed-baseline workflow
+(``.repro-lint-baseline.json``) that lets warning-severity rules land
+without blocking CI.
 
 The runtime counterpart is the graph sanitizer,
 :meth:`repro.bdd.manager.Manager.debug_check` (see
@@ -16,10 +27,14 @@ The runtime counterpart is the graph sanitizer,
 
 from __future__ import annotations
 
-from . import rules as _rules  # noqa: F401  (registers the RPR rules)
+from . import rules as _rules  # noqa: F401  (registers RPR001..006)
+from . import rules_flow as _rules_flow  # noqa: F401  (RPR007..011)
+from .baseline import (DEFAULT_BASELINE, apply_baseline, load_baseline,
+                       write_baseline)
 from .lint import (RULES, FileContext, Rule, Violation, exit_code,
                    lint_paths, lint_source, register_rule, render_json,
                    render_text)
+from .sarif import render_sarif
 
 __all__ = [
     "RULES",
@@ -31,5 +46,10 @@ __all__ = [
     "lint_paths",
     "render_text",
     "render_json",
+    "render_sarif",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
     "exit_code",
 ]

@@ -1,0 +1,95 @@
+"""The committed lint baseline: accepted findings that do not gate CI.
+
+The workflow mirrors ruff's ``--add-noqa`` / ESLint's bulk-suppression
+files, tuned for landing *new* rules on an existing tree:
+
+1. a new (typically warning-severity) rule lands together with
+   ``repro lint --write-baseline`` output committed as
+   ``.repro-lint-baseline.json``;
+2. CI runs ``repro lint --strict --baseline .repro-lint-baseline.json``
+   — baselined findings are filtered out before the exit-code gate, so
+   only *new* findings fail the build;
+3. debt is paid down by fixing a finding and deleting its entry (or
+   re-running ``--write-baseline``); the file shrinks monotonically.
+
+Entries are keyed by the :class:`~repro.analysis.lint.Violation`
+fingerprint — rule id + trailing path + source-line *text* + occurrence
+index — so unrelated edits that shift line numbers do not churn the
+baseline, while editing the flagged line itself (presumably fixing it)
+invalidates the entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .lint import Violation
+
+__all__ = [
+    "BASELINE_SCHEMA", "DEFAULT_BASELINE", "load_baseline",
+    "write_baseline", "apply_baseline",
+]
+
+BASELINE_SCHEMA = 1
+
+#: Conventional baseline location at the repository root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> dict[str, dict[str, object]]:
+    """Load baseline entries (fingerprint -> metadata).
+
+    A missing file is an empty baseline; a malformed one raises
+    ``ValueError`` (a silently ignored baseline would un-gate CI).
+    """
+    file = Path(path)
+    if not file.exists():
+        return {}
+    try:
+        document = json.loads(file.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline {file}: {exc}") from exc
+    if not isinstance(document, dict) \
+            or document.get("schema") != BASELINE_SCHEMA \
+            or not isinstance(document.get("entries"), dict):
+        raise ValueError(
+            f"malformed baseline {file}: expected "
+            f"{{'schema': {BASELINE_SCHEMA}, 'entries': {{...}}}}")
+    return dict(document["entries"])
+
+
+def write_baseline(path: str | Path,
+                   violations: list[Violation]) -> int:
+    """Write every finding as an accepted baseline entry.
+
+    Returns the number of entries written.  Entry metadata (rule,
+    path, line, message) is for human review only; matching uses the
+    fingerprint key alone.
+    """
+    entries = {
+        violation.fingerprint: {
+            "rule": violation.rule,
+            "severity": violation.severity,
+            "path": violation.path,
+            "line": violation.line,
+            "message": violation.message,
+        }
+        for violation in violations if violation.fingerprint
+    }
+    document = {"schema": BASELINE_SCHEMA,
+                "entries": dict(sorted(entries.items()))}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(violations: list[Violation],
+                   entries: dict[str, dict[str, object]]
+                   ) -> tuple[list[Violation], int]:
+    """Split findings into (new, number baselined)."""
+    if not entries:
+        return list(violations), 0
+    fresh = [violation for violation in violations
+             if violation.fingerprint not in entries]
+    return fresh, len(violations) - len(fresh)

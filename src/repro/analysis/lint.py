@@ -22,13 +22,14 @@ them).
 from __future__ import annotations
 
 import ast
+import hashlib
 import io
 import json
 import re
 import tokenize
 from collections.abc import Callable, Iterable, Iterator
-from dataclasses import dataclass
-from pathlib import Path
+from dataclasses import dataclass, replace
+from pathlib import Path, PurePath
 
 #: Severity levels, weakest first.
 SEVERITIES = ("warning", "error")
@@ -46,7 +47,14 @@ _SUPPRESS_RE = re.compile(
 
 @dataclass(frozen=True)
 class Violation:
-    """One finding: a rule, a location, a message."""
+    """One finding: a rule, a location, a message.
+
+    ``fingerprint`` is a line-drift-stable identity used by the
+    baseline workflow: a hash over the rule id, the trailing path
+    components, the *text* of the flagged source line and an occurrence
+    index — so re-ordering unrelated code does not churn the baseline.
+    It is stamped by :func:`lint_source`; rules leave it empty.
+    """
 
     rule: str
     severity: str
@@ -54,6 +62,7 @@ class Violation:
     line: int
     col: int
     message: str
+    fingerprint: str = ""
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -63,6 +72,7 @@ class Violation:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -162,9 +172,55 @@ class FileContext:
                          message=message)
 
 
+def _stamp_fingerprints(violations: list[Violation],
+                        source: str) -> list[Violation]:
+    """Attach line-drift-stable fingerprints (see :class:`Violation`)."""
+    lines = source.splitlines()
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[Violation] = []
+    for violation in violations:
+        text = lines[violation.line - 1].strip() \
+            if 0 < violation.line <= len(lines) else ""
+        tail = "/".join(PurePath(violation.path).parts[-3:])
+        key = (violation.rule, tail, text)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        digest = hashlib.sha1(
+            f"{violation.rule}|{tail}|{text}|{occurrence}".encode(
+                "utf-8")).hexdigest()[:20]
+        out.append(replace(violation, fingerprint=digest))
+    return out
+
+
+def _unknown_suppressions(ctx: FileContext) -> Iterator[Violation]:
+    """Engine diagnostic: ``disable=`` naming a rule id that does not
+    exist silently suppresses nothing — surface it as a warning."""
+    known = set(RULES) | {"*", "RPR000"}
+    for line, ids in sorted(ctx.line_disables.items()):
+        for rule_id in sorted(ids - known):
+            yield Violation(
+                rule="RPR000", severity="warning", path=ctx.path,
+                line=line, col=0,
+                message=f"unknown rule id {rule_id!r} in suppression "
+                        f"comment (known: {', '.join(sorted(RULES))})")
+    for rule_id in sorted(ctx.file_disables - known):
+        yield Violation(
+            rule="RPR000", severity="warning", path=ctx.path,
+            line=1, col=0,
+            message=f"unknown rule id {rule_id!r} in disable-file "
+                    f"suppression (known: {', '.join(sorted(RULES))})")
+
+
 def lint_source(source: str, path: str = "<string>",
-                rules: Iterable[str] | None = None) -> list[Violation]:
-    """Lint one source string; returns unsuppressed violations."""
+                rules: Iterable[str] | None = None,
+                ignore: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one source string; returns unsuppressed violations.
+
+    ``rules`` selects a subset of the registry (default: all);
+    ``ignore`` removes rules from whatever was selected.  Engine
+    diagnostics (``RPR000`` syntax errors and unknown suppression ids)
+    are always produced.
+    """
     try:
         ctx = FileContext(path, source)
     except SyntaxError as exc:
@@ -173,13 +229,20 @@ def lint_source(source: str, path: str = "<string>",
                           message=f"syntax error: {exc.msg}")]
     selected = [RULES[r] for r in rules] if rules is not None \
         else list(RULES.values())
+    if ignore is not None:
+        ignored = set(ignore)
+        selected = [rule for rule in selected
+                    if rule.id not in ignored]
     out: list[Violation] = []
     for rule in selected:
         for violation in rule.check(ctx):
             if not ctx.is_suppressed(violation.rule, violation.line):
                 out.append(violation)
+    for violation in _unknown_suppressions(ctx):
+        if not ctx.is_suppressed(violation.rule, violation.line):
+            out.append(violation)
     out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
-    return out
+    return _stamp_fingerprints(out, source)
 
 
 def iter_python_files(paths: Iterable[str | Path],
@@ -202,12 +265,13 @@ def iter_python_files(paths: Iterable[str | Path],
 
 
 def lint_paths(paths: Iterable[str | Path],
-               rules: Iterable[str] | None = None) -> list[Violation]:
+               rules: Iterable[str] | None = None,
+               ignore: Iterable[str] | None = None) -> list[Violation]:
     """Lint files/directory trees; returns all unsuppressed violations."""
     out: list[Violation] = []
     for path in iter_python_files(paths):
         out.extend(lint_source(path.read_text(encoding="utf-8"),
-                               str(path), rules=rules))
+                               str(path), rules=rules, ignore=ignore))
     return out
 
 
@@ -221,13 +285,23 @@ def render_text(violations: list[Violation]) -> str:
     return "\n".join(lines)
 
 
-def render_json(violations: list[Violation]) -> str:
-    """JSON document: ``{"violations": [...], "errors": n, ...}``."""
+def render_json(violations: list[Violation], *,
+                baselined: int = 0) -> str:
+    """JSON document: violations plus per-rule and total counts.
+
+    ``baselined`` reports how many findings were filtered out by the
+    committed baseline before rendering (0 when no baseline is used).
+    """
     errors = sum(1 for v in violations if v.severity == "error")
+    per_rule: dict[str, int] = {}
+    for violation in violations:
+        per_rule[violation.rule] = per_rule.get(violation.rule, 0) + 1
     return json.dumps({
         "violations": [v.as_dict() for v in violations],
         "errors": errors,
         "warnings": len(violations) - errors,
+        "per_rule": dict(sorted(per_rule.items())),
+        "baselined": baselined,
     }, indent=2)
 
 

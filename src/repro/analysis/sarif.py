@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 output for ``repro lint``.
+
+The subset of the schema GitHub code scanning consumes: one run, a
+tool driver carrying the full rule catalogue (so the UI can show rule
+help without a finding), and one result per violation with a physical
+location and a partial fingerprint.  Upload the document from CI with
+``github/codeql-action/upload-sarif`` and findings annotate the PR
+diff exactly like CodeQL's do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+
+from .lint import RULES, Violation
+
+__all__ = ["SARIF_SCHEMA", "render_sarif"]
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: repro-lint severity -> SARIF level.
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule_id: str) -> dict[str, object]:
+    rule = RULES[rule_id]
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")},
+    }
+
+
+def _result(violation: Violation) -> dict[str, object]:
+    uri = PurePath(violation.path).as_posix()
+    if uri.startswith("./"):
+        uri = uri[2:]
+    result: dict[str, object] = {
+        "ruleId": violation.rule,
+        "level": _LEVELS.get(violation.severity, "warning"),
+        "message": {"text": violation.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {
+                    "startLine": violation.line,
+                    "startColumn": violation.col + 1,
+                },
+            },
+        }],
+    }
+    if violation.fingerprint:
+        result["partialFingerprints"] = {
+            "reproLint/v1": violation.fingerprint}
+    return result
+
+
+def render_sarif(violations: list[Violation]) -> str:
+    """Render findings as a SARIF 2.1.0 document (JSON text)."""
+    rule_ids = sorted(set(RULES))
+    run = {
+        "tool": {
+            "driver": {
+                "name": "repro-lint",
+                "rules": [_rule_descriptor(rule_id)
+                          for rule_id in rule_ids],
+            },
+        },
+        "results": [_result(violation) for violation in violations],
+    }
+    return json.dumps({
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [run],
+    }, indent=2)

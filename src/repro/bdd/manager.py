@@ -618,6 +618,18 @@ class Manager:
             backend=self.store.name,
         )
 
+    @property
+    def governor_counters(self) -> tuple[int, int]:
+        """``(total aborts, total degradations)`` as cheap plain ints.
+
+        The full :attr:`stats` snapshot walks the computed table; this
+        pair costs two small dict sums, which is what lets the serve
+        session republish it after every request so other threads can
+        read governor counters without touching the manager.
+        """
+        return (sum(self._abort_counts.values()),
+                sum(self._degradations.values()))
+
     def reset_stats(self) -> None:
         """Rewind every statistics counter; entries and nodes survive."""
         self.computed.reset_stats()

@@ -340,18 +340,47 @@ def cmd_decomp(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from .analysis import (RULES, exit_code, lint_paths, render_json,
-                           render_text)
-    if args.rules:
-        unknown = [r for r in args.rules if r not in RULES]
+    from pathlib import Path
+
+    from .analysis import (DEFAULT_BASELINE, RULES, apply_baseline,
+                           exit_code, lint_paths, load_baseline,
+                           render_json, render_sarif, render_text,
+                           write_baseline)
+    if args.write_baseline and not args.baseline:
+        args.baseline = DEFAULT_BASELINE
+    for option, ids in (("--select", args.select),
+                        ("--ignore", args.ignore)):
+        unknown = [r for r in ids or () if r not in RULES]
         if unknown:
-            raise SystemExit(f"repro: unknown rules {unknown!r}; "
-                             f"available: {','.join(sorted(RULES))}")
-    violations = lint_paths(args.paths, rules=args.rules)
+            raise SystemExit(
+                f"repro: unknown rules {unknown!r} for {option}; "
+                f"available: {','.join(sorted(RULES))}")
+    violations = lint_paths(args.paths, rules=args.select,
+                            ignore=args.ignore)
+    if args.write_baseline:
+        count = write_baseline(args.baseline, violations)
+        print(f"repro lint: wrote {count} baseline entr"
+              f"{'y' if count == 1 else 'ies'} to {args.baseline}")
+        return 0
+    baselined = 0
+    if args.baseline and Path(args.baseline).exists():
+        try:
+            entries = load_baseline(args.baseline)
+        except ValueError as exc:
+            raise SystemExit(f"repro: {exc}")
+        violations, baselined = apply_baseline(violations, entries)
     if args.format == "json":
-        print(render_json(violations))
+        document = render_json(violations, baselined=baselined)
+    elif args.format == "sarif":
+        document = render_sarif(violations)
     else:
-        print(render_text(violations))
+        document = render_text(violations)
+        if baselined:
+            document += f"\n{baselined} baselined finding(s) filtered"
+    if args.output:
+        Path(args.output).write_text(document + "\n", encoding="utf-8")
+    else:
+        print(document)
     return exit_code(violations, strict=args.strict)
 
 
@@ -602,19 +631,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_call.set_defaults(func=cmd_call)
 
     p_lint = sub.add_parser(
-        "lint", help="run the BDD-aware static rules (RPR001..RPR006)")
+        "lint", help="run the BDD-aware static rules (RPR001..RPR011)")
     p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
                         help="files or directory trees to lint "
                              "(default: src tests)")
-    p_lint.add_argument("--format", choices=["text", "json"],
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text")
-    p_lint.add_argument("--rules", default=None,
-                        type=lambda s: [r.strip() for r in s.split(",")
-                                        if r.strip()],
+    rule_list = lambda s: [r.strip() for r in s.split(",") if r.strip()]
+    p_lint.add_argument("--select", "--rules", dest="select",
+                        default=None, type=rule_list,
                         help="comma-separated rule ids to run "
                              "(default: all)")
+    p_lint.add_argument("--ignore", default=None, type=rule_list,
+                        help="comma-separated rule ids to skip")
     p_lint.add_argument("--strict", action="store_true",
                         help="exit non-zero on warnings too")
+    p_lint.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file of accepted findings to "
+                             "filter out before the exit-code gate "
+                             "(a missing file is an empty baseline)")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        help="write every current finding to the "
+                             "--baseline file and exit 0")
+    p_lint.add_argument("--output", default=None, metavar="PATH",
+                        help="write the report to PATH instead of "
+                             "stdout (e.g. the CI SARIF artifact)")
     p_lint.set_defaults(func=cmd_lint)
 
     p_check = sub.add_parser(

@@ -84,7 +84,7 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
     """
     validate_on_blowup(on_blowup)
 
-    def step_image(states: Function, **kwargs: object):
+    def step_image(states: Function, **kwargs: object) -> Function:
         if sharder is not None:
             return sharder.image(states, on_blowup=on_blowup, **kwargs)
         return governed_image(tr, states, on_blowup=on_blowup, **kwargs)

@@ -85,7 +85,7 @@ def high_density_reachability(
     """
     validate_on_blowup(on_blowup)
 
-    def step_image(states: Function, **kwargs: object):
+    def step_image(states: Function, **kwargs: object) -> Function:
         if sharder is not None and kwargs.get("partial") is None:
             kwargs.pop("partial", None)
             return sharder.image(states, on_blowup=on_blowup, **kwargs)

@@ -49,14 +49,17 @@ class FairExecutor:
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         #: session key -> FIFO of (future, fn, args)
-        self._queues: dict[Hashable, deque] = {}
+        self._queues: dict[Hashable, deque[tuple[
+            "Future[Any]", Callable[..., Any], tuple[Any, ...]]]] = {}
         #: round-robin ring of known session keys
         self._ring: deque[Hashable] = deque()
         #: sessions with a call currently running on some worker
         self._running: set[Hashable] = set()
         self._closed = False
-        #: calls completed (successfully or not) since creation
-        self.dispatched = 0
+        #: calls completed (successfully or not) since creation —
+        #: written by worker threads under the lock; read through the
+        #: :attr:`dispatched` property only.
+        self._dispatched = 0
         self.workers = workers
         self._threads = [
             threading.Thread(target=self._worker_loop,
@@ -104,6 +107,12 @@ class FairExecutor:
                     cancelled += 1
         return cancelled
 
+    @property
+    def dispatched(self) -> int:
+        """Calls completed since creation (lock-consistent snapshot)."""
+        with self._lock:
+            return self._dispatched
+
     def pending(self, key: Hashable | None = None) -> int:
         """Queued (not yet running) calls, for ``key`` or in total."""
         with self._lock:
@@ -133,7 +142,9 @@ class FairExecutor:
     # Worker side
     # ------------------------------------------------------------------
 
-    def _next_call(self):
+    def _next_call(self) -> tuple[
+            Hashable, tuple["Future[Any]", Callable[..., Any],
+                            tuple[Any, ...]]] | None:
         """Pick the next dispatchable call, rotating the ring.
 
         Caller holds the lock.  Skips sessions that are mid-call
@@ -173,7 +184,7 @@ class FairExecutor:
                     future.set_result(result)
             with self._wake:
                 self._running.discard(key)
-                self.dispatched += 1
+                self._dispatched += 1
                 # A queued call of this session (or of one skipped
                 # while every candidate was running) may be ready now.
                 self._wake.notify_all()

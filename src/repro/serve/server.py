@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
+from collections.abc import Callable
 from typing import Any
 
 from ..bdd.backend import create_store, resolve_backend
@@ -135,7 +136,10 @@ class Server:
         for session_id in list(self._sessions):
             self._close_session(session_id)
         if self._executor is not None:
-            self._executor.shutdown()
+            # shutdown() joins worker threads — a blocking wait that
+            # must not stall the event loop (RPR007), so hand it to the
+            # default thread-pool executor.
+            await asyncio.to_thread(self._executor.shutdown)
 
     @property
     def num_sessions(self) -> int:
@@ -191,10 +195,10 @@ class Server:
             return
         if self._executor is not None:
             self._executor.remove_session(session_id)
-        final = session.close()
+        aborts, degradations = session.close()
         self.stats.sessions_closed += 1
-        self.stats.closed_aborts += final.total_aborts
-        self.stats.closed_degradations += final.total_degradations
+        self.stats.closed_aborts += aborts
+        self.stats.closed_degradations += degradations
 
     # ------------------------------------------------------------------
     # Request dispatch
@@ -268,13 +272,15 @@ class Server:
         stats = self.stats
         # Aggregate governor counters over live sessions too, so the
         # snapshot reflects aborts/degradations of still-connected
-        # clients (the CI artifact reads this).
+        # clients (the CI artifact reads this).  Sessions *publish*
+        # these as plain ints after every request precisely so this
+        # event-loop read never touches a worker-owned manager
+        # (RPR008: the manager is thread-affine to the fair executor).
         aborts = stats.closed_aborts
         degradations = stats.closed_degradations
         for session in list(self._sessions.values()):
-            snapshot = session.manager.stats
-            aborts += snapshot.total_aborts
-            degradations += snapshot.total_degradations
+            aborts += session.published_aborts
+            degradations += session.published_degradations
         executor = self._executor
         return {"backend": self.backend,
                 "uptime": time.monotonic() - stats.started,
@@ -312,7 +318,8 @@ async def _drain_and_close(writer: asyncio.StreamWriter) -> None:
 # Embedding helpers (tests, CLI)
 # ----------------------------------------------------------------------
 
-async def serve_main(server: Server, *, ready=print) -> None:
+async def serve_main(server: Server, *,
+                     ready: Callable[[str], object] = print) -> None:
     """Start ``server`` and run until cancelled (the CLI body)."""
     await server.start()
     ready(f"repro serve: listening on {server.host}:{server.port} "

@@ -27,7 +27,7 @@ from typing import Any, Callable, Iterator
 
 from ..bdd.function import Function
 from ..bdd.governor import Budget
-from ..bdd.manager import Manager, ManagerStats
+from ..bdd.manager import Manager
 from ..core.approx import UNDER_APPROXIMATORS
 from ..core.decomp import DECOMPOSERS, decompose
 from ..fsm.blif import BlifError, parse_blif
@@ -103,6 +103,14 @@ class Session:
         #: requests executed (successfully or not) in this session
         self.requests = 0
         self.closed = False
+        #: governor counters republished after every request.  The
+        #: manager itself is single-thread-affine (worker threads,
+        #: serialized per session by the executor); these plain ints
+        #: are the *published* snapshot the event loop may read without
+        #: touching the manager (reads of an int attribute are atomic
+        #: under the GIL).
+        self.published_aborts = 0
+        self.published_degradations = 0
 
     # ------------------------------------------------------------------
     # Handle table
@@ -145,19 +153,23 @@ class Session:
     def num_handles(self) -> int:
         return len(self._functions)
 
-    def close(self) -> ManagerStats:
-        """Release every handle; returns the final manager stats.
+    def close(self) -> tuple[int, int]:
+        """Release every handle; returns ``(aborts, degradations)``.
 
         Called on disconnect — this *is* the session GC: dropping the
         Function roots makes every session-private node unreachable,
         and the manager itself becomes garbage once the server lets go
-        of the session object.
+        of the session object.  The returned counters are the last
+        *published* snapshot (see ``__init__``), not a fresh manager
+        read: close() runs on the event loop, where the manager is
+        off-limits, and the executor has already retired or abandoned
+        every in-flight call for this session.
         """
         self.closed = True
-        stats = self.manager.stats
+        counters = (self.published_aborts, self.published_degradations)
         self._functions.clear()
         self._by_key.clear()
-        return stats
+        return counters
 
     # ------------------------------------------------------------------
     # Request execution (worker thread)
@@ -174,12 +186,20 @@ class Session:
                 f"{', '.join(sorted(self._VERBS))}")
         self.requests += 1
         budget = self._merge_budget(params.get("budget"))
-        if verb == "reach":
-            # reach builds its own circuit manager; the budget arms
-            # there, not on the session manager (see _verb_reach).
-            return handler(self, params, budget)
-        with self._armed(self.manager, budget):
-            return handler(self, params, budget)
+        try:
+            if verb == "reach":
+                # reach builds its own circuit manager; the budget arms
+                # there, not on the session manager (see _verb_reach).
+                return handler(self, params, budget)
+            with self._armed(self.manager, budget):
+                return handler(self, params, budget)
+        finally:
+            # Republish governor counters while still on the worker
+            # thread (aborts unwind through here too), so event-loop
+            # snapshots never have to touch the manager.
+            aborts, degradations = self.manager.governor_counters
+            self.published_aborts = aborts
+            self.published_degradations = degradations
 
     def _merge_budget(self, spec: Any) -> Budget:
         config = self.config

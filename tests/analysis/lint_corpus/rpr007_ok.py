@@ -1,0 +1,17 @@
+"""RPR007 ok: blocking work stays off the event loop."""
+# repro-lint: serve
+import asyncio
+
+
+async def handle(executor, session, verb, params):
+    future = executor.submit(session.id, session.execute, verb, params)
+    return await asyncio.wrap_future(future)
+
+
+async def teardown(executor):
+    await asyncio.to_thread(executor.shutdown)
+
+
+def offline_helper(path):
+    # Blocking, but never reachable from an async def in this module.
+    return open(path).read()

@@ -1,0 +1,8 @@
+"""RPR007 suppressed: deliberate blocking call with justification."""
+# repro-lint: serve
+import time
+
+
+async def slow_probe():
+    # Startup-only probe; the loop is not serving anything yet.
+    time.sleep(0.01)  # repro-lint: disable=RPR007

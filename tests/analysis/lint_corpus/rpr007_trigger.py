@@ -1,0 +1,22 @@
+"""RPR007 trigger: blocking calls on the serve event-loop path."""
+# repro-lint: serve
+import time
+
+
+async def handle(reader, writer):
+    time.sleep(0.1)
+    return frame(reader)
+
+
+def frame(reader):
+    # Sync helper reachable from async handle: runs on the loop too.
+    payload = open("dump.bin")
+    return payload
+
+
+async def teardown(executor):
+    executor.shutdown()
+
+
+async def snapshot(manager):
+    return manager.reorder()

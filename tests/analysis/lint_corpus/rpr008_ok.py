@@ -1,0 +1,19 @@
+"""RPR008 ok: session work serialized through the fair executor."""
+# repro-lint: serve
+
+
+def dispatch(executor, session, verb, params):
+    return executor.submit(session.id, session.execute, verb, params)
+
+
+def server_stats(sessions):
+    aborts = 0
+    for session in sessions:
+        # Published plain-int counters, not the worker-owned manager.
+        aborts += session.published_aborts
+    return aborts
+
+
+def close_session(session):
+    aborts, degradations = session.close()
+    return aborts + degradations

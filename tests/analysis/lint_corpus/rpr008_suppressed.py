@@ -1,0 +1,7 @@
+"""RPR008 suppressed: single-threaded harness touches the manager."""
+# repro-lint: serve
+
+
+def debug_snapshot(session):
+    # Test-only helper; the server is fully stopped when this runs.
+    return session.manager.stats  # repro-lint: disable=RPR008

@@ -1,0 +1,7 @@
+"""RPR009 suppressed: payload pickled by a custom reducer."""
+
+
+def submit_pinned(pool, manager):
+    # The pool registers a copyreg reducer for Manager specs.
+    task = Task("job", manager)  # repro-lint: disable=RPR009
+    return pool.submit(task)

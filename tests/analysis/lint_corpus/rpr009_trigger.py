@@ -1,0 +1,22 @@
+"""RPR009 trigger: unpicklable fork payloads, post-freeze mutation."""
+import gc
+
+PREWARMED = {}
+
+
+def submit_bad(pool, manager):
+    task = Task("job", manager)
+    other = Task("job2", payload=lambda spec: spec)
+    return pool.submit(task), other
+
+
+def bad_worker(tasks):
+    def handler(task):
+        return task
+    return run_tasks(handler, tasks)
+
+
+def prewarm():
+    PREWARMED["a"] = 1
+    gc.freeze()
+    PREWARMED["b"] = 2

@@ -1,0 +1,38 @@
+"""RPR010 ok: checkpoints inside the component; provably cheap loops."""
+# repro-lint: governed
+
+MASK = 1023
+
+
+def strided(manager, work):
+    check = manager.governor.checkpoint
+    ticks = 0
+    out = []
+    while work:
+        item = work.pop()
+        out.append(compute(manager, item))
+        ticks += 1
+        if not ticks & MASK:
+            # The strided branch flows back into the loop, so the
+            # checkpoint is inside the SCC — the proof accepts it.
+            check("strided")
+    return out
+
+
+def trivial_drain(work):
+    total = 0
+    # RPR006's syntactic scan flags any uncheckpointed while; RPR010's
+    # cost proof shows every call here is O(1) container work, so the
+    # loop needs no checkpoint — the layering documented in
+    # docs/analysis.md.
+    while work:  # repro-lint: disable=RPR006
+        total += work.pop()
+    return total
+
+
+def each_step(manager, frontiers):
+    total = manager.false()
+    for frontier in frontiers:
+        manager.governor.checkpoint("sweep")
+        total = manager.apply("or", total, frontier)
+    return total

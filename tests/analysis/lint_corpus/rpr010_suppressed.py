@@ -1,0 +1,11 @@
+"""RPR010 suppressed: measured hot loop, checkpoint hoisted by design."""
+# repro-lint: governed
+
+
+def hot_loop(manager, work):
+    out = []
+    # Caller checkpoints around the whole drain; measured -40% if the
+    # governor ticks inside (see the kernel-tuning notes).
+    while work:  # repro-lint: disable=RPR006, RPR010
+        out.append(compute(manager, work.pop()))
+    return out

@@ -1,0 +1,26 @@
+"""RPR010 trigger: governed cycles that dodge RPR006's syntactic scan.
+
+Both loops are RPR006 false negatives — the regression class the
+CFG/SCC proof exists for: a ``for`` loop (RPR006 only scans ``while``),
+and a ``while`` whose only checkpoint sits on a ``break`` path, which
+leaves the strongly connected component and so cannot bound the spin.
+"""
+# repro-lint: governed
+
+
+def image_sweep(manager, frontiers):
+    total = manager.false()
+    for frontier in frontiers:
+        total = manager.apply("or", total, frontier)
+    return total
+
+
+def drain(manager, work):
+    out = []
+    while work:
+        item = work.pop()
+        out.append(compute(manager, item))
+        if not work:
+            manager.governor.checkpoint("drain")
+            break
+    return out

@@ -1,0 +1,27 @@
+"""RPR011 ok: every path roots, derefs, or returns the handle."""
+# repro-lint: refs
+
+
+def make_node(store, level, low, high, table):
+    if low == high:
+        return low
+    node = store.mk(level, low, high)
+    table[(level, low, high)] = node
+    return node
+
+
+def retain(store, ref, keep):
+    handle = store.incref(ref)
+    if keep:
+        return handle
+    store.decref(handle)
+    return None
+
+
+def probe(store, level):
+    # Exception unwinding is not a leak path: the node is unrooted
+    # garbage the next GC sweep reclaims.
+    node = store.mk(level, 0, 1)
+    if level < 0:
+        raise ValueError("bad level")
+    return node

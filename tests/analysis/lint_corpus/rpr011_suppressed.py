@@ -1,0 +1,8 @@
+"""RPR011 suppressed: handle intentionally abandoned (GC test aid)."""
+# repro-lint: refs
+
+
+def orphan(store):
+    # Deliberate: the GC-sweep test needs an unrooted node to collect.
+    node = store.mk(1, 0, 1)  # repro-lint: disable=RPR011
+    return None

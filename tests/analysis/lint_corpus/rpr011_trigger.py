@@ -1,0 +1,17 @@
+"""RPR011 trigger: mk()/incref() handles dropped on some path."""
+# repro-lint: refs
+
+
+def make_node(store, level, low, high, table):
+    node = store.mk(level, low, high)
+    if low == high:
+        return low
+    table[(level, low, high)] = node
+    return node
+
+
+def retain(store, ref, keep):
+    handle = store.incref(ref)
+    if keep:
+        return handle
+    return None

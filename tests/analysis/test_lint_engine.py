@@ -18,7 +18,8 @@ def rule_ids(violations) -> set[str]:
 
 def test_all_rules_registered():
     assert set(RULES) == {"RPR001", "RPR002", "RPR003", "RPR004",
-                          "RPR005", "RPR006"}
+                          "RPR005", "RPR006", "RPR007", "RPR008",
+                          "RPR009", "RPR010", "RPR011"}
     for rule in RULES.values():
         assert rule.severity in ("warning", "error")
         assert rule.description
@@ -138,3 +139,187 @@ def test_violations_sorted_and_located():
     lines = [v.line for v in violations]
     assert lines == sorted(lines)
     assert all(v.path == "mod.py" for v in violations)
+
+
+# -- suppression edge cases --------------------------------------------
+
+def test_file_disable_and_line_disable_interplay():
+    # File-level disable of one rule composes with line-level disables
+    # of another: each suppression is scoped independently.
+    source = (
+        "# repro-lint: disable-file=RPR001\n"
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+        "def g(n):  # repro-lint: disable=RPR002\n"
+        "    return g(n - 1)\n"
+    )
+    # RPR001 is file-disabled everywhere — including on the line whose
+    # own pragma only names RPR002.
+    assert lint_source(source) == []
+
+
+def test_unknown_rule_id_in_line_suppression_is_diagnosed():
+    source = "x = 1  # repro-lint: disable=RPR999\n"
+    violations = lint_source(source, path="m.py")
+    assert [v.rule for v in violations] == ["RPR000"]
+    assert violations[0].severity == "warning"
+    assert "RPR999" in violations[0].message
+    assert violations[0].line == 1
+
+
+def test_unknown_rule_id_in_file_suppression_is_diagnosed():
+    source = "# repro-lint: disable-file=RPR404\nx = 1\n"
+    violations = lint_source(source, path="m.py")
+    assert [v.rule for v in violations] == ["RPR000"]
+    assert "RPR404" in violations[0].message
+
+
+def test_unknown_suppression_diagnostic_is_itself_suppressible():
+    source = "x = 1  # repro-lint: disable=RPR999, RPR000\n"
+    assert lint_source(source) == []
+
+
+def test_pragma_on_decorated_def_line():
+    # The pragma must sit on the def line (where the finding lands),
+    # not on the decorator line above it.
+    source = (
+        "import functools\n"
+        "@functools.cache\n"
+        "def f(n):  # repro-lint: disable=RPR001\n"
+        "    return f(n - 1)\n"
+    )
+    assert lint_source(source) == []
+    on_decorator = source.replace(
+        "def f(n):  # repro-lint: disable=RPR001", "def f(n):").replace(
+        "@functools.cache",
+        "@functools.cache  # repro-lint: disable=RPR001")
+    assert "RPR001" in rule_ids(lint_source(on_decorator))
+
+
+def test_pragma_on_nested_def():
+    source = (
+        "def outer():\n"
+        "    def inner(n):  # repro-lint: disable=RPR001\n"
+        "        return inner(n - 1)\n"
+        "    return inner\n"
+    )
+    assert lint_source(source) == []
+
+
+# -- --ignore ----------------------------------------------------------
+
+def test_ignore_removes_rule_from_selection():
+    source = (
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+    )
+    assert "RPR001" in rule_ids(lint_source(source))
+    assert lint_source(source, ignore=["RPR001"]) == []
+    # ignore composes with select: select minus ignore.
+    assert lint_source(source, rules=["RPR001"],
+                       ignore=["RPR001"]) == []
+
+
+# -- fingerprints and the baseline workflow ----------------------------
+
+def test_fingerprints_stable_under_line_drift():
+    source = (
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+    )
+    shifted = "import os\n\n\n" + source
+    original = lint_source(source, path="pkg/mod.py")
+    drifted = lint_source(shifted, path="pkg/mod.py")
+    assert original and drifted
+    assert original[0].line != drifted[0].line
+    assert original[0].fingerprint == drifted[0].fingerprint
+
+
+def test_fingerprints_distinguish_duplicate_lines():
+    # Two findings on textually identical lines: the occurrence index
+    # keeps their fingerprints distinct.
+    source = (
+        "def submit(pool, manager):\n"
+        "    pool.put(Task('k', manager))\n"
+        "    pool.put(Task('k', manager))\n"
+    )
+    violations = lint_source(source, path="m.py")
+    prints = [v.fingerprint for v in violations]
+    assert len(prints) == len(set(prints)) == 2
+
+
+def test_baseline_round_trip(tmp_path):
+    from repro.analysis import (apply_baseline, load_baseline,
+                                write_baseline)
+    source = (
+        "def f(n):\n"
+        "    return f(n - 1)\n"
+    )
+    violations = lint_source(source, path="m.py")
+    baseline = tmp_path / "baseline.json"
+    assert write_baseline(baseline, violations) == len(violations)
+    entries = load_baseline(baseline)
+    fresh, baselined = apply_baseline(violations, entries)
+    assert fresh == [] and baselined == len(violations)
+    # A new finding (different line text) is not filtered.
+    other = lint_source(
+        "def g(n):\n    return g(n - 1)\n", path="m.py")
+    fresh, baselined = apply_baseline(other, entries)
+    assert fresh == other and baselined == 0
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    from repro.analysis import load_baseline
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_baseline_malformed_raises(tmp_path):
+    import pytest
+
+    from repro.analysis import load_baseline
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+    bad.write_text(json.dumps({"schema": 99, "entries": {}}),
+                   encoding="utf-8")
+    with pytest.raises(ValueError):
+        load_baseline(bad)
+
+
+# -- SARIF -------------------------------------------------------------
+
+def test_render_sarif_schema_and_results():
+    from repro.analysis import render_sarif
+    violations = lint_source(
+        "def f(n):\n    return f(n - 1)\n", path="pkg/mod.py")
+    document = json.loads(render_sarif(violations))
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    catalogued = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert catalogued == set(RULES)
+    (result,) = [r for r in run["results"] if r["ruleId"] == "RPR001"]
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "pkg/mod.py"
+    assert location["region"]["startLine"] == 1
+    assert result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_render_sarif_empty_still_carries_catalogue():
+    from repro.analysis import render_sarif
+    document = json.loads(render_sarif([]))
+    (run,) = document["runs"]
+    assert run["results"] == []
+    assert len(run["tool"]["driver"]["rules"]) == len(RULES)
+
+
+# -- JSON per-rule counts ----------------------------------------------
+
+def test_render_json_per_rule_counts_and_baselined():
+    violations = lint_source(
+        "def f(n):\n    return f(n - 1)\n"
+        "def g(n):\n    return g(n - 1)\n", path="m.py")
+    payload = json.loads(render_json(violations, baselined=3))
+    assert payload["per_rule"] == {"RPR001": 2}
+    assert payload["baselined"] == 3

@@ -32,6 +32,16 @@ def rule_ids(violations) -> set[str]:
                                           # operands of the free call
     ("rpr005_trigger.py", "RPR005", 4),   # one per malformed signature
     ("rpr006_trigger.py", "RPR006", 2),   # both uncheckpointed loops
+    ("rpr007_trigger.py", "RPR007", 4),   # sleep, reachable open,
+                                          # shutdown, manager kernel call
+    ("rpr008_trigger.py", "RPR008", 5),   # manager attr, inline execute,
+                                          # Thread, global, handle table
+    ("rpr009_trigger.py", "RPR009", 4),   # manager payload, lambda
+                                          # payload, closure worker,
+                                          # post-freeze mutation
+    ("rpr010_trigger.py", "RPR010", 2),   # for-loop + checkpoint-on-
+                                          # break (RPR006 misses both)
+    ("rpr011_trigger.py", "RPR011", 2),   # dropped mk + dropped incref
 ])
 def test_trigger_fixture(fixture, rule, count):
     violations = [v for v in lint_fixture(fixture) if v.rule == rule]
@@ -70,6 +80,11 @@ def test_mutual_recursion_message_names_cycle():
     "rpr004_ok.py",
     "rpr005_ok.py",
     "rpr006_ok.py",
+    "rpr007_ok.py",
+    "rpr008_ok.py",
+    "rpr009_ok.py",
+    "rpr010_ok.py",
+    "rpr011_ok.py",
 ])
 def test_ok_fixture_is_clean(fixture):
     violations = lint_fixture(fixture)
@@ -86,9 +101,38 @@ def test_ok_fixture_is_clean(fixture):
     "rpr004_suppressed.py",
     "rpr005_suppressed.py",
     "rpr006_suppressed.py",
+    "rpr007_suppressed.py",
+    "rpr008_suppressed.py",
+    "rpr009_suppressed.py",
+    "rpr010_suppressed.py",
+    "rpr011_suppressed.py",
 ])
 def test_suppressed_fixture_is_clean(fixture):
     assert lint_fixture(fixture) == []
+
+
+# -- RPR010 upgrades RPR006 (the regression the CFG proof exists for) --
+
+def test_rpr010_catches_what_rpr006_misses():
+    # Both cycles in the fixture pass RPR006's syntactic scan: the for
+    # loop because RPR006 only looks at while statements, the drain
+    # loop because its only checkpoint sits on the break path.  The
+    # SCC proof flags both.
+    violations = lint_fixture("rpr010_trigger.py")
+    assert rule_ids(violations) == {"RPR010"}
+    assert not [v for v in violations if v.rule == "RPR006"]
+
+
+def test_new_rule_severities():
+    violations = lint_fixture("rpr007_trigger.py") \
+        + lint_fixture("rpr008_trigger.py") \
+        + lint_fixture("rpr010_trigger.py")
+    assert violations
+    assert all(v.severity == "error" for v in violations)
+    warnings = lint_fixture("rpr009_trigger.py") \
+        + lint_fixture("rpr011_trigger.py")
+    assert warnings
+    assert all(v.severity == "warning" for v in warnings)
 
 
 # -- the repository itself is clean ------------------------------------
@@ -140,3 +184,63 @@ def test_cli_lint_rule_selection(capsys):
     assert main(["lint", "--rules", "RPR002", fixture]) == 0
     capsys.readouterr()
     assert main(["lint", "--rules", "RPR001", fixture]) == 1
+
+
+def test_cli_lint_select_and_ignore(capsys):
+    fixture = str(CORPUS / "rpr001_trigger.py")
+    # --select is the canonical spelling; --rules stays as an alias.
+    assert main(["lint", "--select", "RPR001", fixture]) == 1
+    capsys.readouterr()
+    assert main(["lint", "--ignore", "RPR001", fixture]) == 0
+
+
+def test_cli_lint_unknown_rule_is_usage_error():
+    import pytest
+    with pytest.raises(SystemExit):
+        main(["lint", "--select", "RPR999", "src"])
+    with pytest.raises(SystemExit):
+        main(["lint", "--ignore", "bogus", "src"])
+
+
+def test_cli_lint_sarif_output(capsys):
+    import json
+    fixture = str(CORPUS / "rpr002_trigger.py")
+    code = main(["lint", "--format", "sarif", fixture])
+    document = json.loads(capsys.readouterr().out)
+    assert code == 1
+    results = document["runs"][0]["results"]
+    assert results and all(r["ruleId"] == "RPR002" for r in results)
+
+
+def test_cli_lint_output_file(tmp_path, capsys):
+    import json
+    fixture = str(CORPUS / "rpr002_trigger.py")
+    out_file = tmp_path / "lint.sarif"
+    code = main(["lint", "--format", "sarif",
+                 "--output", str(out_file), fixture])
+    assert code == 1
+    assert capsys.readouterr().out == ""
+    document = json.loads(out_file.read_text(encoding="utf-8"))
+    assert document["version"] == "2.1.0"
+
+
+def test_cli_lint_baseline_workflow(tmp_path, capsys):
+    import json
+    fixture = str(CORPUS / "rpr001_warning.py")
+    baseline = tmp_path / "baseline.json"
+    # Without a baseline the warning fails --strict.
+    assert main(["lint", "--strict", fixture]) == 1
+    capsys.readouterr()
+    # Accept it into a baseline, then the strict gate passes.
+    assert main(["lint", "--baseline", str(baseline),
+                 "--write-baseline", fixture]) == 0
+    capsys.readouterr()
+    assert main(["lint", "--strict", "--baseline", str(baseline),
+                 fixture]) == 0
+    capsys.readouterr()
+    code = main(["lint", "--format", "json", "--baseline",
+                 str(baseline), fixture])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["violations"] == []
+    assert payload["baselined"] >= 1
