@@ -33,6 +33,12 @@ def pytest_addoption(parser):
         "--jobs", type=int, default=None,
         help="worker processes for the table benchmarks "
              "(default: REPRO_BENCH_JOBS or 1; <=0 means all cores)")
+    parser.addoption(
+        "--resume-from", default=None, metavar="BENCH_JSON",
+        help="partial BENCH_*.json of an interrupted run: tasks whose "
+             "ok rows carry a matching payload digest are skipped and "
+             "their recorded rows merged into the fresh results "
+             "(see repro.harness.trajectory.resume_tasks)")
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,12 @@ def jobs(request) -> int:
 @pytest.fixture(scope="session")
 def bench_dir() -> Path:
     return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+@pytest.fixture(scope="session")
+def resume_from(request) -> str | None:
+    """Path of a partial trajectory file to resume, or None."""
+    return request.config.getoption("--resume-from")
 
 
 @pytest.fixture(scope="session")

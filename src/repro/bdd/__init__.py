@@ -28,7 +28,7 @@ from .expr import ExprError, parse
 from .function import Function
 from .governor import (Budget, BudgetExceeded, DeadlineExceeded, Governor,
                        InjectedAbort, ResourceError)
-from .io import dump, dumps_many, load, loads_many, transfer
+from .io import LoadError, dump, dumps_many, load, loads_many, transfer
 from .manager import Manager, ManagerStats
 from .node import TERMINAL_LEVEL, Node
 from .ops_extra import (conjoin_all, disjoin_all, essential_variables,
@@ -72,6 +72,7 @@ __all__ = [
     "ExprError",
     "dump",
     "load",
+    "LoadError",
     "dumps_many",
     "loads_many",
     "transfer",

@@ -24,6 +24,19 @@ from .traversal import nodes_by_level
 FORMAT_HEADER = "repro-bdd 1"
 
 
+class LoadError(ValueError):
+    """A malformed dump, rejected with context instead of blowing up.
+
+    Subclasses :class:`ValueError` so pre-existing callers that caught
+    the old ad-hoc errors keep working.  Raised for any structural
+    violation — wrong field count, non-integer references, duplicate
+    or constant-colliding indices, references to undefined nodes,
+    redundant ``hi == lo`` nodes, a missing root — on *both* load
+    paths, so the direct-insert fast path can never install a bad node
+    or die on a raw ``KeyError``.
+    """
+
+
 def dump(function: Function) -> str:
     """Serialize one function to the textual node-list format."""
     manager = function.manager
@@ -61,7 +74,7 @@ def load(manager: Manager, text: str,
     """
     lines = [line for line in text.splitlines() if line.strip()]
     if not lines or lines[0] != FORMAT_HEADER:
-        raise ValueError("not a repro-bdd dump")
+        raise LoadError("not a repro-bdd dump")
     root = _load_nodes(manager, lines, declare, direct=True)
     if root is None:
         root = _load_nodes(manager, lines, declare, direct=False)
@@ -76,32 +89,66 @@ def _load_nodes(manager: Manager, lines: list[str], declare: bool,
     gives up (returns None) on the first order-incompatible edge; any
     nodes already inserted are canonical and unreferenced, so the next
     safe-point GC reclaims the unused ones.
+
+    Both passes validate the dump's structure up front — every
+    reference must name an already-defined index and ``hi``/``lo``
+    must differ — so malformed input raises a structured
+    :class:`LoadError` instead of a raw index blowup, and the direct
+    path never hands ``store.mk`` a non-canonical node.
     """
     store = manager.store
     level_of = store.level_of
     is_terminal = store.is_terminal
     nodes: dict[int, Any] = {0: store.zero, 1: store.one}
-    for line in lines[1:]:
+    for number, line in enumerate(lines[1:], start=2):
         parts = line.split()
         if parts[0] == "root":
-            return nodes[int(parts[1])]
-        position, name, hi_index, lo_index = parts
+            if len(parts) != 2:
+                raise LoadError(f"line {number}: malformed root line "
+                                f"{line!r}")
+            root = nodes.get(_int_field(parts[1], number, "root"))
+            if root is None:
+                raise LoadError(f"line {number}: root references an "
+                                f"undefined node {parts[1]}")
+            return root
+        if len(parts) != 4:
+            raise LoadError(f"line {number}: expected 'index variable "
+                            f"hi lo', got {line!r}")
+        raw_position, name, hi_index, lo_index = parts
+        position = _int_field(raw_position, number, "index")
+        if position < 2 or position in nodes:
+            raise LoadError(f"line {number}: duplicate or reserved "
+                            f"node index {position}")
+        hi = nodes.get(_int_field(hi_index, number, "hi"))
+        lo = nodes.get(_int_field(lo_index, number, "lo"))
+        if hi is None or lo is None:
+            raise LoadError(f"line {number}: reference to an "
+                            f"undefined node in {line!r}")
+        if hi is lo or hi == lo:
+            raise LoadError(f"line {number}: redundant node "
+                            f"(hi == lo == {hi_index})")
         if name not in manager._var_to_level:
             if not declare:
-                raise ValueError(f"unknown variable {name!r}")
+                raise LoadError(f"unknown variable {name!r}")
             manager.add_var(name)
-        hi = nodes[int(hi_index)]
-        lo = nodes[int(lo_index)]
         if direct:
             level = manager.level_of_var(name)
             if (not is_terminal(hi) and level_of(hi) <= level) or \
                     (not is_terminal(lo) and level_of(lo) <= level):
                 return None
-            nodes[int(position)] = store.mk(level, hi, lo)
+            nodes[position] = store.mk(level, hi, lo)
         else:
-            nodes[int(position)] = ite_node(
+            nodes[position] = ite_node(
                 manager, manager.var_handle(name), hi, lo)
-    raise ValueError("dump has no root line")
+    raise LoadError("dump has no root line")
+
+
+def _int_field(raw: str, number: int, what: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise LoadError(f"line {number}: {what} field {raw!r} is not "
+                        f"an integer") from None
 
 
 def dumps_many(functions: list[Function]) -> str:

@@ -46,7 +46,7 @@ import weakref
 from collections.abc import Iterable, Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, TYPE_CHECKING
 
 from .backend import NodeStore, create_store
 from .computed import CacheOpStats, ComputedTable
@@ -54,6 +54,9 @@ from .governor import Budget, Governor
 from .sanitize import (Diagnostic, SanitizerError, check_manager,
                        sanitize_enabled, sanitize_node_limit,
                        sanitize_stride)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.store import BDDStore
 
 
 @dataclass(frozen=True)
@@ -725,6 +728,29 @@ class Manager:
             sift(self)
         else:
             set_order(self, order)
+
+    def save_function(self, store: "BDDStore", name: str,
+                      function: "Function", *,
+                      tags: Iterable[str] = ()) -> str:
+        """Persist a function into an on-disk :class:`~repro.store.
+        store.BDDStore` under ``name``; returns its content address.
+
+        Convenience front door for :meth:`BDDStore.save` — see
+        ``docs/persistence.md`` for the format and the durability
+        contract.
+        """
+        return store.save(name, function, tags=tags)
+
+    def load_function(self, store: "BDDStore", name: str,
+                      *, declare: bool = True) -> "Function":
+        """Load a persisted function into this manager by name.
+
+        Unknown variables are declared at the bottom of the order
+        unless ``declare`` is False; a corrupt object raises
+        :class:`~repro.store.errors.StoreCorruptError` instead of ever
+        producing a silently wrong BDD.
+        """
+        return store.load(self, name, declare=declare)
 
     def debug_check(self, raise_on_error: bool = True,
                     check_cache: bool = True) -> "list[Diagnostic]":

@@ -13,6 +13,15 @@ Commands
 ``decomp <circuit.blif>``
     Two-way decomposition of each output function by the three Table-4
     methods.
+``save <circuit.blif> --store DIR``
+    Encode the circuit and persist its functions into an on-disk BDD
+    store (:mod:`repro.store`, ``docs/persistence.md``): level-ordered
+    content-addressed objects plus an sqlite name index.
+``load --store DIR [name]``
+    Load a persisted function by name (``--list`` shows the index;
+    ``--dump`` prints the textual node list); loading verifies CRC
+    frames and the content address, so corruption is detected, never
+    silently returned.
 ``trajectory <baseline.json> <current.json>``
     Compare two ``BENCH_*.json`` benchmark trajectory files and exit
     non-zero on a regression or result mismatch (the CI perf gate).
@@ -79,6 +88,7 @@ from .reach.degrade import ON_BLOWUP_MODES
 from .reach.highdensity import high_density_reachability
 from .reach.shard import SELECTORS, FrontierSharder, ShardConfig
 from .reach.transition import TransitionRelation
+from .store.errors import StoreCorruptError, StoreError
 
 
 def _load(args):
@@ -125,6 +135,38 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _reach_checkpointer(args, circuit):
+    """Build the optional checkpointer for ``repro reach``.
+
+    The spec digest pins the checkpoint to this exact problem (circuit
+    bytes, method, threshold, clustering, degradation policy); resuming
+    into a different problem is refused with a structured error instead
+    of silently blending two traversals.
+    """
+    if args.checkpoint is None:
+        if args.resume:
+            raise SystemExit("repro: --resume requires --checkpoint DIR")
+        return None
+    import hashlib
+    from pathlib import Path
+
+    from .store.checkpoint import ReachCheckpointer, reach_spec
+    from .store.store import BDDStore
+
+    circuit_digest = hashlib.sha256(
+        Path(args.circuit).read_bytes()).hexdigest()
+    spec = reach_spec(circuit_digest, args.method, args.threshold,
+                      args.cluster_limit, args.on_blowup)
+    store = BDDStore(args.checkpoint)
+    name = f"reach/{circuit.name}/{args.method}"
+    try:
+        return ReachCheckpointer(store, name,
+                                 every=args.checkpoint_every,
+                                 spec=spec, resume=args.resume)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+
+
 def cmd_reach(args) -> int:
     circuit, encoded = _load(args)
     # Under a degradation policy the budget governs the traversal: the
@@ -147,18 +189,21 @@ def cmd_reach(args) -> int:
                              deadline=args.deadline or 0.0)
         sharder = FrontierSharder(tr, config,
                                   spec=("blif-path", args.circuit))
+    checkpointer = _reach_checkpointer(args, circuit)
     with sharder as sh:
         if args.method == "bfs":
             result = bfs_reachability(tr, init,
                                       max_iterations=args.max_iterations,
                                       on_blowup=args.on_blowup,
-                                      sharder=sh)
+                                      sharder=sh,
+                                      checkpointer=checkpointer)
         else:
             subset = UNDER_APPROXIMATORS[args.method]
             result = high_density_reachability(
                 tr, init, subset, threshold=args.threshold,
                 max_iterations=args.max_iterations,
-                on_blowup=args.on_blowup, sharder=sh)
+                on_blowup=args.on_blowup, sharder=sh,
+                checkpointer=checkpointer)
     states = count_states(result.reached, encoded.state_vars)
     print(f"method:     {args.method}")
     print(f"iterations: {result.iterations}")
@@ -177,7 +222,64 @@ def cmd_reach(args) -> int:
               f"{sh['sequential_images']} sequential image(s), "
               f"{sh['pieces']} piece(s), {sh['resplits']} resplit(s), "
               f"{sh['fallbacks']} fallback(s)")
+    if checkpointer is not None:
+        print(f"checkpoint: {checkpointer.name} "
+              f"({checkpointer.saves} save(s) this run)")
     _finish(args, encoded)
+    return 0
+
+
+def cmd_save(args) -> int:
+    from .store.store import BDDStore
+
+    circuit, encoded = _load(args)
+    store = BDDStore(args.store)
+    functions = []
+    if args.functions in ("outputs", "all"):
+        functions += [(f"{circuit.name}/output/{name}", f)
+                      for name, f in encoded.output_functions.items()]
+    if args.functions in ("next", "all"):
+        functions += [(f"{circuit.name}/next/{name}", f)
+                      for name, f in zip(encoded.state_vars,
+                                         encoded.next_functions)]
+    if not functions:
+        print(f"{circuit.name} has no {args.functions} functions")
+        return 1
+    rows = [[name, len(f), store.save(name, f, tags=args.tag)[:12]]
+            for name, f in functions]
+    print(format_table(["name", "nodes", "object"], rows,
+                       title=f"saved to {store.root}"))
+    _finish(args, encoded)
+    return 0
+
+
+def cmd_load(args) -> int:
+    from .bdd.io import dump
+    from .bdd.manager import Manager
+    from .store.store import BDDStore
+
+    store = BDDStore(args.store, create=False)
+    if args.list or args.name is None:
+        entries = store.entries(prefix=args.name or "")
+        if not entries:
+            print("store is empty" if not args.name
+                  else f"no entries under {args.name!r}")
+            return 1
+        rows = [[e["name"], e["nodes"], e["vars"],
+                 ",".join(e["tags"]) or "-", e["hash"][:12]]
+                for e in entries]
+        print(format_table(["name", "nodes", "vars", "tags", "object"],
+                           rows, title=str(store.root)))
+        return 0
+    manager = Manager(backend=args.backend)
+    function = store.load(manager, args.name)
+    if args.dump:
+        sys.stdout.write(dump(function))
+        return 0
+    print(f"name:     {args.name}")
+    print(f"nodes:    {len(function)}")
+    print(f"vars:     {manager.num_vars}")
+    print(f"minterms: {function.sat_count()}")
     return 0
 
 
@@ -421,7 +523,8 @@ def cmd_serve(args) -> int:
             gc_threshold=args.gc_threshold,
             node_budget=args.node_budget,
             step_budget=args.step_budget, deadline=args.deadline,
-            workers=args.workers, max_sessions=args.max_sessions)
+            workers=args.workers, max_sessions=args.max_sessions,
+            store=args.store, snapshot=args.snapshot)
     except ValueError as exc:
         raise SystemExit(f"repro: {exc}")
     try:
@@ -550,7 +653,61 @@ def build_parser() -> argparse.ArgumentParser:
                          help="re-split a shard one variable deeper "
                               "when its cofactored piece exceeds this "
                               "many nodes (default: 0, disabled)")
+    p_reach.add_argument("--checkpoint", default=None, metavar="DIR",
+                         help="persist the traversal state to a BDD "
+                              "store in DIR every --checkpoint-every "
+                              "iterations; a killed run restarted with "
+                              "--resume continues from the last "
+                              "checkpoint and produces a byte-"
+                              "identical reached set "
+                              "(docs/persistence.md)")
+    p_reach.add_argument("--checkpoint-every", type=int, default=1,
+                         metavar="N",
+                         help="checkpoint cadence in iterations "
+                              "(default: 1)")
+    p_reach.add_argument("--resume", action="store_true",
+                         help="resume from the checkpoint in "
+                              "--checkpoint DIR if one exists (the "
+                              "problem spec is verified first)")
     p_reach.set_defaults(func=cmd_reach)
+
+    p_save = sub.add_parser(
+        "save", parents=[runtime],
+        help="persist a circuit's functions to an on-disk BDD store")
+    p_save.add_argument("circuit", help="BLIF file")
+    p_save.add_argument("--store", required=True, metavar="DIR",
+                        help="store directory (created if missing)")
+    p_save.add_argument("--functions", default="outputs",
+                        choices=["outputs", "next", "all"],
+                        help="which functions to save: the outputs, "
+                             "the next-state functions, or both "
+                             "(default: outputs)")
+    p_save.add_argument("--tag", action="append", default=[],
+                        metavar="TAG",
+                        help="attach a tag to every saved entry "
+                             "(repeatable)")
+    p_save.set_defaults(func=cmd_save)
+
+    p_load = sub.add_parser(
+        "load",
+        help="load or list functions from an on-disk BDD store")
+    p_load.add_argument("name", nargs="?", default=None,
+                        help="entry name to load; omitted or with "
+                             "--list, list the index instead (the "
+                             "name then filters by prefix)")
+    p_load.add_argument("--store", required=True, metavar="DIR",
+                        help="store directory")
+    p_load.add_argument("--list", action="store_true",
+                        help="list index entries instead of loading")
+    p_load.add_argument("--dump", action="store_true",
+                        help="print the loaded function as a textual "
+                             "node list (repro.bdd.io format)")
+    p_load.add_argument("--backend", default=None,
+                        choices=["object", "array"],
+                        help="node-store backend for the manager the "
+                             "function is loaded into (default: "
+                             "REPRO_BACKEND or object)")
+    p_load.set_defaults(func=cmd_load)
 
     p_approx = sub.add_parser("approx", parents=[runtime],
                               help="compare approximation methods")
@@ -602,6 +759,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--deadline", type=float, default=None,
                          help="default per-request wall-clock budget "
                               "in seconds (default: unbounded)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="attach an on-disk BDD store: sessions "
+                              "gain save/load verbs for persisting "
+                              "and restoring warm handles "
+                              "(docs/persistence.md)")
+    p_serve.add_argument("--snapshot", action="store_true",
+                         help="snapshot every live session's handles "
+                              "to the --store on clean shutdown "
+                              "(restored on the next boot via load)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_call = sub.add_parser(
@@ -696,6 +862,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro: resource budget exhausted: {exc}",
               file=sys.stderr)
         return 3
+    except StoreError as exc:
+        # Store misuse (unknown name, spec mismatch) exits 1; detected
+        # corruption (failed CRC/content address) exits 4 so scripts
+        # can tell "bad store" from "bad invocation".
+        print(f"repro: store: {exc}", file=sys.stderr)
+        return 4 if isinstance(exc, StoreCorruptError) else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

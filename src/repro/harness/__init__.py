@@ -24,7 +24,8 @@ from .population import (EntrySpec, PopulationEntry, build_entries,
 from .stats import Measurement, denser, geometric_mean, wins_and_ties
 from .tables import format_manager_stats, format_table
 from .trajectory import (bench_payload, compare, compare_files,
-                         failure_rows, load_bench, task_rows,
+                         failure_rows, load_bench, merge_rows,
+                         resume_tasks, spec_digest, task_rows,
                          write_bench)
 
 __all__ = [
@@ -51,6 +52,9 @@ __all__ = [
     "compare_files",
     "task_rows",
     "failure_rows",
+    "spec_digest",
+    "resume_tasks",
+    "merge_rows",
     "Measurement",
     "geometric_mean",
     "denser",

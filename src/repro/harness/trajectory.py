@@ -32,12 +32,13 @@ int / str / bool / None fields
     statuses).  Compared for exact equality — any difference is a
     *mismatch* and fails the comparison.
 ``aborts`` / ``degradations`` / ``backend`` / ``shards`` /
-``resplits`` / ``shard_fallbacks``
+``resplits`` / ``shard_fallbacks`` / ``spec``
     Optional fields (schema-compatible additions): the governor
-    counters, the node-store backend the row was produced on, and the
-    sharded-traversal policy and fault counters.  Compared exactly
-    when both files carry them, skipped against baselines written
-    before the fields existed.
+    counters, the node-store backend the row was produced on, the
+    sharded-traversal policy and fault counters, and the task payload
+    digest resume runs match against (:func:`spec_digest`).  Compared
+    exactly when both files carry them, skipped against baselines
+    written before the fields existed.
 other floats and nested objects
     Informational (timings inside manager stats etc.); ignored by the
     comparator.
@@ -50,6 +51,7 @@ wraps it for CI gates.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import platform
 import subprocess
@@ -64,8 +66,11 @@ __all__ = [
     "write_bench",
     "load_bench",
     "git_rev",
+    "spec_digest",
     "task_rows",
     "failure_rows",
+    "resume_tasks",
+    "merge_rows",
     "RowDelta",
     "TrajectoryReport",
     "compare",
@@ -133,19 +138,35 @@ def load_bench(path: str | Path) -> dict:
     return data
 
 
-def task_rows(run) -> list[dict]:
+def spec_digest(payload: object) -> str:
+    """Stable digest of one task payload.
+
+    Recorded into ``task/<key>`` rows (``spec`` field) and checked by
+    :func:`resume_tasks`, so a resumed benchmark re-runs any task whose
+    inputs changed since the partial file was written instead of
+    silently reusing a stale result.
+    """
+    return hashlib.sha256(
+        repr(payload).encode("utf-8")).hexdigest()[:12]
+
+
+def task_rows(run, specs: dict[str, str] | None = None) -> list[dict]:
     """Per-task timing/stats rows of an :class:`EngineRun`.
 
     One row per task, keyed ``task/<key>`` so the engine timings live in
     the same trajectory file as the experiment's own rows without key
     collisions.  The ``seconds`` field is ratio-gated by the comparator;
-    ``status``/``attempts`` are compared exactly.
+    ``status``/``attempts`` are compared exactly.  ``specs`` (key ->
+    :func:`spec_digest`) stamps each row with its payload digest,
+    enabling :func:`resume_tasks` on the written file.
     """
     rows = []
     for outcome in run.outcomes:
         row = {"key": f"task/{outcome.key}", "status": outcome.status,
                "seconds": round(outcome.seconds, 3),
                "attempts": outcome.attempts}
+        if specs and outcome.key in specs:
+            row["spec"] = specs[outcome.key]
         if isinstance(outcome.result, dict) and \
                 "manager_stats" in outcome.result:
             row["manager_stats"] = outcome.result["manager_stats"]
@@ -157,6 +178,46 @@ def failure_rows(run) -> list[dict]:
     """Engine failures as plain dicts for the ``failures`` section."""
     return [{"key": o.key, "status": o.status, "attempts": o.attempts,
              "error": o.error} for o in run.failures]
+
+
+def resume_tasks(path: str | Path, tasks: list) -> tuple[list,
+                                                         list[dict]]:
+    """Split ``tasks`` against a partial ``BENCH_*.json`` file.
+
+    Returns ``(remaining, previous_rows)``.  A task is *done* — and
+    dropped from ``remaining`` — when the file holds a ``task/<key>``
+    row with ``status == "ok"`` whose ``spec`` digest matches
+    :func:`spec_digest` of the task's payload; rows written without a
+    digest, with a different digest (the task's inputs changed), or
+    with a non-ok status always re-run.  ``previous_rows`` is the
+    file's full row list, ready for :func:`merge_rows` with the rows
+    of the resumed run.
+    """
+    data = load_bench(path)
+    rows = data["rows"]
+    done: dict[str, str | None] = {}
+    for row in rows:
+        key = row.get("key", "")
+        if isinstance(key, str) and key.startswith("task/") \
+                and row.get("status") == "ok":
+            done[key[len("task/"):]] = row.get("spec")
+    remaining = [task for task in tasks
+                 if done.get(task.key) is None
+                 or done[task.key] != spec_digest(task.payload)]
+    return remaining, rows
+
+
+def merge_rows(previous: list[dict],
+               current: list[dict]) -> list[dict]:
+    """Union of two row lists by ``key``; current rows win.
+
+    Previous-only rows keep their original order (resumed results stay
+    where the partial run wrote them); refreshed and new rows follow.
+    """
+    merged = {row["key"]: row for row in previous if "key" in row}
+    for row in current:
+        merged[row["key"]] = row
+    return list(merged.values())
 
 
 # ----------------------------------------------------------------------
@@ -172,7 +233,8 @@ _IGNORED_FIELDS = frozenset({"seconds", "manager_stats"})
 #: policy and fault counters) and labels (the node-store backend)
 #: without invalidating every committed baseline.
 _OPTIONAL_FIELDS = frozenset({"aborts", "degradations", "backend",
-                              "shards", "resplits", "shard_fallbacks"})
+                              "shards", "resplits", "shard_fallbacks",
+                              "spec"})
 
 
 @dataclass

@@ -13,6 +13,7 @@ from .degrade import Subsetter, governed_image, shield, validate_on_blowup
 from .transition import TransitionRelation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.checkpoint import ReachCheckpointer
     from .shard import FrontierSharder
 
 
@@ -56,7 +57,8 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                      on_blowup: str = "raise",
                      subset: Subsetter | None = None,
                      subset_threshold: int = 0,
-                     sharder: "FrontierSharder | None" = None
+                     sharder: "FrontierSharder | None" = None,
+                     checkpointer: "ReachCheckpointer | None" = None
                      ) -> ReachResult:
     """Classic breadth-first fixpoint: reached = lfp(init | image).
 
@@ -81,6 +83,13 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
     through :func:`governed_image`; the reached set, the traces, and
     the iteration count are identical either way.  The caller owns the
     sharder's lifetime (use it as a context manager).
+
+    ``checkpointer`` persists the loop state (reached set, frontier,
+    traces) to an on-disk store every few iterations and, when its
+    ``resume`` flag is set, restarts the loop from the last saved
+    state; because every BDD operation is canonical, a resumed
+    traversal produces a byte-identical reached set and identical
+    traces (see ``docs/persistence.md``).
     """
     validate_on_blowup(on_blowup)
 
@@ -96,6 +105,32 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
     degraded = False
     size_trace: list[int] = [len(reached)]
     frontier_trace: list[int] = [len(frontier)]
+    if checkpointer is not None:
+        loaded = checkpointer.load(init.manager)
+        if loaded is not None:
+            roots, meta = loaded
+            if meta.get("method") != "bfs":
+                from ..store.errors import StoreError
+                raise StoreError(
+                    f"checkpoint {checkpointer.name!r} belongs to "
+                    f"method {meta.get('method')!r}, not bfs")
+            reached = roots["reached"]
+            frontier = roots["frontier"]
+            iterations = int(meta["iterations"])
+            degraded = bool(meta["degraded"])
+            size_trace = [int(n) for n in meta["size_trace"]]
+            frontier_trace = [int(n) for n in meta["frontier_trace"]]
+            if meta.get("complete"):
+                # The previous run already reached the fixpoint (it was
+                # killed after its final save): return it verbatim.
+                return ReachResult(
+                    reached=reached, iterations=iterations,
+                    size_trace=size_trace,
+                    frontier_trace=frontier_trace,
+                    seconds=time.perf_counter() - start,
+                    manager_stats=reached.manager.stats,
+                    shard_stats=sharder.stats.as_dict()
+                    if sharder is not None else None)
     while True:
         if frontier.is_false:
             if not degraded:
@@ -132,6 +167,12 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
         iterations += 1
         size_trace.append(len(reached))
         frontier_trace.append(len(frontier))
+        if checkpointer is not None:
+            checkpointer.step(
+                {"reached": reached, "frontier": frontier},
+                {"method": "bfs", "iterations": iterations,
+                 "degraded": degraded, "size_trace": size_trace,
+                 "frontier_trace": frontier_trace})
         if node_limit is not None and \
                 max(len(reached), len(frontier)) > node_limit:
             raise TraversalLimit(
@@ -141,6 +182,12 @@ def bfs_reachability(tr: TransitionRelation, init: Function,
                 time.perf_counter() - start > deadline:
             raise TraversalLimit(
                 f"deadline {deadline}s exceeded at iteration {iterations}")
+    if checkpointer is not None:
+        checkpointer.finish(
+            {"reached": reached, "frontier": frontier},
+            {"method": "bfs", "iterations": iterations,
+             "degraded": degraded, "size_trace": size_trace,
+             "frontier_trace": frontier_trace})
     return ReachResult(reached=reached, iterations=iterations,
                        size_trace=size_trace,
                        frontier_trace=frontier_trace,

@@ -31,6 +31,7 @@ from .degrade import governed_image, shield, validate_on_blowup
 from .transition import PartialImagePolicy, TransitionRelation
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.checkpoint import ReachCheckpointer
     from .shard import FrontierSharder
 
 #: An under-approximation procedure fn(f, *, threshold=0) -> subset of
@@ -56,7 +57,9 @@ def high_density_reachability(
         node_limit: int | None = None,
         deadline: float | None = None,
         on_blowup: str = "raise",
-        sharder: "FrontierSharder | None" = None) -> HighDensityResult:
+        sharder: "FrontierSharder | None" = None,
+        checkpointer: "ReachCheckpointer | None" = None
+        ) -> HighDensityResult:
     """High-density traversal computing the exact reachable set.
 
     Parameters
@@ -82,6 +85,12 @@ def high_density_reachability(
         ``partial`` policy stay sequential (partial-image subsetting is
         a *deliberate* under-approximation; shard workers always image
         exactly).  The caller owns the sharder's lifetime.
+    checkpointer:
+        Optional :class:`~repro.store.checkpoint.ReachCheckpointer`
+        persisting the loop state every few iterations; resumed runs
+        produce a byte-identical reached set (see
+        :func:`~repro.reach.bfs.bfs_reachability` and
+        ``docs/persistence.md``).
     """
     validate_on_blowup(on_blowup)
 
@@ -99,6 +108,34 @@ def high_density_reachability(
     size_trace = [len(reached)]
     frontier_trace: list[int] = []
     densities: list[float] = []
+
+    if checkpointer is not None:
+        loaded = checkpointer.load(init.manager)
+        if loaded is not None:
+            roots, meta = loaded
+            if meta.get("method") != "hd":
+                from ..store.errors import StoreError
+                raise StoreError(
+                    f"checkpoint {checkpointer.name!r} belongs to "
+                    f"method {meta.get('method')!r}, not hd")
+            reached = roots["reached"]
+            new = roots["new"]
+            iterations = int(meta["iterations"])
+            recoveries = int(meta["recoveries"])
+            size_trace = [int(n) for n in meta["size_trace"]]
+            frontier_trace = [int(n) for n in meta["frontier_trace"]]
+            densities = [float(d) for d in meta["densities"]]
+            if meta.get("complete"):
+                return _result(reached, iterations, size_trace,
+                               frontier_trace, densities, recoveries,
+                               start, complete=True, sharder=sharder)
+
+    def save_state(save: "Callable[..., None]") -> None:
+        save({"reached": reached, "new": new},
+             {"method": "hd", "iterations": iterations,
+              "recoveries": recoveries, "size_trace": size_trace,
+              "frontier_trace": frontier_trace,
+              "densities": densities})
 
     while True:
         if new.is_false:
@@ -132,6 +169,8 @@ def high_density_reachability(
             reached = reached | new
         iterations += 1
         size_trace.append(len(reached))
+        if checkpointer is not None:
+            save_state(checkpointer.step)
         if node_limit is not None and \
                 max(len(reached), len(new)) > node_limit:
             raise TraversalLimit(
@@ -142,6 +181,8 @@ def high_density_reachability(
             raise TraversalLimit(
                 f"deadline {deadline}s exceeded at iteration "
                 f"{iterations}")
+    if checkpointer is not None:
+        save_state(checkpointer.finish)
     return _result(reached, iterations, size_trace, frontier_trace,
                    densities, recoveries, start, complete=True,
                    sharder=sharder)

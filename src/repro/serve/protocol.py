@@ -50,6 +50,7 @@ __all__ = [
     "E_BAD_HANDLE",
     "E_BUDGET",
     "E_SANITIZER",
+    "E_STORE",
     "E_OVERLOAD",
     "E_INTERNAL",
     "ProtocolError",
@@ -78,6 +79,10 @@ E_BAD_HANDLE = "bad-handle"
 E_BUDGET = "budget"
 #: The graph sanitizer found a structural invariant violation.
 E_SANITIZER = "sanitizer"
+#: A persistent-store failure on ``save``/``load``: unknown name, no
+#: store attached at boot, or detected corruption (``kind`` then names
+#: ``StoreCorruptError``).  The session survives.
+E_STORE = "store"
 #: The server is at ``max_sessions``; retry later.
 E_OVERLOAD = "overload"
 #: Any unexpected server-side exception.

@@ -35,8 +35,9 @@ from typing import Any
 from ..bdd.backend import create_store, resolve_backend
 from ..bdd.governor import ResourceError
 from ..bdd.sanitize import SanitizerError
+from ..store.errors import StoreError
 from .protocol import (E_BAD_REQUEST, E_BUDGET, E_INTERNAL,
-                       E_OVERLOAD, E_SANITIZER, MAX_LINE,
+                       E_OVERLOAD, E_SANITIZER, E_STORE, MAX_LINE,
                        PROTOCOL_VERSION, ProtocolError, decode_line,
                        encode_line, error_response, result_response)
 from .scheduler import FairExecutor
@@ -90,7 +91,9 @@ class Server:
                  step_budget: int | None = None,
                  deadline: float | None = None,
                  workers: int = 1,
-                 max_sessions: int = 64) -> None:
+                 max_sessions: int = 64,
+                 store: str | None = None,
+                 snapshot: bool = False) -> None:
         self.host = host
         self.port = port
         #: resolved once; sessions never re-read the environment
@@ -99,10 +102,24 @@ class Server:
         # accept time, and a daemon that boots but rejects every
         # connection is strictly worse than one that refuses to start.
         create_store(self.backend)
+        # Same fail-fast rule for the persistent store: opening it at
+        # boot surfaces a corrupt index immediately instead of on the
+        # first save/load request.  The entry count is recorded here —
+        # _health() must not run sqlite queries on the event loop.
+        self.store = None
+        self.store_entries_at_boot = 0
+        if store is not None:
+            from ..store.store import BDDStore
+            self.store = BDDStore(store)
+            self.store_entries_at_boot = len(self.store)
+        if snapshot and self.store is None:
+            raise ValueError("snapshot requires a store directory")
+        self.snapshot = snapshot
         self.session_config = SessionConfig(
             backend=self.backend, cache_limit=cache_limit,
             gc_threshold=gc_threshold, node_budget=node_budget,
-            step_budget=step_budget, deadline=deadline)
+            step_budget=step_budget, deadline=deadline,
+            store=self.store)
         self.workers = workers
         self.max_sessions = max_sessions
         self.stats = _ServerStats()
@@ -129,10 +146,29 @@ class Server:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Stop accepting, drop sessions, stop the workers."""
+        """Stop accepting, drop sessions, stop the workers.
+
+        With ``snapshot`` enabled, every live session's handles are
+        persisted to the store first (on the fair executor — the
+        manager is worker-thread-affine), so the next boot can serve
+        them back through ``load`` without recomputation.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self.snapshot and self.store is not None \
+                and self._executor is not None:
+            for session in list(self._sessions.values()):
+                future = self._executor.submit(
+                    session.id, session.snapshot_to, self.store)
+                try:
+                    await asyncio.wrap_future(future)
+                except Exception:
+                    # A failed snapshot (full disk, corrupt store)
+                    # must never wedge shutdown; the store's atomic
+                    # writes mean a partial snapshot is still a valid
+                    # store, just with fewer entries.
+                    pass
         for session_id in list(self._sessions):
             self._close_session(session_id)
         if self._executor is not None:
@@ -240,6 +276,14 @@ class Server:
             self.stats.count_error(E_SANITIZER)
             return error_response(request_id, E_SANITIZER, str(exc),
                                   kind=type(exc).__name__)
+        except StoreError as exc:
+            # save/load failures are structured, not internal: the
+            # session and its handles stay valid, and the kind field
+            # distinguishes detected corruption (StoreCorruptError)
+            # from misuse (unknown name, no store attached).
+            self.stats.count_error(E_STORE)
+            return error_response(request_id, E_STORE, str(exc),
+                                  kind=type(exc).__name__)
         except asyncio.CancelledError:
             raise
         except Exception as exc:
@@ -261,12 +305,17 @@ class Server:
     # ------------------------------------------------------------------
 
     def _health(self) -> dict[str, Any]:
-        return {"status": "ok",
-                "protocol": PROTOCOL_VERSION,
-                "backend": self.backend,
-                "sessions": self.num_sessions,
-                "workers": self.workers,
-                "uptime": time.monotonic() - self.stats.started}
+        health = {"status": "ok",
+                  "protocol": PROTOCOL_VERSION,
+                  "backend": self.backend,
+                  "sessions": self.num_sessions,
+                  "workers": self.workers,
+                  "uptime": time.monotonic() - self.stats.started}
+        if self.store is not None:
+            health["store"] = str(self.store.root)
+            health["store_entries_at_boot"] = \
+                self.store_entries_at_boot
+        return health
 
     def _server_stats(self) -> dict[str, Any]:
         stats = self.stats

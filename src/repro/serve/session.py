@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager, nullcontext
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, TYPE_CHECKING
 
 from ..bdd.function import Function
 from ..bdd.governor import Budget
@@ -40,6 +40,9 @@ from ..reach.transition import TransitionRelation
 from .protocol import (E_BAD_HANDLE, E_BAD_REQUEST, E_UNKNOWN_VERB,
                        ProtocolError)
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..store.store import BDDStore
+
 __all__ = ["Session", "SessionConfig"]
 
 #: ``apply`` op tags accepted over the wire.  ``not`` is unary,
@@ -55,14 +58,15 @@ class SessionConfig:
     """Per-session knobs, shared by every session of one server."""
 
     __slots__ = ("backend", "cache_limit", "gc_threshold",
-                 "node_budget", "step_budget", "deadline")
+                 "node_budget", "step_budget", "deadline", "store")
 
     def __init__(self, *, backend: str | None = None,
                  cache_limit: int | None = None,
                  gc_threshold: int | None = None,
                  node_budget: int | None = None,
                  step_budget: int | None = None,
-                 deadline: float | None = None) -> None:
+                 deadline: float | None = None,
+                 store: "BDDStore | None" = None) -> None:
         self.backend = backend
         self.cache_limit = cache_limit
         self.gc_threshold = gc_threshold
@@ -70,6 +74,8 @@ class SessionConfig:
         self.node_budget = node_budget
         self.step_budget = step_budget
         self.deadline = deadline
+        #: optional persistent BDD store backing the save/load verbs
+        self.store = store
 
 
 def _require(params: dict[str, Any], key: str, kind: type,
@@ -151,6 +157,18 @@ class Session:
 
     @property
     def num_handles(self) -> int:
+        return len(self._functions)
+
+    def snapshot_to(self, store: "BDDStore") -> int:
+        """Persist every live handle under ``snapshot/<session>/...``.
+
+        Runs on a worker thread (the executor serializes it with the
+        session's other verbs, so the manager stays single-threaded).
+        Returns the number of handles written.
+        """
+        for handle, function in sorted(self._functions.items()):
+            store.save(f"snapshot/{self.id}/{handle}", function,
+                       tags=("snapshot", self.id))
         return len(self._functions)
 
     def close(self) -> tuple[int, int]:
@@ -455,6 +473,45 @@ class Session:
             reply["fallbacks"] = result.shard_stats["fallbacks"]
         return reply
 
+    def _require_store(self) -> "BDDStore":
+        store = self.config.store
+        if store is None:
+            raise ProtocolError(
+                E_BAD_REQUEST,
+                "no store attached; start the daemon with --store DIR")
+        return store
+
+    def _verb_save(self, params: dict[str, Any],
+                   budget: Budget) -> dict[str, Any]:
+        store = self._require_store()
+        name = _require(params, "name", str, "a string")
+        if not name:
+            raise ProtocolError(E_BAD_REQUEST,
+                                "store name must be non-empty")
+        function = self.resolve(params, "f")
+        tags = params.get("tags", [])
+        if not (isinstance(tags, list)
+                and all(isinstance(t, str) for t in tags)):
+            raise ProtocolError(E_BAD_REQUEST,
+                                "tags must be a list of strings")
+        digest = store.save(name, function, tags=tags)
+        return {"name": name, "hash": digest,
+                "nodes": len(function)}
+
+    def _verb_load(self, params: dict[str, Any],
+                   budget: Budget) -> dict[str, Any]:
+        store = self._require_store()
+        name = _require(params, "name", str, "a string")
+        # Loaded into the session manager: declared variables merge
+        # into the session's order and the rebuilt root is interned
+        # like any other result, so a restarted daemon serves the
+        # stored function without re-running the computation that
+        # produced it.
+        function = store.load(self.manager, name)
+        result = self._function_result(function)
+        result.update(name=name)
+        return result
+
     def _verb_stats(self, params: dict[str, Any],
                     budget: Budget) -> dict[str, Any]:
         return {"id": self.id,
@@ -473,5 +530,7 @@ class Session:
         "check": _verb_check,
         "release": _verb_release,
         "reach": _verb_reach,
+        "save": _verb_save,
+        "load": _verb_load,
         "stats": _verb_stats,
     }

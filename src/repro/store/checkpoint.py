@@ -1,0 +1,121 @@
+"""Reachability checkpoints: periodic frontier persistence + resume.
+
+A :class:`ReachCheckpointer` rides along a traversal loop
+(:func:`~repro.reach.bfs.bfs_reachability` /
+:func:`~repro.reach.highdensity.high_density_reachability`): every
+``every`` iterations it persists the loop state — the reached set and
+the frontier as one multi-root object (their shared interior nodes are
+stored once), plus the scalar loop metadata — under one store name.
+Because every save is an atomic object write followed by an atomic
+index repoint, a ``kill -9`` at any instant leaves the previous
+checkpoint intact; resuming replays the loop from the last saved
+iteration, and ROBDD canonicity makes the resumed reached set
+byte-identical to an uninterrupted run's.
+
+The ``spec`` digest guards against resuming a checkpoint of a
+*different* problem (another circuit, method, or threshold): a
+mismatch raises :class:`~repro.store.errors.StoreError` instead of
+silently blending two traversals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, TYPE_CHECKING
+
+from ..bdd.function import Function
+from .errors import StoreError
+from .store import BDDStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..bdd.manager import Manager
+
+__all__ = ["ReachCheckpointer", "reach_spec"]
+
+
+def reach_spec(*parts: object) -> str:
+    """Stable digest identifying one traversal problem.
+
+    Callers hash whatever pins the traversal down — circuit bytes,
+    method, threshold — so a checkpoint can refuse to resume into a
+    different problem.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+class ReachCheckpointer:
+    """Persist/restore the state of one traversal loop.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.store.store.BDDStore` holding checkpoints.
+    name:
+        Index name of this traversal's checkpoint (one name, atomically
+        repointed on every save).
+    every:
+        Save cadence in iterations (default 1: every iteration).
+    spec:
+        Optional problem digest (:func:`reach_spec`); verified on
+        resume.
+    resume:
+        When False (default) :meth:`load` returns None and the
+        traversal starts fresh, overwriting any previous checkpoint of
+        the same name on its first save.
+    """
+
+    def __init__(self, store: BDDStore, name: str, *, every: int = 1,
+                 spec: str | None = None, resume: bool = False) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.store = store
+        self.name = name
+        self.every = every
+        self.spec = spec
+        self.resume = resume
+        #: checkpoints written by this checkpointer
+        self.saves = 0
+
+    def load(self, manager: "Manager"
+             ) -> tuple[dict[str, Function], dict[str, Any]] | None:
+        """Restore ``(roots, meta)`` from the last save, or None.
+
+        None means "start fresh": resuming was not requested, or no
+        checkpoint exists yet under this name.
+        """
+        if not self.resume or self.name not in self.store:
+            return None
+        roots, extra = self.store.load_roots(manager, self.name)
+        if self.spec is not None and extra.get("spec") != self.spec:
+            raise StoreError(
+                f"checkpoint {self.name!r} was written for a "
+                f"different problem (spec {extra.get('spec')!r}, "
+                f"expected {self.spec!r}); refusing to resume")
+        meta = extra.get("meta")
+        if not isinstance(meta, dict):
+            raise StoreError(f"checkpoint {self.name!r} carries no "
+                             f"loop metadata")
+        return roots, meta
+
+    def step(self, roots: dict[str, Function],
+             meta: dict[str, Any]) -> None:
+        """Per-iteration hook: save when the cadence comes due."""
+        if int(meta.get("iterations", 0)) % self.every == 0:
+            self._save(roots, meta)
+
+    def finish(self, roots: dict[str, Function],
+               meta: dict[str, Any]) -> None:
+        """Fixpoint hook: always persist the final, complete state."""
+        self._save(roots, dict(meta, complete=True))
+
+    def _save(self, roots: dict[str, Function],
+              meta: dict[str, Any]) -> None:
+        manager = next(iter(roots.values())).manager
+        self.store.save_roots(
+            self.name, manager, roots, tags=("checkpoint",),
+            extra={"spec": self.spec, "meta": meta})
+        self.saves += 1

@@ -1,0 +1,21 @@
+"""Structured errors of the persistent BDD store."""
+
+from __future__ import annotations
+
+__all__ = ["StoreError", "StoreCorruptError"]
+
+
+class StoreError(RuntimeError):
+    """Any store failure a caller can act on (missing name, spec
+    mismatch, schema version from the future, ...)."""
+
+
+class StoreCorruptError(StoreError):
+    """On-disk bytes fail an integrity or structural check.
+
+    Raised — never a silently wrong BDD — when an object's magic,
+    CRC32 frame, sha256 content address, reference structure, or the
+    sqlite index itself does not verify.  The store that raised it is
+    still usable for other names; the corrupt object is unreadable
+    until replaced.
+    """

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bdd import (Manager, dump, dumps_many, load, loads_many,
-                       transfer)
+from repro.bdd import (LoadError, Manager, dump, dumps_many, load,
+                       loads_many, transfer)
 
 from ..helpers import fresh_manager
 
@@ -94,3 +94,66 @@ class TestTransfer:
         a = transfer(funcs[0], target)
         b = transfer(funcs[0], target)
         assert a == b
+
+
+class TestCorruptionCorpus:
+    """Malformed dumps raise structured LoadError on both backends.
+
+    The direct-insert fast path feeds ``store.mk`` straight from the
+    input, so every case here guards against a corrupt dump becoming a
+    silently non-canonical (wrong) BDD instead of an error.
+    """
+
+    CORPUS = [
+        ("bad-header", "repro-bdd 99\nroot 1\n"),
+        ("no-header", "2 a 1 0\nroot 2\n"),
+        ("missing-root", "repro-bdd 1\n2 a 1 0\n"),
+        ("undefined-root", "repro-bdd 1\n2 a 1 0\nroot 9\n"),
+        ("malformed-root", "repro-bdd 1\nroot 2 extra\n"),
+        ("non-integer-root", "repro-bdd 1\nroot x\n"),
+        ("short-node-line", "repro-bdd 1\n2 a 1\nroot 2\n"),
+        ("long-node-line", "repro-bdd 1\n2 a 1 0 9\nroot 2\n"),
+        ("non-integer-index", "repro-bdd 1\nx a 1 0\nroot 2\n"),
+        ("non-integer-child", "repro-bdd 1\n2 a one 0\nroot 2\n"),
+        ("reserved-index-0", "repro-bdd 1\n0 a 1 0\nroot 0\n"),
+        ("reserved-index-1", "repro-bdd 1\n1 a 1 0\nroot 1\n"),
+        ("negative-index", "repro-bdd 1\n-3 a 1 0\nroot 2\n"),
+        ("duplicate-index",
+         "repro-bdd 1\n2 a 1 0\n2 b 0 1\nroot 2\n"),
+        ("undefined-hi", "repro-bdd 1\n2 a 7 0\nroot 2\n"),
+        ("undefined-lo", "repro-bdd 1\n2 a 1 7\nroot 2\n"),
+        ("forward-reference",
+         "repro-bdd 1\n2 a 3 0\n3 b 1 0\nroot 2\n"),
+        ("redundant-node", "repro-bdd 1\n2 a 1 1\nroot 2\n"),
+    ]
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    @pytest.mark.parametrize(
+        "text", [text for _, text in CORPUS],
+        ids=[label for label, _ in CORPUS])
+    def test_corrupt_dump_is_structured_error(self, backend, text):
+        manager = Manager(backend=backend)
+        with pytest.raises(LoadError) as excinfo:
+            load(manager, text)
+        # LoadError subclasses ValueError: legacy callers that catch
+        # ValueError keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_undeclared_variable_with_declare_false(self, backend):
+        manager = Manager(backend=backend)
+        with pytest.raises(LoadError, match="unknown variable"):
+            load(manager, "repro-bdd 1\n2 ghost 1 0\nroot 2\n",
+                 declare=False)
+
+    @pytest.mark.parametrize("backend", ["object", "array"])
+    def test_corpus_cases_reject_cleanly_then_load_works(self,
+                                                         backend):
+        """A rejected dump must not poison the manager: the same
+        manager loads a well-formed dump afterwards."""
+        manager = Manager(backend=backend)
+        for _, text in self.CORPUS:
+            with pytest.raises(LoadError):
+                load(manager, text)
+        f = load(manager, "repro-bdd 1\n2 a 1 0\nroot 2\n")
+        assert f.sat_count() == 1

@@ -212,3 +212,122 @@ class TestCli:
         base = self._write(tmp_path, "base.json", rows)
         cur = self._write(tmp_path, "cur.json", rows)
         assert compare_files(base, cur).ok
+
+
+def wrap_payload(payload):
+    """Module-level engine body (spawn-safe, RPR009)."""
+    return {"n": payload}
+
+
+def times_ten(payload):
+    return {"n": payload * 10}
+
+
+class TestResume:
+    """The --resume-from machinery: digest, split, merge."""
+
+    def _partial(self, tmp_path, rows):
+        path = tmp_path / "BENCH_partial.json"
+        write_bench(path, payload_with(rows))
+        return path
+
+    def test_spec_digest_is_stable_and_input_sensitive(self):
+        from repro.harness.trajectory import spec_digest
+
+        a = spec_digest(("spec", 300))
+        assert a == spec_digest(("spec", 300))
+        assert len(a) == 12
+        assert a != spec_digest(("spec", 301))
+
+    def test_task_rows_stamp_spec(self):
+        from repro.harness.engine import Task, run_tasks
+        from repro.harness.trajectory import spec_digest
+
+        run = run_tasks(wrap_payload, [Task("a", 1), Task("b", 2)],
+                        jobs=1)
+        specs = {"a": spec_digest(1)}
+        rows = task_rows(run, specs)
+        by_key = {r["key"]: r for r in rows}
+        assert by_key["task/a"]["spec"] == spec_digest(1)
+        assert "spec" not in by_key["task/b"]
+
+    def test_resume_skips_only_matching_ok_rows(self, tmp_path):
+        from repro.harness.engine import Task
+        from repro.harness.trajectory import resume_tasks, spec_digest
+
+        tasks = [Task("done", 1), Task("changed", 2),
+                 Task("failed", 3), Task("unstamped", 4),
+                 Task("new", 5)]
+        path = self._partial(tmp_path, [
+            {"key": "task/done", "status": "ok",
+             "spec": spec_digest(1), "seconds": 0.1, "attempts": 1},
+            {"key": "task/changed", "status": "ok",
+             "spec": spec_digest(999), "seconds": 0.1, "attempts": 1},
+            {"key": "task/failed", "status": "error",
+             "spec": spec_digest(3), "seconds": 0.1, "attempts": 2},
+            {"key": "task/unstamped", "status": "ok",
+             "seconds": 0.1, "attempts": 1},
+            {"key": "func-row", "nodes": 17},
+        ])
+        remaining, previous = resume_tasks(path, tasks)
+        assert [t.key for t in remaining] == ["changed", "failed",
+                                              "unstamped", "new"]
+        assert len(previous) == 5  # verbatim rows, ready to merge
+
+    def test_merge_rows_current_wins_previous_order_kept(self):
+        from repro.harness.trajectory import merge_rows
+
+        previous = [{"key": "a", "v": 1}, {"key": "b", "v": 1},
+                    {"key": "c", "v": 1}]
+        current = [{"key": "b", "v": 2}, {"key": "d", "v": 2}]
+        merged = merge_rows(previous, current)
+        assert [r["key"] for r in merged] == ["a", "b", "c", "d"]
+        assert {r["key"]: r["v"] for r in merged} == {
+            "a": 1, "b": 2, "c": 1, "d": 2}
+
+    def test_spec_field_is_optional_in_comparison(self):
+        base = payload_with([{"key": "task/a", "status": "ok",
+                              "seconds": 0.1, "attempts": 1}])
+        stamped = payload_with([{"key": "task/a", "status": "ok",
+                                 "seconds": 0.1, "attempts": 1,
+                                 "spec": "abc123"}])
+        # A freshly stamped run compares clean against a pre-resume
+        # baseline (spec is an _OPTIONAL_FIELDS member)...
+        assert compare(base, stamped).ok
+        # ...but two stamped runs must agree.
+        other = payload_with([{"key": "task/a", "status": "ok",
+                               "seconds": 0.1, "attempts": 1,
+                               "spec": "different"}])
+        report = compare(stamped, other)
+        assert not report.ok
+        assert "spec" in report.mismatched[0].mismatches
+
+    def test_end_to_end_resume_round(self, tmp_path):
+        """Simulated interrupted benchmark: half the tasks recorded,
+        resume runs the rest, merged file equals a full run's keys."""
+        from repro.harness.engine import Task, run_tasks
+        from repro.harness.trajectory import (merge_rows, resume_tasks,
+                                              spec_digest)
+
+        tasks = [Task(f"t{i}", i) for i in range(4)]
+        specs = {t.key: spec_digest(t.payload) for t in tasks}
+        first = run_tasks(times_ten, tasks[:2], jobs=1)
+        partial_rows = [{"key": f"row/{o.key}", **o.result}
+                        for o in first.outcomes] \
+            + task_rows(first, specs)
+        path = self._partial(tmp_path, partial_rows)
+
+        remaining, previous = resume_tasks(path, tasks)
+        assert [t.key for t in remaining] == ["t2", "t3"]
+        second = run_tasks(times_ten, remaining, jobs=1)
+        merged = merge_rows(previous,
+                            [{"key": f"row/{o.key}", **o.result}
+                             for o in second.outcomes]
+                            + task_rows(second, specs))
+        keys = {r["key"] for r in merged}
+        assert keys == {f"row/t{i}" for i in range(4)} \
+            | {f"task/t{i}" for i in range(4)}
+        # A second resume against the merged file finds nothing to do.
+        write_bench(path, payload_with(merged))
+        remaining, _ = resume_tasks(path, tasks)
+        assert remaining == []

@@ -1,0 +1,206 @@
+"""Client retry policy against scripted (hung/flapping) servers.
+
+A :class:`ScriptedServer` is a bare TCP endpoint speaking just enough
+of the wire protocol to exercise the client's retry machinery without
+a real daemon: each accepted connection runs one script (greet, answer,
+reject, or hang).  This pins down the policy's edges — what is retried
+(``budget``, ``overload``), what is not (deterministic errors,
+timeouts), and on which connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.serve import Client, ClientTimeout, ServerError
+
+
+class ScriptedServer:
+    """Runs one script per accepted connection, in order."""
+
+    def __init__(self, *scripts):
+        self.scripts = list(scripts)
+        self.requests: list[dict] = []
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.port = self.sock.getsockname()[1]
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+
+    def _run(self):
+        for script in self.scripts:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    script(self, conn.makefile("rwb"))
+                except (OSError, ValueError):
+                    pass
+
+    def close(self):
+        self.sock.close()
+
+
+def send(file, message):
+    file.write(json.dumps(message).encode("utf-8") + b"\n")
+    file.flush()
+
+
+def greet(file, *, ok=True, code="overload"):
+    if ok:
+        send(file, {"ok": True, "serve": "repro", "protocol": 1,
+                    "session": "scripted"})
+    else:
+        send(file, {"ok": False,
+                    "error": {"code": code, "message": "scripted"}})
+
+
+def rejecting(code):
+    """Connection script: refuse with an error greeting and close."""
+    def script(server, file):
+        greet(file, ok=False, code=code)
+    return script
+
+
+def answering(*outcomes):
+    """Connection script: greet, then answer requests per outcome.
+
+    Outcomes: ``"ok"`` (result ``{"value": 42}``), an error code
+    string (structured error echoing the request id), or ``"hang"``
+    (never answer; blocks until the client hangs up).
+    """
+    def script(server, file):
+        greet(file)
+        for outcome in outcomes:
+            line = file.readline()
+            if not line:
+                return
+            request = json.loads(line)
+            server.requests.append(request)
+            if outcome == "hang":
+                file.readline()  # the client sends nothing more
+                return
+            if outcome == "ok":
+                send(file, {"id": request["id"], "ok": True,
+                            "result": {"value": 42}})
+            else:
+                send(file, {"id": request["id"], "ok": False,
+                            "error": {"code": outcome,
+                                      "message": "scripted"}})
+    return script
+
+
+@pytest.fixture
+def scripted():
+    servers = []
+
+    def boot(*scripts) -> ScriptedServer:
+        server = ScriptedServer(*scripts)
+        servers.append(server)
+        return server
+
+    yield boot
+    for server in servers:
+        server.close()
+
+
+FAST = {"retry_base": 0.001, "retry_max": 0.01}
+
+
+def test_overload_greeting_reconnects(scripted):
+    server = scripted(rejecting("overload"), answering("ok"))
+    with Client(port=server.port, retries=2, **FAST) as client:
+        assert client.session == "scripted"
+        assert client.call("ping")["value"] == 42
+
+
+def test_overload_greeting_without_retries_raises(scripted):
+    server = scripted(rejecting("overload"))
+    with pytest.raises(ServerError) as excinfo:
+        Client(port=server.port)
+    assert excinfo.value.code == "overload"
+    assert excinfo.value.retryable
+
+
+def test_nonretryable_greeting_never_reconnects(scripted):
+    server = scripted(rejecting("bad-request"), answering("ok"))
+    with pytest.raises(ServerError) as excinfo:
+        Client(port=server.port, retries=5, **FAST)
+    assert excinfo.value.code == "bad-request"
+
+
+def test_budget_error_resent_on_same_session(scripted):
+    server = scripted(answering("budget", "ok"))
+    with Client(port=server.port, retries=2, **FAST) as client:
+        assert client.call("count", {"f": "h1"})["value"] == 42
+    # Both sends rode one connection, with distinct request ids.
+    assert [r["id"] for r in server.requests] == [1, 2]
+    assert all(r["verb"] == "count" for r in server.requests)
+
+
+def test_flapping_server_eventually_answers(scripted):
+    server = scripted(answering("budget", "overload", "budget", "ok"))
+    with Client(port=server.port, retries=3, **FAST) as client:
+        assert client.call("ping")["value"] == 42
+    assert len(server.requests) == 4
+
+
+def test_retries_exhausted_raises(scripted):
+    server = scripted(answering("budget", "budget", "budget"))
+    with Client(port=server.port, retries=2, **FAST) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.call("ping")
+    assert excinfo.value.code == "budget"
+    assert len(server.requests) == 3  # initial send + 2 retries
+
+
+def test_retries_default_off(scripted):
+    server = scripted(answering("budget", "ok"))
+    with Client(port=server.port) as client:
+        with pytest.raises(ServerError):
+            client.call("ping")
+    assert len(server.requests) == 1
+
+
+def test_deterministic_errors_not_retried(scripted):
+    server = scripted(answering("unknown-handle", "ok"))
+    with Client(port=server.port, retries=5, **FAST) as client:
+        with pytest.raises(ServerError) as excinfo:
+            client.call("ping")
+    assert excinfo.value.code == "unknown-handle"
+    assert not excinfo.value.retryable
+    assert len(server.requests) == 1
+
+
+def test_hung_server_times_out_without_retry(scripted):
+    """Timeouts are never retried: the stream may hold a stale
+    response, so a re-send could misattribute answers."""
+    server = scripted(answering("hang"))
+    with Client(port=server.port, timeout=0.2, retries=5,
+                **FAST) as client:
+        with pytest.raises(ClientTimeout):
+            client.call("ping")
+    assert len(server.requests) == 1
+
+
+def test_negative_retries_rejected():
+    with pytest.raises(ValueError, match="retries"):
+        Client(port=1, retries=-1)
+
+
+def test_backoff_is_capped():
+    client = Client.__new__(Client)
+    client.retry_base = 0.05
+    client.retry_max = 2.0
+    delays = [client._backoff(n) for n in range(12)]
+    assert delays[0] == 0.05
+    assert delays[1] == 0.1
+    assert max(delays) == 2.0
+    assert delays == sorted(delays)

@@ -1,0 +1,1 @@
+"""Suites for the persistent BDD store (:mod:`repro.store`)."""

@@ -1,0 +1,189 @@
+"""The persistent BDD store: round-trips, dedup, index semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import Manager, dump
+from repro.store import (BDDStore, StoreCorruptError, StoreError,
+                         decode_roots, encode_roots)
+from repro.store.format import content_address
+
+from ..helpers import random_function, truth_table
+
+BACKENDS = ["object", "array"]
+NAMES = [f"x{i}" for i in range(8)]
+
+
+def build_function(backend, seed=7, terms=10):
+    manager = Manager(backend=backend)
+    variables = manager.add_vars(*NAMES)
+    rng = random.Random(seed)
+    function = random_function(manager, variables, rng, terms=terms,
+                               width=4)
+    return manager, function
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRoundTrip:
+    def test_save_load_exact(self, backend, tmp_path):
+        manager, f = build_function(backend)
+        store = BDDStore(tmp_path / "store")
+        digest = store.save("f", f, tags=("unit",))
+        assert len(digest) == 64
+
+        target = Manager(backend=backend)
+        g = store.load(target, "f")
+        assert len(g) == len(f)
+        assert g.sat_count() == f.sat_count()
+        assert truth_table(g, NAMES) == truth_table(f, NAMES)
+        assert dump(g) == dump(f)
+
+    def test_constants_round_trip(self, backend, tmp_path):
+        manager = Manager(backend=backend)
+        store = BDDStore(tmp_path / "store")
+        store.save("t", manager.true)
+        store.save("f", manager.false)
+        target = Manager(backend=backend)
+        assert store.load(target, "t").is_true
+        assert store.load(target, "f").is_false
+
+    def test_manager_convenience_surface(self, backend, tmp_path):
+        manager, f = build_function(backend)
+        store = BDDStore(tmp_path / "store")
+        digest = manager.save_function(store, "f", f, tags=("api",))
+        target = Manager(backend=backend)
+        g = target.load_function(store, "f")
+        assert store.entries()[0]["hash"] == digest
+        assert g.sat_count() == f.sat_count()
+
+    def test_multi_root_object_with_extra(self, backend, tmp_path):
+        manager, f = build_function(backend)
+        g = f | manager.var("x0")
+        store = BDDStore(tmp_path / "store")
+        store.save_roots("pair", manager, {"f": f, "g": g},
+                         extra={"note": "checkpoint-ish", "n": 3})
+        target = Manager(backend=backend)
+        roots, extra = store.load_roots(target, "pair")
+        assert set(roots) == {"f", "g"}
+        assert extra == {"note": "checkpoint-ish", "n": 3}
+        assert roots["f"].sat_count() == f.sat_count()
+        assert roots["g"].sat_count() == g.sat_count()
+
+    def test_load_into_reversed_order_uses_ite(self, backend, tmp_path):
+        manager, f = build_function(backend)
+        store = BDDStore(tmp_path / "store")
+        store.save("f", f)
+        target = Manager(vars=NAMES[::-1], backend=backend)
+        g = store.load(target, "f")
+        assert truth_table(g, NAMES) == truth_table(f, NAMES)
+
+    def test_declare_false_rejects_unknown_vars(self, backend,
+                                                tmp_path):
+        manager, f = build_function(backend)
+        store = BDDStore(tmp_path / "store")
+        store.save("f", f)
+        with pytest.raises(StoreError, match="unknown variable"):
+            store.load(Manager(backend=backend), "f", declare=False)
+
+
+class TestContentAddressing:
+    def test_cross_backend_identical_bytes(self):
+        _, f_obj = build_function("object")
+        _, f_arr = build_function("array")
+        blob_obj = encode_roots(f_obj.manager, {"f": f_obj})
+        blob_arr = encode_roots(f_arr.manager, {"f": f_arr})
+        # The level-ordered canonical encoding must not leak backend
+        # or insertion-history details: identical functions address to
+        # identical objects on both backends.
+        assert blob_obj == blob_arr
+        assert content_address(blob_obj) == content_address(blob_arr)
+
+    def test_idempotent_saves_share_one_object(self, tmp_path):
+        manager, f = build_function("object")
+        store = BDDStore(tmp_path / "store")
+        d1 = store.save("a", f)
+        d2 = store.save("b", f)
+        assert d1 == d2
+        objects = [p for p in store.objects.rglob("*") if p.is_file()]
+        assert len(objects) == 1
+        # Two names, one object; deleting one name keeps the other
+        # loadable (objects are shared, never reclaimed by delete).
+        assert store.delete("a")
+        g = store.load(Manager(), "b")
+        assert g.sat_count() == f.sat_count()
+
+    def test_encode_decode_without_a_store(self):
+        manager, f = build_function("object")
+        blob = encode_roots(manager, {"f": f})
+        roots = decode_roots(Manager(), blob)
+        assert roots["f"].sat_count() == f.sat_count()
+
+
+class TestIndex:
+    def test_entries_tags_and_prefix(self, tmp_path):
+        manager, f = build_function("object")
+        store = BDDStore(tmp_path / "store")
+        store.save("circ/output/o1", f, tags=("run1", "outputs"))
+        store.save("circ/next/n1", f)
+        store.save("other", f)
+        assert len(store) == 3
+        assert "circ/output/o1" in store
+        assert "nope" not in store
+        names = [e["name"] for e in store.entries(prefix="circ/")]
+        assert names == ["circ/next/n1", "circ/output/o1"]
+        entry = store.entries(prefix="circ/output/")[0]
+        assert entry["tags"] == ["run1", "outputs"]
+        assert entry["nodes"] == len(f)
+        assert sorted(store) == sorted(e["name"]
+                                       for e in store.entries())
+
+    def test_unknown_name_is_structured(self, tmp_path):
+        store = BDDStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="unknown function"):
+            store.load(Manager(), "ghost")
+
+    def test_rootless_object_refuses_single_load(self, tmp_path):
+        manager, f = build_function("object")
+        store = BDDStore(tmp_path / "store")
+        store.save_roots("ck", manager, {"reached": f})
+        with pytest.raises(StoreError, match="multi-root"):
+            store.load(Manager(), "ck")
+
+    def test_empty_name_rejected(self, tmp_path):
+        manager, f = build_function("object")
+        store = BDDStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.save("", f)
+
+    def test_root_must_be_a_root(self, tmp_path):
+        manager, f = build_function("object")
+        store = BDDStore(tmp_path / "store")
+        with pytest.raises(StoreError):
+            store.save_roots("x", manager, {"f": f}, root="g")
+
+    def test_repoint_replaces_entry(self, tmp_path):
+        manager, f = build_function("object")
+        g = f & manager.var("x1")
+        store = BDDStore(tmp_path / "store")
+        store.save("f", f)
+        store.save("f", g)
+        assert len(store) == 1
+        loaded = store.load(Manager(), "f")
+        assert loaded.sat_count() == g.sat_count()
+
+    def test_missing_store_without_create(self, tmp_path):
+        with pytest.raises(StoreError, match="no store"):
+            BDDStore(tmp_path / "absent", create=False)
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        import sqlite3
+
+        store = BDDStore(tmp_path / "store")
+        with sqlite3.connect(store.index_path) as conn:
+            conn.execute("UPDATE meta SET value = '999' "
+                         "WHERE key = 'schema_version'")
+        with pytest.raises(StoreError, match="schema"):
+            BDDStore(tmp_path / "store")

@@ -191,3 +191,212 @@ class TestServeCall:
         monkeypatch.setenv("REPRO_BACKEND", "linked-list")
         with pytest.raises(SystemExit):
             main(["serve", "--port", "0"])
+
+
+def stable_reach_lines(out: str) -> list[str]:
+    """Reach output minus the wall-clock and checkpoint-count lines."""
+    return [line for line in out.splitlines()
+            if not line.startswith(("time:", "checkpoint:"))]
+
+
+class TestSaveLoad:
+    def test_save_then_list_and_load(self, counter_blif, tmp_path,
+                                     capsys):
+        store = str(tmp_path / "store")
+        assert main(["save", counter_blif, "--store", store,
+                     "--functions", "all", "--tag", "run1"]) == 0
+        out = capsys.readouterr().out
+        assert "saved to" in out
+
+        assert main(["load", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert "/next/" in listing
+        assert "run1" in listing
+        name = next(line.split()[0] for line in listing.splitlines()
+                    if "/next/" in line)
+
+        assert main(["load", name, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert f"name:     {name}" in out
+        assert "minterms:" in out
+
+        assert main(["load", name, "--store", store, "--dump"]) == 0
+        dumped = capsys.readouterr().out
+        assert dumped.startswith("repro-bdd 1\n")
+        assert "root " in dumped
+
+    def test_list_prefix_filters(self, counter_blif, tmp_path,
+                                 capsys):
+        store = str(tmp_path / "store")
+        assert main(["save", counter_blif, "--store", store,
+                     "--functions", "all"]) == 0
+        capsys.readouterr()
+        assert main(["load", "no/such/prefix", "--store", store,
+                     "--list"]) == 1
+        assert "no entries" in capsys.readouterr().out
+
+    def test_unknown_name_exits_1(self, counter_blif, tmp_path,
+                                  capsys):
+        store = str(tmp_path / "store")
+        assert main(["save", counter_blif, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["load", "ghost", "--store", store]) == 1
+        assert "store:" in capsys.readouterr().err
+
+    def test_missing_store_exits_1(self, tmp_path, capsys):
+        assert main(["load", "--store",
+                     str(tmp_path / "missing")]) == 1
+        assert "no store" in capsys.readouterr().err
+
+    def test_corrupt_object_exits_4(self, counter_blif, tmp_path,
+                                    capsys):
+        from repro.store import BDDStore
+
+        store_dir = tmp_path / "store"
+        assert main(["save", counter_blif, "--store",
+                     str(store_dir)]) == 0
+        capsys.readouterr()
+        store = BDDStore(store_dir)
+        name = store.entries()[0]["name"]
+        path = store._object_path(store.entries()[0]["hash"])
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert main(["load", name, "--store", str(store_dir)]) == 4
+        assert "store:" in capsys.readouterr().err
+
+
+class TestReachCheckpoint:
+    def test_checkpointed_run_reports_saves(self, counter_blif,
+                                            capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        assert main(["reach", counter_blif, "--checkpoint", ck]) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint: reach/" in out
+        assert "save(s) this run" in out
+
+    def test_interrupt_then_resume_matches_plain_run(self,
+                                                     counter_blif,
+                                                     capsys,
+                                                     tmp_path):
+        assert main(["reach", counter_blif]) == 0
+        oracle = stable_reach_lines(capsys.readouterr().out)
+
+        ck = str(tmp_path / "ck")
+        assert main(["reach", counter_blif, "--checkpoint", ck,
+                     "--max-iterations", "2"]) == 0
+        capsys.readouterr()
+        assert main(["reach", counter_blif, "--checkpoint", ck,
+                     "--resume"]) == 0
+        assert stable_reach_lines(capsys.readouterr().out) == oracle
+
+    def test_resume_requires_checkpoint_dir(self, counter_blif):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            main(["reach", counter_blif, "--resume"])
+
+    def test_resume_different_problem_refused(self, counter_blif,
+                                              capsys, tmp_path):
+        ck = str(tmp_path / "ck")
+        assert main(["reach", counter_blif, "--checkpoint", ck,
+                     "--max-iterations", "1"]) == 0
+        capsys.readouterr()
+        # Same circuit and method — so the same checkpoint name — but
+        # a different traversal configuration: the spec digest (which
+        # also covers knobs the name can't, like the cluster limit)
+        # must refuse the resume instead of blending two traversals.
+        assert main(["reach", counter_blif, "--checkpoint", ck,
+                     "--resume", "--cluster-limit", "7"]) == 1
+        assert "different problem" in capsys.readouterr().err
+
+    def test_checkpoint_every_cadence(self, counter_blif, capsys,
+                                      tmp_path):
+        ck = str(tmp_path / "ck")
+        assert main(["reach", counter_blif, "--checkpoint", ck,
+                     "--checkpoint-every", "100"]) == 0
+        out = capsys.readouterr().out
+        # Cadence 100 > diameter: only the final fixpoint save runs.
+        assert "(1 save(s) this run)" in out
+
+
+class TestKillResume:
+    def test_kill9_mid_run_then_resume_byte_identical(self, tmp_path):
+        """The ISSUE.md acceptance scenario end to end: kill -9 a
+        checkpointing reach mid-flight, resume it, and the resumed
+        output (reached set included) matches an uninterrupted
+        sequential run exactly."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        from repro.fsm.benchmarks import counter
+        from repro.fsm.blif import write_blif
+        from repro.store import BDDStore
+
+        blif = tmp_path / "counter.blif"
+        blif.write_text(write_blif(counter(6)))
+        ck = tmp_path / "ck"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(
+                __file__))), "src") + os.pathsep + env.get(
+                    "PYTHONPATH", "")
+
+        oracle = subprocess.run(
+            [sys.executable, "-m", "repro", "reach", str(blif)],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert oracle.returncode == 0, oracle.stderr
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "reach", str(blif),
+             "--checkpoint", str(ck)],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env)
+        try:
+            # Kill as soon as the first checkpoint lands on disk —
+            # mid-traversal by construction (counter(6) runs 63
+            # iterations).
+            deadline = time.monotonic() + 60
+            store = None
+            while time.monotonic() < deadline:
+                if process.poll() is not None:
+                    break
+                try:
+                    store = BDDStore(ck, create=False)
+                    if len(store) > 0:
+                        break
+                except Exception:
+                    pass
+                time.sleep(0.01)
+            assert process.poll() is None, (
+                "traversal finished before the kill; enlarge the "
+                "circuit")
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "reach", str(blif),
+             "--checkpoint", str(ck), "--resume"],
+            capture_output=True, text=True, env=env, timeout=120)
+        assert resumed.returncode == 0, resumed.stderr
+        assert stable_reach_lines(resumed.stdout) \
+            == stable_reach_lines(oracle.stdout)
+
+        # Byte-level check on the reached set itself, not just the
+        # summary: the final checkpoint's reached-set dump equals a
+        # fresh in-process oracle's.
+        from repro.bdd import Manager, dump
+        from repro.fsm import encode
+        from repro.reach import TransitionRelation, bfs_reachability
+
+        encoded = encode(counter(6))
+        result = bfs_reachability(TransitionRelation(encoded),
+                                  encoded.initial_states())
+        roots, extra = BDDStore(ck).load_roots(
+            Manager(), f"reach/{counter(6).name}/bfs")
+        assert extra["meta"]["complete"] is True
+        assert dump(roots["reached"]) == dump(result.reached)
